@@ -1,0 +1,118 @@
+// Micro-benchmark for the paper's §V-D5 complexity claim: bottleneck
+// attention is O(L * R) in the sequence length L (R fixed reference
+// points), while full self-attention is O(L^2). Built on google-benchmark;
+// the per-iteration time of BottleneckAttention should grow ~linearly with
+// L while FullSelfAttention grows ~quadratically, and the same holds along
+// the node axis. This is the hardware-neutral half of Table VII.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/memory_tracker.h"
+#include "core/rng.h"
+#include "sstban/bottleneck_attention.h"
+
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+using sstban::sstban::BottleneckAttention;
+using sstban::sstban::FullSelfAttention;
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kHeads = 4;
+constexpr int64_t kRefs = 3;
+
+void BM_BottleneckForward(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(1);
+  BottleneckAttention attn(kDim, kDim, kRefs, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x).value().data());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_BottleneckForward)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_FullAttentionForward(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(1);
+  FullSelfAttention attn(kDim, kDim, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x).value().data());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_FullAttentionForward)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_BottleneckTrainStep(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(2);
+  BottleneckAttention attn(kDim, kDim, kRefs, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  for (auto _ : state) {
+    ag::Variable loss = ag::MeanAll(ag::Square(attn.Forward(x)));
+    attn.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_BottleneckTrainStep)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_FullAttentionTrainStep(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(2);
+  FullSelfAttention attn(kDim, kDim, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  for (auto _ : state) {
+    ag::Variable loss = ag::MeanAll(ag::Square(attn.Forward(x)));
+    attn.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetComplexityN(len);
+}
+BENCHMARK(BM_FullAttentionTrainStep)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+// Peak live tensor memory of one forward pass, reported as a counter — the
+// "w/o STBA runs out of memory" half of the Table VI story.
+void BM_BottleneckPeakMemory(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(3);
+  BottleneckAttention attn(kDim, kDim, kRefs, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  int64_t peak = 0;
+  for (auto _ : state) {
+    sstban::core::MemoryTracker::Global().ResetPeak();
+    ag::Variable y = attn.Forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+    peak = sstban::core::MemoryTracker::Global().peak_bytes();
+  }
+  state.counters["peak_MB"] = static_cast<double>(peak) / 1e6;
+}
+BENCHMARK(BM_BottleneckPeakMemory)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_FullAttentionPeakMemory(benchmark::State& state) {
+  int64_t len = state.range(0);
+  sstban::core::Rng rng(3);
+  FullSelfAttention attn(kDim, kDim, kHeads, rng);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{1, len, kDim}, rng));
+  int64_t peak = 0;
+  for (auto _ : state) {
+    sstban::core::MemoryTracker::Global().ResetPeak();
+    ag::Variable y = attn.Forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+    peak = sstban::core::MemoryTracker::Global().peak_bytes();
+  }
+  state.counters["peak_MB"] = static_cast<double>(peak) / 1e6;
+}
+BENCHMARK(BM_FullAttentionPeakMemory)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces Fig. 6: robustness to corrupted training data. Gaussian noise
+// (the paper uses mean 10, std 500 on the flow scale) is added to 10%, 30%
+// and 90% of the *training* inputs while validation/test stay clean, and
+// SSTBAN / GMAN / DMSTGCN are retrained on each corrupted copy. The paper's
+// finding: SSTBAN stays the most accurate at every corruption level —
+// the denoising character of masked reconstruction buys robustness.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/experiment.h"
+#include "data/corruption.h"
+
+int main() {
+  using namespace sstban::bench;
+  PrintHeader("Figure 6 - robustness to noisy training data");
+  const std::vector<std::string> models = {"SSTBAN", "GMAN", "DMSTGCN"};
+  const std::vector<double> fractions = {0.1, 0.3, 0.9};
+  Scenario clean = MakeScenario("pems08", 36);
+  // Noise is injected only into the time range training windows can read.
+  int64_t train_end = clean.split.train.back() + clean.steps;
+
+  std::printf("\n--- %s, noise N(10, 500) on a fraction of training inputs ---\n",
+              clean.name.c_str());
+  std::printf("%-10s %12s", "model", "clean");
+  for (double f : fractions) std::printf(" %11.0f%%", 100 * f);
+  std::printf("   (test MAE)\n");
+  for (const std::string& model : models) {
+    std::printf("%-10s", model.c_str());
+    RunResult base = RunModel(model, clean);
+    std::printf(" %12.2f", base.test.mae);
+    std::fflush(stdout);
+    for (double fraction : fractions) {
+      Scenario noisy = clean;
+      noisy.dataset = std::make_shared<sstban::data::TrafficDataset>(
+          sstban::data::AddGaussianNoise(*clean.dataset, fraction, 10.0f, 500.0f,
+                                         0, train_end, /*seed=*/555));
+      noisy.windows = std::make_shared<sstban::data::WindowDataset>(
+          noisy.dataset, clean.steps, clean.steps);
+      RunResult result = RunModel(model, noisy);
+      std::printf(" %12.2f", result.test.mae);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n>> expectation: all models degrade as more inputs are corrupted; "
+      "SSTBAN degrades\n   the least and stays best at every noise level "
+      "(Fig. 6).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#ifndef SSTBAN_BENCH_COMMON_EXPERIMENT_H_
+#define SSTBAN_BENCH_COMMON_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "training/trainer.h"
+
+namespace sstban::bench {
+
+// Global effort knob, read from the SSTBAN_BENCH_SCALE environment variable:
+//   smoke  - minutes-scale sanity pass (1 epoch, few windows)
+//   quick  - the default; every table/figure in tens of minutes total
+//   full   - larger worlds and more epochs for tighter numbers
+enum class BenchScale { kSmoke, kQuick, kFull };
+BenchScale GetBenchScale();
+const char* BenchScaleName(BenchScale scale);
+
+// A fully materialized experiment scenario: world + windows + split + stats.
+struct Scenario {
+  std::string name;  // e.g. "seattle-36"
+  std::shared_ptr<data::TrafficDataset> dataset;
+  std::shared_ptr<data::WindowDataset> windows;
+  data::SplitIndices split;
+  data::Normalizer normalizer;
+  int64_t steps = 0;  // P = Q
+  // Feature channel used for reported metrics: the Seattle world inputs
+  // (flow, speed, occupancy) but Table IV reports *speed* errors.
+  int target_feature = -1;
+};
+
+// Builds the "<dataset>-<steps>" scenario ("seattle"/"pems04"/"pems08" x
+// 24/36/48) at the current bench scale. Train/val/test window lists are
+// already subsampled to the scale's budget.
+Scenario MakeScenario(const std::string& dataset, int64_t steps);
+
+// The models of Tables IV/V in paper order. "ALL" is the full list.
+std::vector<std::string> TableModelNames();
+
+// Instantiates a model by its table name for the scenario. Understands the
+// special names "SSTBAN-noSTBA" (Table VI ablation) and mask-strategy
+// variants "SSTBAN-spaceonly" / "SSTBAN-timeonly" (Fig. 9).
+std::unique_ptr<training::TrafficModel> MakeModel(const std::string& name,
+                                                  const Scenario& scenario);
+
+// Result of one (model, scenario) run.
+struct RunResult {
+  std::string model;
+  training::Metrics test;
+  std::vector<training::Metrics> per_horizon;  // filled when requested
+  training::TrainStats train_stats;
+  double inference_seconds = 0.0;
+};
+
+// Trains (or fits) the model with the paper's protocol at bench scale and
+// evaluates on the scenario's test windows.
+RunResult RunModel(const std::string& name, const Scenario& scenario,
+                   bool per_horizon = false);
+
+// As above but with externally overridden train indices / datasets (the
+// robustness figures re-split or corrupt the data).
+RunResult RunModelWithSplit(const std::string& name, const Scenario& scenario,
+                            const data::SplitIndices& split,
+                            bool per_horizon = false);
+
+// -- Reporting ----------------------------------------------------------------
+
+// Paper-reported metric triple for side-by-side printing.
+struct PaperRef {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;
+  bool present = false;
+};
+
+// Looks up the paper's Table IV/V value for (dataset, steps, model); the
+// tables are embedded verbatim from the publication.
+PaperRef PaperTableValue(const std::string& dataset, int64_t steps,
+                         const std::string& model);
+
+// Prints one aligned table row: model, measured metrics, paper metrics.
+void PrintHeader(const std::string& title);
+void PrintComparisonHeader();
+void PrintComparisonRow(const std::string& model,
+                        const training::Metrics& measured,
+                        const PaperRef& paper);
+void PrintRankSummary(const std::vector<RunResult>& results,
+                      const std::string& scenario_name);
+
+}  // namespace sstban::bench
+
+#endif  // SSTBAN_BENCH_COMMON_EXPERIMENT_H_

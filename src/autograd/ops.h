@@ -1,0 +1,106 @@
+#ifndef SSTBAN_AUTOGRAD_OPS_H_
+#define SSTBAN_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace sstban::autograd {
+
+// Differentiable counterparts of the tensor layer. Each op computes its
+// forward value eagerly and, when gradients are enabled and any input
+// requires them, records a backward closure on the graph. Elementwise binary
+// ops broadcast under NumPy rules (their backward reduces gradients back to
+// the operand shapes).
+
+// -- Elementwise binary -------------------------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// -- Scalar ---------------------------------------------------------------
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+
+// -- Elementwise unary --------------------------------------------------------
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Abs(const Variable& a);
+Variable Square(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+// Smooth ReLU: log(1 + e^x), numerically stable for large |x|.
+Variable Softplus(const Variable& a);
+// Gaussian error linear unit (tanh approximation).
+Variable Gelu(const Variable& a);
+
+// -- Matrix products ----------------------------------------------------------
+// [M, K] x [K, N] -> [M, N].
+Variable Matmul(const Variable& a, const Variable& b);
+// Batched [B, M, K] x [B, K, N] -> [B, M, N]; transpose flags apply to the
+// trailing two axes (see tensor::Bmm).
+Variable Bmm(const Variable& a, const Variable& b, bool transpose_a = false,
+             bool transpose_b = false);
+
+// -- Shape / movement ----------------------------------------------------
+Variable Reshape(const Variable& a, tensor::Shape new_shape);
+Variable Permute(const Variable& a, const std::vector<int>& perm);
+Variable Concat(const std::vector<Variable>& parts, int axis);
+Variable Slice(const Variable& a, int axis, int64_t start, int64_t length);
+
+// -- Reductions -----------------------------------------------------------
+Variable Sum(const Variable& a, int axis, bool keepdim = false);
+Variable Mean(const Variable& a, int axis, bool keepdim = false);
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+
+// -- Softmax --------------------------------------------------------------
+// Numerically stable softmax along the last axis.
+Variable Softmax(const Variable& a);
+// Softmax of (a + additive_mask); the mask is a constant (no grad flows into
+// it). Use large negative entries (e.g. -1e9) to exclude keys, matching the
+// paper's "set masked values to -inf in the softmax input".
+Variable SoftmaxWithMask(const Variable& a, const tensor::Tensor& additive_mask);
+
+// -- Regularization -------------------------------------------------------
+// Inverted dropout: keeps elements with probability 1-p and rescales by
+// 1/(1-p). Identity when !training or p == 0.
+Variable Dropout(const Variable& a, float p, core::Rng& rng, bool training);
+
+// -- Embedding / gather -----------------------------------------------------
+// Selects rows of `weight` ([V, d]) by index: result [indices.size(), d].
+// Backward scatter-adds into the weight gradient.
+Variable EmbeddingLookup(const Variable& weight,
+                         const std::vector<int64_t>& indices);
+
+// -- Temporal convolution -----------------------------------------------------
+// 1-D "valid" convolution along the middle (time) axis.
+//   input  [B, T, C_in], weight [K, C_in, C_out], optional bias [C_out]
+//   output [B, T - (K-1)*dilation, C_out]
+// Used by the dilated-TCN baselines (Graph WaveNet, DMSTGCN).
+Variable Conv1dTime(const Variable& input, const Variable& weight,
+                    const Variable& bias, int64_t dilation = 1);
+
+// -- Losses ---------------------------------------------------------------
+// Mean absolute error over all elements.
+Variable MaeLoss(const Variable& pred, const Variable& target);
+// Mean squared error over all elements.
+Variable MseLoss(const Variable& pred, const Variable& target);
+// Huber / smooth-L1: quadratic within |e| <= delta, linear outside.
+Variable HuberLoss(const Variable& pred, const Variable& target,
+                   float delta = 1.0f);
+// Masked MAE, the traffic-forecasting community's standard loss for data
+// with zero-filled gaps: entries whose |target| <= threshold are excluded
+// from the mean. The mask is a constant (no gradient flows through it).
+Variable MaskedMaeLoss(const Variable& pred, const Variable& target,
+                       float threshold = 1e-1f);
+
+}  // namespace sstban::autograd
+
+#endif  // SSTBAN_AUTOGRAD_OPS_H_

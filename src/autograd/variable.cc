@@ -1,0 +1,95 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace sstban::autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+void Node::AccumulateGrad(const tensor::Tensor& g) {
+  SSTBAN_CHECK(g.shape() == value.shape())
+      << "gradient shape" << g.shape().ToString() << "does not match value shape"
+      << value.shape().ToString() << "for op" << op;
+  if (!grad.defined()) {
+    grad = g.Clone();
+    return;
+  }
+  float* pg = grad.data();
+  const float* pn = g.data();
+  int64_t n = grad.size();
+  for (int64_t i = 0; i < n; ++i) pg[i] += pn[i];
+}
+
+const tensor::Tensor& Variable::value() const {
+  SSTBAN_CHECK(defined());
+  return node_->value;
+}
+
+tensor::Tensor& Variable::mutable_value() {
+  SSTBAN_CHECK(defined());
+  return node_->value;
+}
+
+const tensor::Tensor& Variable::grad() const {
+  SSTBAN_CHECK(defined());
+  SSTBAN_CHECK(node_->grad.defined()) << "no gradient accumulated for" << node_->op;
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+bool Variable::requires_grad() const { return defined() && node_->requires_grad; }
+
+Variable Variable::Detach() const {
+  SSTBAN_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+void Variable::ZeroGrad() {
+  SSTBAN_CHECK(defined());
+  node_->grad = tensor::Tensor();
+}
+
+void Variable::Backward() {
+  SSTBAN_CHECK(defined());
+  SSTBAN_CHECK_EQ(size(), 1) << "Backward() requires a scalar output";
+  // Topological order via iterative post-order DFS over requiring parents.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  node_->AccumulateGrad(tensor::Tensor::Ones(value().shape()));
+  // Reverse topological order: every node sees its full gradient before
+  // propagating to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->grad.defined()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+}  // namespace sstban::autograd

@@ -1,0 +1,98 @@
+#ifndef SSTBAN_AUTOGRAD_VARIABLE_H_
+#define SSTBAN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sstban::autograd {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+// A node of the dynamic computation graph: the forward value, the
+// accumulated gradient, the parent nodes the value was computed from, and a
+// closure that propagates this node's gradient into the parents.
+class Node {
+ public:
+  Node(tensor::Tensor value, bool requires_grad, std::string op)
+      : value(std::move(value)), requires_grad(requires_grad), op(std::move(op)) {}
+
+  tensor::Tensor value;
+  tensor::Tensor grad;  // allocated lazily on first accumulation
+  bool requires_grad;
+  std::string op;
+  std::vector<NodePtr> parents;
+  // Propagates `grad` into the parents. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  // grad += g, allocating a zero grad on first use.
+  void AccumulateGrad(const tensor::Tensor& g);
+};
+
+// Handle to a graph node. Variables are cheap to copy (shared_ptr
+// semantics). Operations on Variables (see autograd/ops.h) record the graph
+// when gradients are enabled and any input requires them.
+class Variable {
+ public:
+  // An undefined variable; defined() is false.
+  Variable() = default;
+
+  // Wraps a tensor as a graph leaf.
+  explicit Variable(tensor::Tensor value, bool requires_grad = false)
+      : node_(std::make_shared<Node>(std::move(value), requires_grad, "leaf")) {}
+
+  // Internal: wraps an existing node.
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const tensor::Tensor& value() const;
+  tensor::Tensor& mutable_value();
+  const tensor::Tensor& grad() const;
+  bool has_grad() const;
+  bool requires_grad() const;
+
+  const tensor::Shape& shape() const { return value().shape(); }
+  int rank() const { return value().rank(); }
+  int64_t dim(int i) const { return value().dim(i); }
+  int64_t size() const { return value().size(); }
+  float item() const { return value().item(); }
+
+  // A leaf sharing this variable's value but cut off from the graph.
+  Variable Detach() const;
+
+  // Clears the accumulated gradient (leaves keep requiring grad).
+  void ZeroGrad();
+
+  // Reverse-mode sweep from this (scalar) variable: seeds d(this)/d(this)=1
+  // and accumulates gradients into every reachable node that requires them.
+  void Backward();
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+// Disables graph recording while alive (like torch.no_grad()). Ops executed
+// under the guard produce detached results; use for evaluation loops.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool GradEnabled();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace sstban::autograd
+
+#endif  // SSTBAN_AUTOGRAD_VARIABLE_H_

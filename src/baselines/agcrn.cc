@@ -1,0 +1,81 @@
+#include "baselines/agcrn.h"
+
+#include "autograd/ops.h"
+#include "baselines/common.h"
+#include "core/check.h"
+#include "nn/init.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+AgcrnLite::AgcrnLite(int64_t num_nodes, int64_t num_features,
+                     int64_t output_len, int64_t hidden_dim, int64_t embed_dim,
+                     uint64_t seed)
+    : num_nodes_(num_nodes),
+      num_features_(num_features),
+      output_len_(output_len),
+      hidden_dim_(hidden_dim),
+      rng_(seed) {
+  node_emb_ = RegisterParameter(
+      "node_emb",
+      t::Tensor::RandomNormal(t::Shape{num_nodes, embed_dim}, rng_, 0.0f, 0.1f));
+  int64_t conv_in = num_features + hidden_dim;
+  gates_proj_ = std::make_unique<nn::Linear>(conv_in, 2 * hidden_dim, rng_);
+  gates_node_bias_ = std::make_unique<nn::Linear>(embed_dim, 2 * hidden_dim, rng_);
+  candidate_proj_ = std::make_unique<nn::Linear>(conv_in, hidden_dim, rng_);
+  candidate_node_bias_ = std::make_unique<nn::Linear>(embed_dim, hidden_dim, rng_);
+  head_ = std::make_unique<nn::Linear>(hidden_dim, output_len * num_features, rng_);
+  RegisterModule("gates_proj", gates_proj_.get());
+  RegisterModule("gates_node_bias", gates_node_bias_.get());
+  RegisterModule("candidate_proj", candidate_proj_.get());
+  RegisterModule("candidate_node_bias", candidate_node_bias_.get());
+  RegisterModule("head", head_.get());
+}
+
+ag::Variable AgcrnLite::AdaptiveConv(const ag::Variable& x,
+                                     const ag::Variable& adjacency,
+                                     const nn::Linear& proj,
+                                     const nn::Linear& node_bias) const {
+  ag::Variable mixed = SupportMatmul(adjacency, x);  // [B, N, F]
+  ag::Variable shared = proj.Forward(mixed);
+  // Node-adaptive bias generated from the node embedding, broadcast over
+  // the batch: [N, out] -> [1, N, out].
+  ag::Variable bias = node_bias.Forward(node_emb_);
+  bias = ag::Reshape(bias, t::Shape{1, num_nodes_, bias.dim(1)});
+  return ag::Add(shared, bias);
+}
+
+ag::Variable AgcrnLite::Predict(const tensor::Tensor& x_norm,
+                                const data::Batch& batch) {
+  int64_t batch_size = x_norm.dim(0), p = x_norm.dim(1);
+  SSTBAN_CHECK_EQ(x_norm.dim(2), num_nodes_);
+  SSTBAN_CHECK_EQ(batch.output_len(), output_len_);
+
+  ag::Variable adjacency = AdaptiveAdjacency(node_emb_, node_emb_);
+  ag::Variable x(x_norm);
+  ag::Variable h(
+      t::Tensor::Zeros(t::Shape{batch_size, num_nodes_, hidden_dim_}));
+  for (int64_t step = 0; step < p; ++step) {
+    ag::Variable x_t = ag::Reshape(
+        ag::Slice(x, 1, step, 1), t::Shape{batch_size, num_nodes_, num_features_});
+    ag::Variable cat = ag::Concat({x_t, h}, -1);
+    ag::Variable zr = ag::Sigmoid(
+        AdaptiveConv(cat, adjacency, *gates_proj_, *gates_node_bias_));
+    ag::Variable z = ag::Slice(zr, -1, 0, hidden_dim_);
+    ag::Variable r = ag::Slice(zr, -1, hidden_dim_, hidden_dim_);
+    ag::Variable cat_reset = ag::Concat({x_t, ag::Mul(r, h)}, -1);
+    ag::Variable c = ag::Tanh(AdaptiveConv(cat_reset, adjacency,
+                                           *candidate_proj_,
+                                           *candidate_node_bias_));
+    ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+    h = ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, c));
+  }
+  ag::Variable out = head_->Forward(h);  // [B, N, Q*C]
+  out = ag::Reshape(
+      out, t::Shape{batch_size, num_nodes_, output_len_, num_features_});
+  return ag::Permute(out, {0, 2, 1, 3});
+}
+
+}  // namespace sstban::baselines

@@ -1,0 +1,49 @@
+#ifndef SSTBAN_BASELINES_AGCRN_H_
+#define SSTBAN_BASELINES_AGCRN_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/linear.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// AGCRN-style forecaster (Bai et al. 2020): a GRU whose gate transforms are
+// adaptive graph convolutions over an adjacency inferred from learned node
+// embeddings, plus node-specific biases generated from the same embeddings
+// (the node-adaptive parameter learning idea, in lite form). The final
+// hidden state is projected directly to all Q future steps.
+class AgcrnLite : public training::TrafficModel {
+ public:
+  AgcrnLite(int64_t num_nodes, int64_t num_features, int64_t output_len,
+            int64_t hidden_dim = 16, int64_t embed_dim = 8, uint64_t seed = 17);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  std::string name() const override { return "AGCRN"; }
+
+ private:
+  // Adaptive graph convolution + node-adaptive bias of [B, N, F].
+  autograd::Variable AdaptiveConv(const autograd::Variable& x,
+                                  const autograd::Variable& adjacency,
+                                  const nn::Linear& proj,
+                                  const nn::Linear& node_bias) const;
+
+  int64_t num_nodes_;
+  int64_t num_features_;
+  int64_t output_len_;
+  int64_t hidden_dim_;
+  core::Rng rng_;
+  autograd::Variable node_emb_;  // [N, embed_dim]
+  std::unique_ptr<nn::Linear> gates_proj_;
+  std::unique_ptr<nn::Linear> gates_node_bias_;
+  std::unique_ptr<nn::Linear> candidate_proj_;
+  std::unique_ptr<nn::Linear> candidate_node_bias_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_AGCRN_H_

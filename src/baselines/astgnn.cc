@@ -1,0 +1,88 @@
+#include "baselines/astgnn.h"
+
+#include "autograd/ops.h"
+#include "baselines/common.h"
+#include "core/check.h"
+#include "core/string_util.h"
+#include "nn/init.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+AstgnnLite::AstgnnLite(const graph::TrafficGraph& graph, int64_t num_features,
+                       int64_t input_len, int64_t output_len,
+                       int64_t hidden_dim, int num_layers, int64_t num_heads,
+                       uint64_t seed)
+    : num_nodes_(graph.num_nodes()),
+      num_features_(num_features),
+      input_len_(input_len),
+      output_len_(output_len),
+      hidden_dim_(hidden_dim),
+      rng_(seed),
+      support_(graph.NormalizedAdjacency()) {
+  pos_embedding_ = RegisterParameter(
+      "pos_embedding",
+      t::Tensor::RandomNormal(t::Shape{input_len, hidden_dim}, rng_, 0.0f, 0.1f));
+  input_proj_ = std::make_unique<nn::Linear>(num_features, hidden_dim, rng_);
+  RegisterModule("input_proj", input_proj_.get());
+  for (int l = 0; l < num_layers; ++l) {
+    Layer layer;
+    layer.temporal_attention = std::make_unique<nn::MultiHeadAttention>(
+        hidden_dim, hidden_dim, hidden_dim, num_heads, rng_);
+    layer.graph_proj = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, rng_);
+    layer.norm = std::make_unique<nn::LayerNorm>(hidden_dim);
+    RegisterModule(core::StrFormat("layer%d.attention", l),
+                   layer.temporal_attention.get());
+    RegisterModule(core::StrFormat("layer%d.graph_proj", l),
+                   layer.graph_proj.get());
+    RegisterModule(core::StrFormat("layer%d.norm", l), layer.norm.get());
+    layers_.push_back(std::move(layer));
+  }
+  time_proj_ = std::make_unique<nn::Linear>(input_len, output_len, rng_);
+  output_proj_ = std::make_unique<nn::Linear>(hidden_dim, num_features, rng_);
+  RegisterModule("time_proj", time_proj_.get());
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+ag::Variable AstgnnLite::Predict(const tensor::Tensor& x_norm,
+                                 const data::Batch& batch) {
+  int64_t batch_size = x_norm.dim(0), p = x_norm.dim(1);
+  SSTBAN_CHECK_EQ(p, input_len_);
+  SSTBAN_CHECK_EQ(x_norm.dim(2), num_nodes_);
+  SSTBAN_CHECK_EQ(batch.output_len(), output_len_);
+
+  ag::Variable x(x_norm);
+  ag::Variable h = input_proj_->Forward(x);  // [B, P, N, d]
+  // Temporal positional embedding, broadcast over batch and nodes.
+  ag::Variable pos =
+      ag::Reshape(pos_embedding_, t::Shape{1, input_len_, 1, hidden_dim_});
+  h = ag::Add(h, pos);
+
+  for (const Layer& layer : layers_) {
+    // Temporal self-attention per node: [B, P, N, d] -> [B*N, P, d].
+    ag::Variable seq = ag::Permute(h, {0, 2, 1, 3});
+    seq = ag::Reshape(seq, t::Shape{batch_size * num_nodes_, p, hidden_dim_});
+    ag::Variable attended = layer.temporal_attention->Forward(seq, seq, seq);
+    attended = ag::Reshape(attended,
+                           t::Shape{batch_size, num_nodes_, p, hidden_dim_});
+    attended = ag::Permute(attended, {0, 2, 1, 3});  // [B, P, N, d]
+
+    // Graph convolution per time slice: fold (B, P) into the batch.
+    ag::Variable slices = ag::Reshape(
+        attended, t::Shape{batch_size * p, num_nodes_, hidden_dim_});
+    ag::Variable mixed = layer.graph_proj->Forward(SupportMatmul(support_, slices));
+    mixed = ag::Reshape(mixed, t::Shape{batch_size, p, num_nodes_, hidden_dim_});
+
+    h = layer.norm->Forward(ag::Add(h, ag::Relu(mixed)));
+  }
+
+  // Time-axis projection P -> Q per (node, channel).
+  ag::Variable swapped = ag::Permute(h, {0, 2, 3, 1});  // [B, N, d, P]
+  ag::Variable mapped = time_proj_->Forward(swapped);   // [B, N, d, Q]
+  mapped = ag::Permute(mapped, {0, 3, 1, 2});           // [B, Q, N, d]
+  return output_proj_->Forward(mapped);                 // [B, Q, N, C]
+}
+
+}  // namespace sstban::baselines

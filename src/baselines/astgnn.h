@@ -1,0 +1,55 @@
+#ifndef SSTBAN_BASELINES_ASTGNN_H_
+#define SSTBAN_BASELINES_ASTGNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/traffic_graph.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// ASTGNN-style forecaster (Guo et al. 2021): layers of full (quadratic)
+// temporal self-attention per node combined with graph convolution per time
+// slice, with residual connections and layer norm. A learned positional
+// embedding supplies temporal order; the head maps the P-step latent to all
+// Q future steps with a linear time-axis projection.
+class AstgnnLite : public training::TrafficModel {
+ public:
+  AstgnnLite(const graph::TrafficGraph& graph, int64_t num_features,
+             int64_t input_len, int64_t output_len, int64_t hidden_dim = 16,
+             int num_layers = 2, int64_t num_heads = 4, uint64_t seed = 23);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  std::string name() const override { return "ASTGNN"; }
+
+ private:
+  struct Layer {
+    std::unique_ptr<nn::MultiHeadAttention> temporal_attention;
+    std::unique_ptr<nn::Linear> graph_proj;
+    std::unique_ptr<nn::LayerNorm> norm;
+  };
+
+  int64_t num_nodes_;
+  int64_t num_features_;
+  int64_t input_len_;
+  int64_t output_len_;
+  int64_t hidden_dim_;
+  core::Rng rng_;
+  autograd::Variable support_;        // normalized adjacency (constant)
+  autograd::Variable pos_embedding_;  // [P, d]
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::Linear> time_proj_;    // P -> Q along the time axis
+  std::unique_ptr<nn::Linear> output_proj_;  // d -> C
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_ASTGNN_H_

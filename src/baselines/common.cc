@@ -1,0 +1,33 @@
+#include "baselines/common.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+ag::Variable SupportMatmul(const ag::Variable& support, const ag::Variable& x) {
+  SSTBAN_CHECK_EQ(support.rank(), 2);
+  SSTBAN_CHECK_EQ(x.rank(), 3);
+  int64_t n = support.dim(0);
+  SSTBAN_CHECK_EQ(support.dim(1), n);
+  SSTBAN_CHECK_EQ(x.dim(1), n);
+  int64_t batch = x.dim(0), feats = x.dim(2);
+  // [B, N, F] -> [N, B*F]
+  ag::Variable folded = ag::Permute(x, {1, 0, 2});
+  folded = ag::Reshape(folded, t::Shape{n, batch * feats});
+  ag::Variable mixed = ag::Matmul(support, folded);  // [N, B*F]
+  mixed = ag::Reshape(mixed, t::Shape{n, batch, feats});
+  return ag::Permute(mixed, {1, 0, 2});
+}
+
+ag::Variable AdaptiveAdjacency(const ag::Variable& e1, const ag::Variable& e2) {
+  SSTBAN_CHECK_EQ(e1.rank(), 2);
+  SSTBAN_CHECK(e1.shape() == e2.shape());
+  ag::Variable scores = ag::Matmul(e1, ag::Permute(e2, {1, 0}));
+  return ag::Softmax(ag::Relu(scores));
+}
+
+}  // namespace sstban::baselines

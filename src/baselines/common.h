@@ -1,0 +1,23 @@
+#ifndef SSTBAN_BASELINES_COMMON_H_
+#define SSTBAN_BASELINES_COMMON_H_
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace sstban::baselines {
+
+// support @ X for every batch element: support [N, N] (a Variable so both
+// fixed graph supports and learned adaptive adjacencies work), x [B, N, F]
+// -> [B, N, F]. Implemented by folding the batch into the feature axis:
+// one [N, N] x [N, B*F] matmul instead of B small ones.
+autograd::Variable SupportMatmul(const autograd::Variable& support,
+                                 const autograd::Variable& x);
+
+// Row-softmax(ReLU(e1 @ e2^T)): the adaptive adjacency construction shared
+// by Graph WaveNet / AGCRN / DMSTGCN. e1, e2: [N, r] -> [N, N].
+autograd::Variable AdaptiveAdjacency(const autograd::Variable& e1,
+                                     const autograd::Variable& e2);
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_COMMON_H_

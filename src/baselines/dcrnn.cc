@@ -1,0 +1,101 @@
+#include "baselines/dcrnn.h"
+
+#include "autograd/ops.h"
+#include "baselines/common.h"
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+DcGruCell::DcGruCell(int64_t input_dim, int64_t hidden_dim,
+                     std::vector<ag::Variable> supports, core::Rng& rng)
+    : hidden_dim_(hidden_dim), supports_(std::move(supports)) {
+  SSTBAN_CHECK(!supports_.empty());
+  int64_t conv_in = (input_dim + hidden_dim) * static_cast<int64_t>(supports_.size());
+  gates_proj_ = std::make_unique<nn::Linear>(conv_in, 2 * hidden_dim, rng);
+  candidate_proj_ = std::make_unique<nn::Linear>(conv_in, hidden_dim, rng);
+  RegisterModule("gates_proj", gates_proj_.get());
+  RegisterModule("candidate_proj", candidate_proj_.get());
+}
+
+ag::Variable DcGruCell::DiffusionConv(const ag::Variable& x,
+                                      const nn::Linear& proj) const {
+  std::vector<ag::Variable> diffused;
+  diffused.reserve(supports_.size());
+  for (const auto& support : supports_) {
+    diffused.push_back(SupportMatmul(support, x));
+  }
+  return proj.Forward(ag::Concat(diffused, -1));
+}
+
+ag::Variable DcGruCell::Forward(const ag::Variable& x,
+                                const ag::Variable& h) const {
+  ag::Variable cat = ag::Concat({x, h}, -1);  // [B, N, F+H]
+  ag::Variable zr = ag::Sigmoid(DiffusionConv(cat, *gates_proj_));
+  ag::Variable z = ag::Slice(zr, -1, 0, hidden_dim_);
+  ag::Variable r = ag::Slice(zr, -1, hidden_dim_, hidden_dim_);
+  ag::Variable cat_reset = ag::Concat({x, ag::Mul(r, h)}, -1);
+  ag::Variable c = ag::Tanh(DiffusionConv(cat_reset, *candidate_proj_));
+  ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, c));
+}
+
+DcrnnLite::DcrnnLite(const graph::TrafficGraph& graph, int64_t num_features,
+                     int64_t hidden_dim, uint64_t seed)
+    : num_nodes_(graph.num_nodes()),
+      num_features_(num_features),
+      hidden_dim_(hidden_dim),
+      rng_(seed) {
+  int64_t n = num_nodes_;
+  std::vector<ag::Variable> supports;
+  tensor::Tensor identity = tensor::Tensor::Zeros(t::Shape{n, n});
+  for (int64_t i = 0; i < n; ++i) identity.data()[i * n + i] = 1.0f;
+  supports.emplace_back(identity);
+  supports.emplace_back(graph.RandomWalkMatrix(/*reverse=*/false));
+  supports.emplace_back(graph.RandomWalkMatrix(/*reverse=*/true));
+
+  encoder_cell_ =
+      std::make_unique<DcGruCell>(num_features, hidden_dim, supports, rng_);
+  decoder_cell_ =
+      std::make_unique<DcGruCell>(num_features, hidden_dim, supports, rng_);
+  output_proj_ = std::make_unique<nn::Linear>(hidden_dim, num_features, rng_);
+  RegisterModule("encoder_cell", encoder_cell_.get());
+  RegisterModule("decoder_cell", decoder_cell_.get());
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+ag::Variable DcrnnLite::Predict(const tensor::Tensor& x_norm,
+                                const data::Batch& batch) {
+  int64_t batch_size = x_norm.dim(0), p = x_norm.dim(1);
+  SSTBAN_CHECK_EQ(x_norm.dim(2), num_nodes_);
+  SSTBAN_CHECK_EQ(x_norm.dim(3), num_features_);
+  int64_t q = batch.output_len();
+
+  ag::Variable x(x_norm);
+  ag::Variable h(
+      t::Tensor::Zeros(t::Shape{batch_size, num_nodes_, hidden_dim_}));
+  for (int64_t step = 0; step < p; ++step) {
+    ag::Variable x_t = ag::Reshape(
+        ag::Slice(x, 1, step, 1), t::Shape{batch_size, num_nodes_, num_features_});
+    h = encoder_cell_->Forward(x_t, h);
+  }
+
+  // Decoder: start from a zero "GO" frame, feed back own predictions.
+  ag::Variable prev(
+      t::Tensor::Zeros(t::Shape{batch_size, num_nodes_, num_features_}));
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(q);
+  for (int64_t step = 0; step < q; ++step) {
+    h = decoder_cell_->Forward(prev, h);
+    ag::Variable y_t = output_proj_->Forward(h);  // [B, N, C]
+    outputs.push_back(
+        ag::Reshape(y_t, t::Shape{batch_size, 1, num_nodes_, num_features_}));
+    prev = y_t;
+  }
+  return ag::Concat(outputs, 1);  // [B, Q, N, C]
+}
+
+}  // namespace sstban::baselines

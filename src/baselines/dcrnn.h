@@ -1,0 +1,64 @@
+#ifndef SSTBAN_BASELINES_DCRNN_H_
+#define SSTBAN_BASELINES_DCRNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/traffic_graph.h"
+#include "nn/linear.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// Diffusion-convolutional GRU cell: the GRU gate matmuls are replaced by
+// graph diffusion over {I, D_o^{-1}A, D_i^{-1}A^T} supports (DCRNN, Li et
+// al. 2018).
+class DcGruCell : public nn::Module {
+ public:
+  DcGruCell(int64_t input_dim, int64_t hidden_dim,
+            std::vector<autograd::Variable> supports, core::Rng& rng);
+
+  // x: [B, N, input_dim], h: [B, N, hidden_dim] -> [B, N, hidden_dim].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  // Diffusion convolution of [B, N, F]: concat over supports then project.
+  autograd::Variable DiffusionConv(const autograd::Variable& x,
+                                   const nn::Linear& proj) const;
+
+  int64_t hidden_dim_;
+  std::vector<autograd::Variable> supports_;  // constant [N, N] matrices
+  std::unique_ptr<nn::Linear> gates_proj_;      // -> [z | r]
+  std::unique_ptr<nn::Linear> candidate_proj_;  // -> c
+};
+
+// Sequence-to-sequence DCRNN-style forecaster: a DCGRU encoder consumes the
+// P input steps, a DCGRU decoder unrolls Q steps feeding back its own
+// predictions (no scheduled sampling in this lite version).
+class DcrnnLite : public training::TrafficModel {
+ public:
+  DcrnnLite(const graph::TrafficGraph& graph, int64_t num_features,
+            int64_t hidden_dim, uint64_t seed = 11);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  std::string name() const override { return "DCRNN"; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t num_features_;
+  int64_t hidden_dim_;
+  core::Rng rng_;
+  std::unique_ptr<DcGruCell> encoder_cell_;
+  std::unique_ptr<DcGruCell> decoder_cell_;
+  std::unique_ptr<nn::Linear> output_proj_;
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_DCRNN_H_

@@ -1,0 +1,129 @@
+#include "baselines/dmstgcn.h"
+
+#include "autograd/ops.h"
+#include "baselines/common.h"
+#include "core/check.h"
+#include "core/string_util.h"
+#include "nn/init.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+DmstgcnLite::DmstgcnLite(int64_t num_nodes, int64_t num_features,
+                         int64_t output_len, int64_t steps_per_day,
+                         int64_t channels, int num_layers, uint64_t seed)
+    : num_nodes_(num_nodes),
+      num_features_(num_features),
+      output_len_(output_len),
+      channels_(channels),
+      rank_(8),
+      rng_(seed) {
+  source_factors_ = RegisterParameter(
+      "source_factors",
+      t::Tensor::RandomNormal(t::Shape{num_nodes, rank_}, rng_, 0.0f, 0.1f));
+  target_factors_ = RegisterParameter(
+      "target_factors",
+      t::Tensor::RandomNormal(t::Shape{num_nodes, rank_}, rng_, 0.0f, 0.1f));
+  tod_factors_ = RegisterParameter(
+      "tod_factors",
+      t::Tensor::RandomNormal(t::Shape{steps_per_day, rank_}, rng_, 1.0f, 0.1f));
+  input_proj_ = std::make_unique<nn::Linear>(num_features, channels_, rng_);
+  RegisterModule("input_proj", input_proj_.get());
+  int64_t dilation = 1;
+  for (int l = 0; l < num_layers; ++l) {
+    Layer layer;
+    layer.dilation = dilation;
+    dilation *= 2;
+    layer.filter_w = RegisterParameter(
+        core::StrFormat("layer%d.filter_w", l),
+        nn::XavierUniform(t::Shape{2, channels_, channels_}, rng_));
+    layer.filter_b = RegisterParameter(core::StrFormat("layer%d.filter_b", l),
+                                       t::Tensor::Zeros(t::Shape{channels_}));
+    layer.gate_w = RegisterParameter(
+        core::StrFormat("layer%d.gate_w", l),
+        nn::XavierUniform(t::Shape{2, channels_, channels_}, rng_));
+    layer.gate_b = RegisterParameter(core::StrFormat("layer%d.gate_b", l),
+                                     t::Tensor::Zeros(t::Shape{channels_}));
+    layer.graph_proj = std::make_unique<nn::Linear>(channels_, channels_, rng_);
+    layer.skip_proj = std::make_unique<nn::Linear>(channels_, channels_, rng_);
+    RegisterModule(core::StrFormat("layer%d.graph_proj", l),
+                   layer.graph_proj.get());
+    RegisterModule(core::StrFormat("layer%d.skip_proj", l),
+                   layer.skip_proj.get());
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_unique<nn::Linear>(channels_, output_len * num_features, rng_);
+  RegisterModule("head", head_.get());
+}
+
+ag::Variable DmstgcnLite::DynamicAdjacency(const data::Batch& batch,
+                                           int64_t batch_size) const {
+  // Time-of-day of each sample's last input slice selects the modulation.
+  int64_t p = batch.input_len();
+  std::vector<int64_t> tod(batch_size);
+  for (int64_t b = 0; b < batch_size; ++b) {
+    tod[b] = batch.tod_in[b * p + (p - 1)];
+  }
+  ag::Variable k = ag::EmbeddingLookup(tod_factors_, tod);  // [B, r]
+  k = ag::Reshape(k, t::Shape{batch_size, 1, rank_});
+  // U modulated per sample: [1, N, r] * [B, 1, r] -> [B, N, r].
+  ag::Variable u = ag::Reshape(source_factors_, t::Shape{1, num_nodes_, rank_});
+  ag::Variable u_mod = ag::Mul(u, k);
+  // V tiled across the batch via broadcasting-add.
+  ag::Variable v = ag::Reshape(target_factors_, t::Shape{1, num_nodes_, rank_});
+  ag::Variable v_tiled =
+      ag::Add(v, ag::Variable(t::Tensor::Zeros(t::Shape{batch_size, num_nodes_, rank_})));
+  ag::Variable scores = ag::Bmm(u_mod, v_tiled, /*transpose_a=*/false,
+                                /*transpose_b=*/true);  // [B, N, N]
+  return ag::Softmax(ag::Relu(scores));
+}
+
+ag::Variable DmstgcnLite::Predict(const tensor::Tensor& x_norm,
+                                  const data::Batch& batch) {
+  int64_t batch_size = x_norm.dim(0), p = x_norm.dim(1);
+  SSTBAN_CHECK_EQ(x_norm.dim(2), num_nodes_);
+  SSTBAN_CHECK_EQ(batch.output_len(), output_len_);
+
+  ag::Variable adjacency = DynamicAdjacency(batch, batch_size);  // [B, N, N]
+
+  ag::Variable x(x_norm);
+  ag::Variable h = ag::Permute(x, {0, 2, 1, 3});
+  h = ag::Reshape(h, t::Shape{batch_size * num_nodes_, p, num_features_});
+  h = input_proj_->Forward(h);
+
+  ag::Variable skip_sum;
+  int64_t time = p;
+  for (const Layer& layer : layers_) {
+    SSTBAN_CHECK_GT(time - layer.dilation, 0);
+    ag::Variable filter =
+        ag::Conv1dTime(h, layer.filter_w, layer.filter_b, layer.dilation);
+    ag::Variable gate =
+        ag::Conv1dTime(h, layer.gate_w, layer.gate_b, layer.dilation);
+    ag::Variable conv = ag::Mul(ag::Tanh(filter), ag::Sigmoid(gate));
+    int64_t new_time = time - layer.dilation;
+
+    // Dynamic graph convolution: batched [B, N, N] x [B, N, T*R].
+    ag::Variable folded = ag::Reshape(
+        conv, t::Shape{batch_size, num_nodes_, new_time * channels_});
+    ag::Variable mixed = ag::Bmm(adjacency, folded);
+    mixed = ag::Reshape(
+        mixed, t::Shape{batch_size * num_nodes_, new_time, channels_});
+    ag::Variable gc = layer.graph_proj->Forward(mixed);
+
+    ag::Variable residual = ag::Slice(h, 1, layer.dilation, new_time);
+    h = ag::Add(gc, residual);
+    time = new_time;
+
+    ag::Variable skip = layer.skip_proj->Forward(ag::Mean(h, 1));
+    skip_sum = skip_sum.defined() ? ag::Add(skip_sum, skip) : skip;
+  }
+
+  ag::Variable out = head_->Forward(ag::Relu(skip_sum));
+  out = ag::Reshape(
+      out, t::Shape{batch_size, num_nodes_, output_len_, num_features_});
+  return ag::Permute(out, {0, 2, 1, 3});
+}
+
+}  // namespace sstban::baselines

@@ -1,0 +1,62 @@
+#ifndef SSTBAN_BASELINES_DMSTGCN_H_
+#define SSTBAN_BASELINES_DMSTGCN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// DMSTGCN-style forecaster (Han et al. 2021): the defining idea is a
+// *dynamic* spatial dependency — the adjacency is constructed per sample
+// from learned node factors modulated by a time-of-day embedding, so the
+// graph changes through the day. Lite pipeline: gated dilated temporal
+// convolutions interleaved with dynamic-graph convolutions, direct
+// multi-step head.
+class DmstgcnLite : public training::TrafficModel {
+ public:
+  DmstgcnLite(int64_t num_nodes, int64_t num_features, int64_t output_len,
+              int64_t steps_per_day, int64_t channels = 16, int num_layers = 2,
+              uint64_t seed = 19);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  std::string name() const override { return "DMSTGCN"; }
+
+ private:
+  struct Layer {
+    autograd::Variable filter_w;
+    autograd::Variable filter_b;
+    autograd::Variable gate_w;
+    autograd::Variable gate_b;
+    std::unique_ptr<nn::Linear> graph_proj;
+    std::unique_ptr<nn::Linear> skip_proj;
+    int64_t dilation;
+  };
+
+  // Per-sample dynamic adjacency [B, N, N] from the time-of-day of each
+  // sample's final input slice.
+  autograd::Variable DynamicAdjacency(const data::Batch& batch,
+                                      int64_t batch_size) const;
+
+  int64_t num_nodes_;
+  int64_t num_features_;
+  int64_t output_len_;
+  int64_t channels_;
+  int64_t rank_;
+  core::Rng rng_;
+  autograd::Variable source_factors_;  // [N, r]
+  autograd::Variable target_factors_;  // [N, r]
+  autograd::Variable tod_factors_;     // [steps_per_day, r]
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_DMSTGCN_H_

@@ -1,0 +1,23 @@
+#include "baselines/gman.h"
+
+namespace sstban::baselines {
+
+GmanLite::GmanLite(sstban::SstbanConfig config) {
+  config.use_bottleneck = false;    // full quadratic ST attention
+  config.self_supervised = false;   // forecasting branch only
+  impl_ = std::make_unique<sstban::SstbanModel>(config);
+  RegisterModule("impl", impl_.get());
+}
+
+autograd::Variable GmanLite::Predict(const tensor::Tensor& x_norm,
+                                     const data::Batch& batch) {
+  return impl_->Predict(x_norm, batch);
+}
+
+autograd::Variable GmanLite::TrainingLoss(const tensor::Tensor& x_norm,
+                                          const tensor::Tensor& y_norm,
+                                          const data::Batch& batch) {
+  return impl_->TrainingLoss(x_norm, y_norm, batch);
+}
+
+}  // namespace sstban::baselines

@@ -1,0 +1,39 @@
+#ifndef SSTBAN_BASELINES_GMAN_H_
+#define SSTBAN_BASELINES_GMAN_H_
+
+#include <memory>
+#include <string>
+
+#include "sstban/model.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// GMAN-style forecaster (Zheng et al. 2020). GMAN's ingredients — spatial
+// + temporal embeddings, full (quadratic) spatial and temporal attention
+// blocks, and transform attention bridging history to future — are exactly
+// the SSTBAN architecture with the bottleneck removed and the
+// self-supervised branch disabled, so this baseline instantiates the core
+// model in that configuration (it is also the Table VI "w/o STBA" degraded
+// variant when the SSL branch is re-enabled).
+class GmanLite : public training::TrafficModel {
+ public:
+  // `config` should describe the scenario; use_bottleneck/self_supervised
+  // are overridden internally.
+  explicit GmanLite(sstban::SstbanConfig config);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+  autograd::Variable TrainingLoss(const tensor::Tensor& x_norm,
+                                  const tensor::Tensor& y_norm,
+                                  const data::Batch& batch) override;
+
+  std::string name() const override { return "GMAN"; }
+
+ private:
+  std::unique_ptr<sstban::SstbanModel> impl_;
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_GMAN_H_

@@ -1,0 +1,118 @@
+#include "baselines/gwnet.h"
+
+#include "autograd/ops.h"
+#include "baselines/common.h"
+#include "core/check.h"
+#include "core/string_util.h"
+#include "nn/init.h"
+
+namespace sstban::baselines {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+GwnetLite::GwnetLite(const graph::TrafficGraph& graph, int64_t num_features,
+                     int64_t output_len, int64_t residual_channels,
+                     int num_layers, uint64_t seed)
+    : num_nodes_(graph.num_nodes()),
+      num_features_(num_features),
+      output_len_(output_len),
+      channels_(residual_channels),
+      rng_(seed),
+      fixed_support_(graph.NormalizedAdjacency()) {
+  const int64_t adaptive_rank = 8;
+  emb1_ = RegisterParameter(
+      "emb1", t::Tensor::RandomNormal(t::Shape{num_nodes_, adaptive_rank}, rng_,
+                                      0.0f, 0.1f));
+  emb2_ = RegisterParameter(
+      "emb2", t::Tensor::RandomNormal(t::Shape{num_nodes_, adaptive_rank}, rng_,
+                                      0.0f, 0.1f));
+  input_proj_ = std::make_unique<nn::Linear>(num_features, channels_, rng_);
+  RegisterModule("input_proj", input_proj_.get());
+  int64_t dilation = 1;
+  for (int l = 0; l < num_layers; ++l) {
+    Layer layer;
+    layer.dilation = dilation;
+    dilation *= 2;
+    layer.filter_w = RegisterParameter(
+        core::StrFormat("layer%d.filter_w", l),
+        nn::XavierUniform(t::Shape{2, channels_, channels_}, rng_));
+    layer.filter_b = RegisterParameter(core::StrFormat("layer%d.filter_b", l),
+                                       t::Tensor::Zeros(t::Shape{channels_}));
+    layer.gate_w = RegisterParameter(
+        core::StrFormat("layer%d.gate_w", l),
+        nn::XavierUniform(t::Shape{2, channels_, channels_}, rng_));
+    layer.gate_b = RegisterParameter(core::StrFormat("layer%d.gate_b", l),
+                                     t::Tensor::Zeros(t::Shape{channels_}));
+    layer.graph_proj = std::make_unique<nn::Linear>(2 * channels_, channels_, rng_);
+    layer.skip_proj = std::make_unique<nn::Linear>(channels_, channels_, rng_);
+    RegisterModule(core::StrFormat("layer%d.graph_proj", l),
+                   layer.graph_proj.get());
+    RegisterModule(core::StrFormat("layer%d.skip_proj", l),
+                   layer.skip_proj.get());
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_unique<nn::Linear>(channels_, output_len * num_features, rng_);
+  RegisterModule("head", head_.get());
+}
+
+ag::Variable GwnetLite::Predict(const tensor::Tensor& x_norm,
+                                const data::Batch& batch) {
+  int64_t batch_size = x_norm.dim(0), p = x_norm.dim(1);
+  SSTBAN_CHECK_EQ(x_norm.dim(2), num_nodes_);
+  SSTBAN_CHECK_EQ(x_norm.dim(3), num_features_);
+  SSTBAN_CHECK_EQ(batch.output_len(), output_len_);
+
+  ag::Variable adaptive = AdaptiveAdjacency(emb1_, emb2_);
+
+  // [B, P, N, C] -> per-node sequences [B*N, P, C].
+  ag::Variable x(x_norm);
+  ag::Variable h = ag::Permute(x, {0, 2, 1, 3});  // [B, N, P, C]
+  h = ag::Reshape(h, t::Shape{batch_size * num_nodes_, p, num_features_});
+  h = input_proj_->Forward(h);  // [B*N, P, R]
+
+  ag::Variable skip_sum;
+  int64_t time = p;
+  for (const Layer& layer : layers_) {
+    SSTBAN_CHECK_GT(time - layer.dilation, 0)
+        << "input too short for GWNet dilation stack";
+    ag::Variable filter =
+        ag::Conv1dTime(h, layer.filter_w, layer.filter_b, layer.dilation);
+    ag::Variable gate =
+        ag::Conv1dTime(h, layer.gate_w, layer.gate_b, layer.dilation);
+    ag::Variable conv = ag::Mul(ag::Tanh(filter), ag::Sigmoid(gate));
+    int64_t new_time = time - layer.dilation;
+
+    // Graph convolution across nodes: fold time into features so every
+    // time slice is mixed by the same [N, N] supports.
+    ag::Variable nodes4 =
+        ag::Reshape(conv, t::Shape{batch_size, num_nodes_, new_time, channels_});
+    ag::Variable folded =
+        ag::Reshape(nodes4, t::Shape{batch_size, num_nodes_, new_time * channels_});
+    ag::Variable mixed_fixed = SupportMatmul(fixed_support_, folded);
+    ag::Variable mixed_adaptive = SupportMatmul(adaptive, folded);
+    auto unfold = [&](const ag::Variable& m) {
+      ag::Variable r = ag::Reshape(
+          m, t::Shape{batch_size, num_nodes_, new_time, channels_});
+      return ag::Reshape(r, t::Shape{batch_size * num_nodes_, new_time, channels_});
+    };
+    ag::Variable gc = layer.graph_proj->Forward(
+        ag::Concat({unfold(mixed_fixed), unfold(mixed_adaptive)}, -1));
+
+    // Residual: crop the layer input to the shortened time axis.
+    ag::Variable residual = ag::Slice(h, 1, layer.dilation, new_time);
+    h = ag::Add(gc, residual);
+    time = new_time;
+
+    // Skip path: mean over the remaining time axis.
+    ag::Variable skip = layer.skip_proj->Forward(ag::Mean(h, 1));  // [B*N, R]
+    skip_sum = skip_sum.defined() ? ag::Add(skip_sum, skip) : skip;
+  }
+
+  ag::Variable out = head_->Forward(ag::Relu(skip_sum));  // [B*N, Q*C]
+  out = ag::Reshape(
+      out, t::Shape{batch_size, num_nodes_, output_len_, num_features_});
+  return ag::Permute(out, {0, 2, 1, 3});  // [B, Q, N, C]
+}
+
+}  // namespace sstban::baselines

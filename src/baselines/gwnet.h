@@ -1,0 +1,54 @@
+#ifndef SSTBAN_BASELINES_GWNET_H_
+#define SSTBAN_BASELINES_GWNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/traffic_graph.h"
+#include "nn/linear.h"
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// Graph WaveNet-style forecaster (Wu et al. 2019): stacked gated dilated
+// causal temporal convolutions interleaved with graph convolutions over a
+// learned adaptive adjacency (plus the fixed graph support), with skip
+// connections into a direct multi-step output head.
+class GwnetLite : public training::TrafficModel {
+ public:
+  GwnetLite(const graph::TrafficGraph& graph, int64_t num_features,
+            int64_t output_len, int64_t residual_channels = 16,
+            int num_layers = 3, uint64_t seed = 13);
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  std::string name() const override { return "GWNet"; }
+
+ private:
+  struct Layer {
+    autograd::Variable filter_w;  // [2, R, R] kernel-2 conv taps
+    autograd::Variable filter_b;  // [R]
+    autograd::Variable gate_w;
+    autograd::Variable gate_b;
+    std::unique_ptr<nn::Linear> graph_proj;  // after node mixing
+    std::unique_ptr<nn::Linear> skip_proj;
+    int64_t dilation;
+  };
+
+  int64_t num_nodes_;
+  int64_t num_features_;
+  int64_t output_len_;
+  int64_t channels_;
+  core::Rng rng_;
+  autograd::Variable fixed_support_;  // normalized adjacency (constant)
+  autograd::Variable emb1_, emb2_;    // adaptive adjacency factors [N, r]
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_GWNET_H_

@@ -1,0 +1,15 @@
+#include "baselines/historical_average.h"
+
+#include "tensor/ops.h"
+
+namespace sstban::baselines {
+
+autograd::Variable HistoricalAverage::Predict(const tensor::Tensor& x_norm,
+                                              const data::Batch& batch) {
+  // Mean over the P axis, repeated Q times.
+  tensor::Tensor mean = tensor::Mean(x_norm, 1, /*keepdim=*/true);
+  tensor::Tensor repeated = tensor::RepeatAxis(mean, 1, batch.output_len());
+  return autograd::Variable(repeated);
+}
+
+}  // namespace sstban::baselines

@@ -1,0 +1,25 @@
+#ifndef SSTBAN_BASELINES_HISTORICAL_AVERAGE_H_
+#define SSTBAN_BASELINES_HISTORICAL_AVERAGE_H_
+
+#include <string>
+
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// HA baseline (§V-B): predicts every future step as the mean of the input
+// window, per node and feature. Closed-form; nothing to train.
+class HistoricalAverage : public training::TrafficModel {
+ public:
+  HistoricalAverage() = default;
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  bool IsTrainable() const override { return false; }
+  std::string name() const override { return "HA"; }
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_HISTORICAL_AVERAGE_H_

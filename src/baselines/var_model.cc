@@ -1,0 +1,105 @@
+#include "baselines/var_model.h"
+
+#include <cstring>
+#include <vector>
+
+#include "core/check.h"
+#include "tensor/linalg.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+
+namespace sstban::baselines {
+
+namespace t = ::sstban::tensor;
+
+VarModel::VarModel(int lag, float ridge) : lag_(lag), ridge_(ridge) {
+  SSTBAN_CHECK_GE(lag_, 1);
+}
+
+void VarModel::Fit(const data::WindowDataset& windows,
+                   const std::vector<int64_t>& train_indices,
+                   const data::Normalizer& normalizer) {
+  SSTBAN_CHECK(!train_indices.empty());
+  const data::TrafficDataset& dataset = windows.dataset();
+  // The training series covers every step any training window can touch.
+  int64_t t_end = train_indices.back() + windows.input_len();
+  t::Tensor series = normalizer.Transform(
+      t::Slice(dataset.signals, 0, 0, t_end));  // [T_train, N, C]
+  int64_t dim = dataset.num_nodes() * dataset.num_features();
+  int64_t steps = series.dim(0);
+  SSTBAN_CHECK_GT(steps, lag_);
+  int64_t rows = steps - lag_;
+  int64_t cols = lag_ * dim + 1;
+
+  // Design matrix X [rows, cols]: lagged vectors newest-first, plus bias.
+  t::Tensor x(t::Shape{rows, cols});
+  t::Tensor y(t::Shape{rows, dim});
+  const float* ps = series.data();
+  float* px = x.data();
+  float* py = y.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t target = r + lag_;
+    for (int l = 0; l < lag_; ++l) {
+      std::memcpy(px + r * cols + l * dim, ps + (target - 1 - l) * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    px[r * cols + cols - 1] = 1.0f;
+    std::memcpy(py + r * dim, ps + target * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+
+  // Ridge normal equations: (X^T X + ridge I) W = X^T Y.
+  t::Tensor xt = t::Transpose(x);
+  t::Tensor gram = t::Matmul(xt, x);
+  float* pg = gram.data();
+  for (int64_t i = 0; i < cols; ++i) pg[i * cols + i] += ridge_;
+  t::Tensor rhs = t::Matmul(xt, y);
+  auto solved = t::CholeskySolve(gram, rhs);
+  SSTBAN_CHECK(solved.ok()) << solved.status().ToString();
+  coeffs_ = solved.value();  // [cols, dim]
+}
+
+autograd::Variable VarModel::Predict(const tensor::Tensor& x_norm,
+                                     const data::Batch& batch) {
+  SSTBAN_CHECK(fitted()) << "VarModel::Predict before Fit";
+  int64_t batch_size = x_norm.dim(0);
+  int64_t p = x_norm.dim(1);
+  int64_t n = x_norm.dim(2), c = x_norm.dim(3);
+  int64_t dim = n * c;
+  int64_t q = batch.output_len();
+  SSTBAN_CHECK_GE(p, lag_);
+  int64_t cols = lag_ * dim + 1;
+
+  t::Tensor pred(t::Shape{batch_size, q, n, c});
+  const float* px = x_norm.data();
+  const float* pw = coeffs_.data();
+  float* pp = pred.data();
+  std::vector<float> history(static_cast<size_t>(lag_ * dim));
+  std::vector<float> next(static_cast<size_t>(dim));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    // history holds the most recent `lag` vectors, newest first.
+    for (int l = 0; l < lag_; ++l) {
+      std::memcpy(history.data() + l * dim, px + (b * p + (p - 1 - l)) * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    for (int64_t step = 0; step < q; ++step) {
+      for (int64_t j = 0; j < dim; ++j) {
+        double acc = pw[(cols - 1) * dim + j];  // intercept
+        for (int64_t i = 0; i < lag_ * dim; ++i) {
+          acc += static_cast<double>(history[i]) * pw[i * dim + j];
+        }
+        next[j] = static_cast<float>(acc);
+      }
+      std::memcpy(pp + (b * q + step) * dim, next.data(),
+                  static_cast<size_t>(dim) * sizeof(float));
+      // Shift the lag buffer: newest first.
+      std::memmove(history.data() + dim, history.data(),
+                   static_cast<size_t>((lag_ - 1) * dim) * sizeof(float));
+      std::memcpy(history.data(), next.data(),
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+  }
+  return autograd::Variable(pred);
+}
+
+}  // namespace sstban::baselines

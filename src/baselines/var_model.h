@@ -1,0 +1,39 @@
+#ifndef SSTBAN_BASELINES_VAR_MODEL_H_
+#define SSTBAN_BASELINES_VAR_MODEL_H_
+
+#include <string>
+
+#include "training/model.h"
+
+namespace sstban::baselines {
+
+// Vector AutoRegression baseline (§V-B). The N*C signal vector is modeled
+// as a linear function of its previous `lag` values:
+//   y_t = A_1 y_{t-1} + ... + A_lag y_{t-lag} + b
+// fit by ridge least squares (closed form via Cholesky) on the normalized
+// training series. Multi-step forecasts roll the model forward recursively.
+class VarModel : public training::TrafficModel {
+ public:
+  explicit VarModel(int lag = 3, float ridge = 1e-2f);
+
+  void Fit(const data::WindowDataset& windows,
+           const std::vector<int64_t>& train_indices,
+           const data::Normalizer& normalizer) override;
+
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  bool IsTrainable() const override { return false; }
+  std::string name() const override { return "VAR"; }
+
+  bool fitted() const { return coeffs_.defined(); }
+
+ private:
+  int lag_;
+  float ridge_;
+  tensor::Tensor coeffs_;  // [lag*D + 1, D], last row is the intercept
+};
+
+}  // namespace sstban::baselines
+
+#endif  // SSTBAN_BASELINES_VAR_MODEL_H_

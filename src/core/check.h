@@ -1,0 +1,49 @@
+#ifndef SSTBAN_CORE_CHECK_H_
+#define SSTBAN_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sstban::core {
+
+// Accumulates a failure message via operator<< and aborts the process when
+// destroyed. Used only through the SSTBAN_CHECK* macros below; CHECK failures
+// indicate programming errors (the library's equivalent of assert, but always
+// on and with context).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace sstban::core
+
+#define SSTBAN_CHECK(condition)                                        \
+  if (condition) {                                                     \
+  } else                                                               \
+    ::sstban::core::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define SSTBAN_CHECK_EQ(a, b) SSTBAN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SSTBAN_CHECK_NE(a, b) SSTBAN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SSTBAN_CHECK_LT(a, b) SSTBAN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SSTBAN_CHECK_LE(a, b) SSTBAN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SSTBAN_CHECK_GT(a, b) SSTBAN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SSTBAN_CHECK_GE(a, b) SSTBAN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // SSTBAN_CORE_CHECK_H_

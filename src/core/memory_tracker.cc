@@ -1,0 +1,28 @@
+#include "core/memory_tracker.h"
+
+namespace sstban::core {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::OnAlloc(int64_t bytes) {
+  int64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  total_.fetch_add(bytes, std::memory_order_relaxed);
+  int64_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak &&
+         !peak_.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::OnFree(int64_t bytes) {
+  live_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_.store(live_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sstban::core

@@ -1,0 +1,40 @@
+#ifndef SSTBAN_CORE_MEMORY_TRACKER_H_
+#define SSTBAN_CORE_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sstban::core {
+
+// Tracks live bytes of tensor storage. The tensor layer reports every
+// allocation and free here, so `peak_bytes` measures the activation +
+// parameter footprint of a training run — our CPU substitute for the paper's
+// "GPU cost (M)" column in Table VII. Thread-safe.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Global();
+
+  void OnAlloc(int64_t bytes);
+  void OnFree(int64_t bytes);
+
+  int64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t total_allocated_bytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  // Resets the peak to the current live size (call at the start of the
+  // region being measured). Total-allocated is reset to zero.
+  void ResetPeak();
+
+ private:
+  MemoryTracker() = default;
+
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_MEMORY_TRACKER_H_

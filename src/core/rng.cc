@@ -1,0 +1,89 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sstban::core {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Rng::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+uint32_t Rng::NextBelow(uint32_t n) {
+  SSTBAN_CHECK_GT(n, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (-n) % n;
+  for (;;) {
+    uint32_t r = NextUint32();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return NextUint32() * (1.0 / 4294967296.0);
+}
+
+float Rng::NextUniform(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+float Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-12);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = static_cast<float>(mag * std::sin(2.0 * M_PI * u2));
+  has_spare_ = true;
+  return static_cast<float>(mag * std::cos(2.0 * M_PI * u2));
+}
+
+float Rng::NextGaussian(float mean, float stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+void Rng::Shuffle(std::vector<int64_t>& values) {
+  for (size_t i = values.size(); i > 1; --i) {
+    size_t j = NextBelow(static_cast<uint32_t>(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  SSTBAN_CHECK_GE(k, 0);
+  SSTBAN_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<int64_t> indices(n);
+  for (int64_t i = 0; i < n; ++i) indices[i] = i;
+  std::vector<int64_t> result(k);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = i + NextBelow(static_cast<uint32_t>(n - i));
+    std::swap(indices[i], indices[j]);
+    result[i] = indices[i];
+  }
+  return result;
+}
+
+Rng Rng::Fork() {
+  uint64_t seed = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+  uint64_t stream = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+  return Rng(seed, stream | 1u);
+}
+
+}  // namespace sstban::core

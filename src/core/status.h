@@ -1,0 +1,110 @@
+#ifndef SSTBAN_CORE_STATUS_H_
+#define SSTBAN_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace sstban::core {
+
+// Error categories for recoverable failures (I/O, configuration, parsing).
+// Programming errors (shape mismatches, bad indices) use SSTBAN_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error result, modeled after absl::Status.
+// Library entry points that can fail for non-programming reasons return
+// Status (or StatusOr<T>) rather than throwing: the library never throws.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored StatusOr is a checked programming error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` directly, mirroring absl::StatusOr.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    SSTBAN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SSTBAN_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    SSTBAN_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    SSTBAN_CHECK(ok()) << "StatusOr::value on error: " << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace sstban::core
+
+// Propagates a non-OK status to the caller.
+#define SSTBAN_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::sstban::core::Status _status = (expr);          \
+    if (!_status.ok()) return _status;                \
+  } while (false)
+
+#endif  // SSTBAN_CORE_STATUS_H_

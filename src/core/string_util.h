@@ -1,0 +1,24 @@
+#ifndef SSTBAN_CORE_STRING_UTIL_H_
+#define SSTBAN_CORE_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sstban::core {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the elements with the separator, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Splits on the given delimiter; empty fields are preserved.
+std::vector<std::string> Split(const std::string& text, char delim);
+
+// Removes leading/trailing whitespace.
+std::string Trim(const std::string& text);
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_STRING_UTIL_H_

@@ -1,0 +1,100 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/check.h"
+
+namespace sstban::core {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
+  if (num_threads_ > 1) {
+    workers_.reserve(num_threads_);
+    for (int i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    int threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("SSTBAN_NUM_THREADS")) {
+      threads = std::atoi(env);
+    }
+    return new ThreadPool(std::max(threads, 1));
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int64_t min_chunk) {
+  SSTBAN_CHECK_LE(begin, end);
+  int64_t total = end - begin;
+  if (total == 0) return;
+  ThreadPool& pool = ThreadPool::Global();
+  int threads = pool.num_threads();
+  if (threads <= 1 || total <= min_chunk) {
+    body(begin, end);
+    return;
+  }
+  int64_t chunks = std::min<int64_t>(threads, (total + min_chunk - 1) / min_chunk);
+  int64_t chunk_size = (total + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    int64_t lo = begin + c * chunk_size;
+    int64_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    pool.Schedule([&body, lo, hi] { body(lo, hi); });
+  }
+  pool.Wait();
+}
+
+}  // namespace sstban::core

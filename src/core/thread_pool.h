@@ -1,0 +1,59 @@
+#ifndef SSTBAN_CORE_THREAD_POOL_H_
+#define SSTBAN_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sstban::core {
+
+// A fixed-size worker pool. On single-core machines (num_threads <= 1) work
+// is run inline so the pool adds no overhead; the heavy tensor kernels call
+// ParallelFor below and transparently scale with available hardware.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Enqueues a task. Tasks must not throw.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  // Process-wide pool sized from std::thread::hardware_concurrency() (or the
+  // SSTBAN_NUM_THREADS environment variable when set).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Splits [begin, end) into chunks and runs `body(chunk_begin, chunk_end)` on
+// the global pool. Runs inline when the range is small or only one thread is
+// available. `body` must be safe to invoke concurrently on disjoint ranges.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 int64_t min_chunk = 1024);
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_THREAD_POOL_H_

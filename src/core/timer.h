@@ -1,0 +1,30 @@
+#ifndef SSTBAN_CORE_TIMER_H_
+#define SSTBAN_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace sstban::core {
+
+// Monotonic wall-clock stopwatch used by the trainer and the computation-cost
+// benchmarks (Table VII).
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_TIMER_H_

@@ -1,0 +1,29 @@
+#include "data/corruption.h"
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace sstban::data {
+
+TrafficDataset AddGaussianNoise(const TrafficDataset& dataset, double fraction,
+                                float mean, float stddev, int64_t t_begin,
+                                int64_t t_end, uint64_t seed) {
+  SSTBAN_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  SSTBAN_CHECK(t_begin >= 0 && t_begin <= t_end && t_end <= dataset.num_steps());
+  TrafficDataset noisy = dataset;
+  noisy.signals = dataset.signals.Clone();
+  core::Rng rng(seed);
+  int64_t slice = dataset.num_nodes() * dataset.num_features();
+  float* p = noisy.signals.data();
+  for (int64_t t = t_begin; t < t_end; ++t) {
+    float* row = p + t * slice;
+    for (int64_t i = 0; i < slice; ++i) {
+      if (rng.NextDouble() < fraction) {
+        row[i] += rng.NextGaussian(mean, stddev);
+      }
+    }
+  }
+  return noisy;
+}
+
+}  // namespace sstban::data

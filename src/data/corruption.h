@@ -1,0 +1,21 @@
+#ifndef SSTBAN_DATA_CORRUPTION_H_
+#define SSTBAN_DATA_CORRUPTION_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace sstban::data {
+
+// Returns a copy of the dataset with Gaussian noise added to a random
+// `fraction` of the signal entries in time range [t_begin, t_end) —
+// the paper's Fig. 6 robustness protocol adds N(mean=10, std=500) noise to
+// 10/30/90% of the training inputs while validation/test stay clean.
+// Deterministic in `seed`.
+TrafficDataset AddGaussianNoise(const TrafficDataset& dataset, double fraction,
+                                float mean, float stddev, int64_t t_begin,
+                                int64_t t_end, uint64_t seed);
+
+}  // namespace sstban::data
+
+#endif  // SSTBAN_DATA_CORRUPTION_H_

@@ -1,0 +1,76 @@
+#include "data/csv_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "core/string_util.h"
+
+namespace sstban::data {
+
+core::Status SaveSignalsCsv(const tensor::Tensor& signals,
+                            const std::string& path) {
+  if (signals.rank() != 3) {
+    return core::Status::InvalidArgument("expected [T, N, C] signals, got " +
+                                         signals.shape().ToString());
+  }
+  std::ofstream out(path);
+  if (!out) return core::Status::IoError("cannot open for writing: " + path);
+  int64_t t = signals.dim(0), n = signals.dim(1), c = signals.dim(2);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t f = 0; f < c; ++f) {
+      if (v != 0 || f != 0) out << ',';
+      out << "n" << v << "_f" << f;
+    }
+  }
+  out << '\n';
+  const float* p = signals.data();
+  for (int64_t i = 0; i < t; ++i) {
+    for (int64_t j = 0; j < n * c; ++j) {
+      if (j != 0) out << ',';
+      out << p[i * n * c + j];
+    }
+    out << '\n';
+  }
+  if (!out) return core::Status::IoError("write failed: " + path);
+  return core::Status::Ok();
+}
+
+core::StatusOr<tensor::Tensor> LoadSignalsCsv(const std::string& path,
+                                              int64_t num_nodes,
+                                              int64_t num_features) {
+  std::ifstream in(path);
+  if (!in) return core::Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return core::Status::IoError("empty file: " + path);
+  }
+  int64_t cols = num_nodes * num_features;
+  std::vector<float> values;
+  int64_t rows = 0;
+  while (std::getline(in, line)) {
+    line = core::Trim(line);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = core::Split(line, ',');
+    if (static_cast<int64_t>(fields.size()) != cols) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "row %lld has %zu fields, expected %lld",
+          static_cast<long long>(rows), fields.size(),
+          static_cast<long long>(cols)));
+    }
+    for (const std::string& field : fields) {
+      char* end = nullptr;
+      float v = std::strtof(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return core::Status::InvalidArgument("non-numeric field: " + field);
+      }
+      values.push_back(v);
+    }
+    ++rows;
+  }
+  if (rows == 0) return core::Status::InvalidArgument("no data rows in " + path);
+  return tensor::Tensor::FromVector(
+      tensor::Shape{rows, num_nodes, num_features}, std::move(values));
+}
+
+}  // namespace sstban::data

@@ -1,0 +1,25 @@
+#ifndef SSTBAN_DATA_CSV_IO_H_
+#define SSTBAN_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace sstban::data {
+
+// Writes a [T, N, C] signal tensor as CSV: one row per time slice with
+// N*C columns labeled "n<i>_f<j>". Useful for exporting synthetic worlds
+// and for ingesting real recordings when they are available.
+core::Status SaveSignalsCsv(const tensor::Tensor& signals,
+                            const std::string& path);
+
+// Reads a CSV written by SaveSignalsCsv (or any headered numeric CSV with
+// N*C columns) back into a [T, N, C] tensor.
+core::StatusOr<tensor::Tensor> LoadSignalsCsv(const std::string& path,
+                                              int64_t num_nodes,
+                                              int64_t num_features);
+
+}  // namespace sstban::data
+
+#endif  // SSTBAN_DATA_CSV_IO_H_

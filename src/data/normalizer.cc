@@ -1,0 +1,65 @@
+#include "data/normalizer.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sstban::data {
+
+Normalizer Normalizer::Fit(const tensor::Tensor& signals) {
+  SSTBAN_CHECK_GE(signals.rank(), 1);
+  int64_t feats = signals.dim(signals.rank() - 1);
+  int64_t rows = signals.size() / feats;
+  SSTBAN_CHECK_GT(rows, 1);
+  Normalizer norm;
+  norm.mean_.assign(feats, 0.0f);
+  norm.std_.assign(feats, 0.0f);
+  const float* p = signals.data();
+  std::vector<double> sum(feats, 0.0), sum_sq(feats, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t f = 0; f < feats; ++f) {
+      double v = p[r * feats + f];
+      sum[f] += v;
+      sum_sq[f] += v * v;
+    }
+  }
+  for (int64_t f = 0; f < feats; ++f) {
+    double mean = sum[f] / static_cast<double>(rows);
+    double var = sum_sq[f] / static_cast<double>(rows) - mean * mean;
+    norm.mean_[f] = static_cast<float>(mean);
+    norm.std_[f] = static_cast<float>(std::sqrt(std::max(var, 1e-8)));
+  }
+  return norm;
+}
+
+tensor::Tensor Normalizer::Transform(const tensor::Tensor& x) const {
+  int64_t feats = num_features();
+  SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), feats);
+  tensor::Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t rows = x.size() / feats;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t f = 0; f < feats; ++f) {
+      po[r * feats + f] = (px[r * feats + f] - mean_[f]) / std_[f];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Normalizer::InverseTransform(const tensor::Tensor& x) const {
+  int64_t feats = num_features();
+  SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), feats);
+  tensor::Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t rows = x.size() / feats;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t f = 0; f < feats; ++f) {
+      po[r * feats + f] = px[r * feats + f] * std_[f] + mean_[f];
+    }
+  }
+  return out;
+}
+
+}  // namespace sstban::data

@@ -1,0 +1,38 @@
+#ifndef SSTBAN_DATA_NORMALIZER_H_
+#define SSTBAN_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sstban::data {
+
+// Per-feature z-score normalization ("standard normalization" in the paper,
+// §V-C). Statistics are fit on the training portion only and applied
+// everywhere; predictions are inverse-transformed before computing metrics.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  // Fits per-feature mean/std over a signal tensor whose last axis is the
+  // feature axis (e.g. [T, N, C] or [B, P, N, C]).
+  static Normalizer Fit(const tensor::Tensor& signals);
+
+  // (x - mean) / std, elementwise along the last axis.
+  tensor::Tensor Transform(const tensor::Tensor& x) const;
+
+  // x * std + mean.
+  tensor::Tensor InverseTransform(const tensor::Tensor& x) const;
+
+  int64_t num_features() const { return static_cast<int64_t>(mean_.size()); }
+  float mean(int64_t feature) const { return mean_.at(feature); }
+  float stddev(int64_t feature) const { return std_.at(feature); }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+}  // namespace sstban::data
+
+#endif  // SSTBAN_DATA_NORMALIZER_H_

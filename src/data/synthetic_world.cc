@@ -1,0 +1,186 @@
+#include "data/synthetic_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace sstban::data {
+
+namespace {
+
+// Normalized demand profile in [0, 1] for a fractional hour-of-day.
+// Weekdays have the classic double peak (morning / evening rush); weekends
+// are flatter with a midday bump — the structure long-term forecasters must
+// learn to predict one or two days ahead on the Seattle scenarios.
+double DailyProfile(double hour, bool weekend) {
+  auto bump = [](double h, double center, double width) {
+    double z = (h - center) / width;
+    return std::exp(-0.5 * z * z);
+  };
+  if (weekend) {
+    return 0.14 + 0.45 * bump(hour, 13.0, 3.5) + 0.12 * bump(hour, 19.0, 2.0);
+  }
+  return 0.10 + 0.70 * bump(hour, 8.0, 1.6) + 0.62 * bump(hour, 17.5, 2.0) +
+         0.15 * bump(hour, 12.5, 2.5);
+}
+
+struct NodeParams {
+  float free_flow_speed;  // mph
+  float jam_density;      // vehicles per mile
+  float base_demand;      // peak utilization in (0, 1)
+};
+
+}  // namespace
+
+SyntheticWorldConfig SeattleLikeConfig() {
+  SyntheticWorldConfig config;
+  config.name = "seattle-like";
+  config.num_nodes = 40;        // scaled down from 323 loop detectors
+  config.num_corridors = 5;
+  config.steps_per_day = 24;    // 1-hour aggregation, as in the paper
+  config.num_days = 84;         // scaled down from 365 days
+  config.speed_world = true;    // C = 3: flow, speed, occupancy
+  config.events_per_day = 2.0;
+  config.noise_level = 0.03;
+  config.seed = 20150101;
+  return config;
+}
+
+SyntheticWorldConfig Pems04LikeConfig() {
+  SyntheticWorldConfig config;
+  config.name = "pems04-like";
+  config.num_nodes = 36;        // scaled down from 307 detectors
+  config.num_corridors = 4;
+  config.steps_per_day = 96;    // 15-minute slices (paper: 5-minute)
+  config.num_days = 21;         // scaled down from 59 days
+  config.speed_world = false;   // C = 1: flow only
+  config.events_per_day = 3.0;
+  config.noise_level = 0.04;
+  config.seed = 20180101;
+  return config;
+}
+
+SyntheticWorldConfig Pems08LikeConfig() {
+  SyntheticWorldConfig config = Pems04LikeConfig();
+  config.name = "pems08-like";
+  config.num_nodes = 28;        // scaled down from 170 detectors
+  config.num_corridors = 3;
+  config.events_per_day = 2.5;
+  config.seed = 20160701;
+  return config;
+}
+
+TrafficDataset GenerateSyntheticWorld(const SyntheticWorldConfig& config) {
+  SSTBAN_CHECK_GT(config.num_nodes, 0);
+  SSTBAN_CHECK_GT(config.steps_per_day, 0);
+  SSTBAN_CHECK_GT(config.num_days, 0);
+  core::Rng rng(config.seed);
+  core::Rng graph_rng = rng.Fork();
+  core::Rng node_rng = rng.Fork();
+  core::Rng event_rng = rng.Fork();
+  core::Rng noise_rng = rng.Fork();
+
+  auto g = std::make_shared<graph::TrafficGraph>(graph::TrafficGraph::RandomCorridor(
+      config.num_nodes, config.num_corridors, graph_rng));
+
+  int64_t n = config.num_nodes;
+  int64_t total = config.steps_per_day * config.num_days;
+  int64_t feats = config.speed_world ? 3 : 1;
+
+  std::vector<NodeParams> nodes(n);
+  for (int64_t v = 0; v < n; ++v) {
+    nodes[v].free_flow_speed = node_rng.NextUniform(55.0f, 70.0f);
+    nodes[v].jam_density = node_rng.NextUniform(120.0f, 180.0f);
+    nodes[v].base_demand = node_rng.NextUniform(0.40f, 0.70f);
+  }
+
+  TrafficDataset dataset;
+  dataset.name = config.name;
+  dataset.graph = g;
+  dataset.signals = tensor::Tensor(tensor::Shape{total, n, feats});
+  dataset.time_of_day.resize(total);
+  dataset.day_of_week.resize(total);
+  dataset.steps_per_day = config.steps_per_day;
+
+  float* out = dataset.signals.data();
+  double hours_per_step = 24.0 / static_cast<double>(config.steps_per_day);
+  double event_prob_per_step =
+      config.events_per_day / static_cast<double>(config.steps_per_day);
+
+  // Slow per-node demand drift (AR(1)) and congestion level state.
+  std::vector<double> drift(n, 0.0);
+  std::vector<double> congestion(n, 0.0);
+  std::vector<double> event_remaining(n, 0.0);  // steps left of active incident
+  std::vector<double> event_severity(n, 0.0);
+  std::vector<double> next_congestion(n, 0.0);
+
+  for (int64_t t = 0; t < total; ++t) {
+    int64_t step_of_day = t % config.steps_per_day;
+    int64_t day = t / config.steps_per_day;
+    int64_t dow = day % 7;
+    bool weekend = (dow >= 5);
+    double hour = static_cast<double>(step_of_day) * hours_per_step;
+    dataset.time_of_day[t] = step_of_day;
+    dataset.day_of_week[t] = dow;
+
+    // Spawn incidents (more likely during peaks, when the network is loaded).
+    double profile_now = DailyProfile(hour, weekend);
+    if (event_rng.NextDouble() < event_prob_per_step * (0.5 + profile_now)) {
+      int64_t v = event_rng.NextBelow(static_cast<uint32_t>(n));
+      event_remaining[v] = 3.0 + event_rng.NextDouble() * 9.0;
+      event_severity[v] = 0.25 + event_rng.NextDouble() * 0.5;
+    }
+
+    // Congestion dynamics: decay + active incidents + upstream shockwave
+    // propagation (congestion at v spills onto its predecessors).
+    for (int64_t v = 0; v < n; ++v) {
+      double c = 0.78 * congestion[v];
+      if (event_remaining[v] > 0.0) {
+        c += event_severity[v] * 0.5;
+        event_remaining[v] -= 1.0;
+      }
+      next_congestion[v] = c;
+    }
+    for (int64_t v = 0; v < n; ++v) {
+      for (int64_t pred : g->Predecessors(v)) {
+        next_congestion[pred] += 0.30 * congestion[v];
+      }
+    }
+    for (int64_t v = 0; v < n; ++v) {
+      congestion[v] = std::min(next_congestion[v], 0.7);
+    }
+
+    for (int64_t v = 0; v < n; ++v) {
+      drift[v] = 0.97 * drift[v] + 0.03 * noise_rng.NextGaussian();
+      double demand = nodes[v].base_demand * profile_now * (1.0 + 0.25 * drift[v]);
+      // Utilization in (0, 0.95): demand pressure plus congestion backlog.
+      double u = std::clamp(0.50 * demand + congestion[v], 0.02, 0.85);
+      double speed = nodes[v].free_flow_speed * (1.0 - u);  // Greenshields
+      double density = nodes[v].jam_density * u;
+      double flow_per_hour = density * speed;                         // veh/h
+      double flow = flow_per_hour * hours_per_step;                   // veh/slice
+      double occupancy = u;
+
+      double noise = config.noise_level;
+      float* cell = out + (t * n + v) * feats;
+      if (config.speed_world) {
+        cell[0] = static_cast<float>(
+            std::max(0.0, flow * (1.0 + noise * noise_rng.NextGaussian())));
+        cell[1] = static_cast<float>(std::max(
+            2.0, speed + noise * nodes[v].free_flow_speed * noise_rng.NextGaussian()));
+        cell[2] = static_cast<float>(
+            std::clamp(occupancy + 0.5 * noise * noise_rng.NextGaussian(), 0.0, 1.0));
+      } else {
+        cell[0] = static_cast<float>(
+            std::max(0.0, flow * (1.0 + noise * noise_rng.NextGaussian())));
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace sstban::data

@@ -1,0 +1,147 @@
+#include "graph/traffic_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/check.h"
+
+namespace sstban::graph {
+
+TrafficGraph::TrafficGraph(int64_t num_nodes,
+                           std::vector<std::pair<double, double>> coords)
+    : num_nodes_(num_nodes),
+      coords_(std::move(coords)),
+      successors_(num_nodes),
+      predecessors_(num_nodes) {
+  SSTBAN_CHECK_EQ(static_cast<int64_t>(coords_.size()), num_nodes_);
+}
+
+TrafficGraph TrafficGraph::RandomCorridor(int64_t num_nodes, int num_corridors,
+                                          core::Rng& rng) {
+  SSTBAN_CHECK_GE(num_corridors, 1);
+  SSTBAN_CHECK_GE(num_nodes, num_corridors);
+  std::vector<std::pair<double, double>> coords(num_nodes);
+  // Assign nodes to corridors round-robin so corridor lengths differ by at
+  // most one; lay each corridor out as a gently curving chain.
+  std::vector<std::vector<int64_t>> corridors(num_corridors);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    corridors[v % num_corridors].push_back(v);
+  }
+  for (int c = 0; c < num_corridors; ++c) {
+    double base_x = rng.NextUniform(0.0f, 10.0f);
+    double base_y = rng.NextUniform(0.0f, 10.0f);
+    double heading = rng.NextUniform(0.0f, 2.0f * static_cast<float>(M_PI));
+    double x = base_x, y = base_y;
+    for (int64_t v : corridors[c]) {
+      coords[v] = {x, y};
+      heading += rng.NextGaussian(0.0f, 0.08f);
+      double step = 0.8 + 0.3 * rng.NextDouble();
+      x += step * std::cos(heading);
+      y += step * std::sin(heading);
+    }
+  }
+  TrafficGraph g(num_nodes, std::move(coords));
+  auto kernel_weight = [&](int64_t a, int64_t b) {
+    double dx = g.coords()[a].first - g.coords()[b].first;
+    double dy = g.coords()[a].second - g.coords()[b].second;
+    double dist = std::sqrt(dx * dx + dy * dy);
+    // Gaussian kernel with unit bandwidth, as in the DCRNN adjacency recipe.
+    return static_cast<float>(std::exp(-dist * dist / 2.0));
+  };
+  // Consecutive sensors along each corridor.
+  for (int c = 0; c < num_corridors; ++c) {
+    for (size_t i = 0; i + 1 < corridors[c].size(); ++i) {
+      int64_t a = corridors[c][i], b = corridors[c][i + 1];
+      g.AddEdge(a, b, std::max(kernel_weight(a, b), 0.05f));
+    }
+  }
+  // A few interchanges: link random nodes of distinct corridors.
+  int num_links = std::max(1, num_corridors - 1) * 2;
+  for (int l = 0; l < num_links; ++l) {
+    int ca = static_cast<int>(rng.NextBelow(static_cast<uint32_t>(num_corridors)));
+    int cb = static_cast<int>(rng.NextBelow(static_cast<uint32_t>(num_corridors)));
+    if (ca == cb || corridors[ca].empty() || corridors[cb].empty()) continue;
+    int64_t a = corridors[ca][rng.NextBelow(static_cast<uint32_t>(corridors[ca].size()))];
+    int64_t b = corridors[cb][rng.NextBelow(static_cast<uint32_t>(corridors[cb].size()))];
+    if (a == b) continue;
+    g.AddEdge(a, b, std::max(kernel_weight(a, b), 0.05f));
+  }
+  return g;
+}
+
+void TrafficGraph::AddEdge(int64_t from, int64_t to, float weight) {
+  SSTBAN_CHECK(from >= 0 && from < num_nodes_);
+  SSTBAN_CHECK(to >= 0 && to < num_nodes_);
+  SSTBAN_CHECK_NE(from, to);
+  SSTBAN_CHECK_GT(weight, 0.0f);
+  edges_.emplace_back(from, to, weight);
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+}
+
+const std::vector<int64_t>& TrafficGraph::Successors(int64_t v) const {
+  SSTBAN_CHECK(v >= 0 && v < num_nodes_);
+  return successors_[v];
+}
+
+const std::vector<int64_t>& TrafficGraph::Predecessors(int64_t v) const {
+  SSTBAN_CHECK(v >= 0 && v < num_nodes_);
+  return predecessors_[v];
+}
+
+tensor::Tensor TrafficGraph::Adjacency() const {
+  tensor::Tensor a = tensor::Tensor::Zeros(tensor::Shape{num_nodes_, num_nodes_});
+  float* pa = a.data();
+  for (const auto& [from, to, w] : edges_) {
+    pa[from * num_nodes_ + to] = w;
+  }
+  return a;
+}
+
+tensor::Tensor TrafficGraph::NormalizedAdjacency() const {
+  int64_t n = num_nodes_;
+  tensor::Tensor a = Adjacency();
+  tensor::Tensor sym(tensor::Shape{n, n});
+  float* ps = sym.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      ps[i * n + j] = std::max(pa[i * n + j], pa[j * n + i]);
+    }
+    ps[i * n + i] = 1.0f;  // self loop
+  }
+  std::vector<float> inv_sqrt_deg(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int64_t j = 0; j < n; ++j) deg += ps[i * n + j];
+    inv_sqrt_deg[i] = deg > 0 ? static_cast<float>(1.0 / std::sqrt(deg)) : 0.0f;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      ps[i * n + j] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return sym;
+}
+
+tensor::Tensor TrafficGraph::RandomWalkMatrix(bool reverse) const {
+  int64_t n = num_nodes_;
+  tensor::Tensor a = Adjacency();
+  tensor::Tensor walk(tensor::Shape{n, n});
+  float* pw = walk.data();
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      deg += reverse ? pa[j * n + i] : pa[i * n + j];
+    }
+    float inv = deg > 0 ? static_cast<float>(1.0 / deg) : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      pw[i * n + j] = (reverse ? pa[j * n + i] : pa[i * n + j]) * inv;
+    }
+  }
+  return walk;
+}
+
+}  // namespace sstban::graph

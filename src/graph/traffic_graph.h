@@ -1,0 +1,61 @@
+#ifndef SSTBAN_GRAPH_TRAFFIC_GRAPH_H_
+#define SSTBAN_GRAPH_TRAFFIC_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace sstban::graph {
+
+// A sensor network: nodes are traffic monitor stations, directed edges point
+// in the driving direction (flow propagates downstream; congestion shockwaves
+// propagate upstream). Edge weights are distance-kernel similarities in
+// (0, 1]. Dense adjacency is deliberate — the paper's networks have a few
+// hundred nodes and every baseline consumes dense supports.
+class TrafficGraph {
+ public:
+  TrafficGraph(int64_t num_nodes, std::vector<std::pair<double, double>> coords);
+
+  // Synthesizes a freeway-like network: `num_corridors` directed chains of
+  // sensors laid out geometrically, plus a few cross links (interchanges).
+  // Mirrors the corridor structure of the Seattle Loop / PeMS districts.
+  static TrafficGraph RandomCorridor(int64_t num_nodes, int num_corridors,
+                                     core::Rng& rng);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  const std::vector<std::pair<double, double>>& coords() const { return coords_; }
+
+  void AddEdge(int64_t from, int64_t to, float weight);
+  const std::vector<std::tuple<int64_t, int64_t, float>>& edges() const {
+    return edges_;
+  }
+
+  // Nodes directly downstream / upstream of v.
+  const std::vector<int64_t>& Successors(int64_t v) const;
+  const std::vector<int64_t>& Predecessors(int64_t v) const;
+
+  // Directed weighted adjacency A ([N, N], zero diagonal).
+  tensor::Tensor Adjacency() const;
+
+  // Symmetric GCN support: D^{-1/2} (A_sym + I) D^{-1/2} where
+  // A_sym = max(A, A^T).
+  tensor::Tensor NormalizedAdjacency() const;
+
+  // Diffusion (random-walk) support D_out^{-1} A, or D_in^{-1} A^T when
+  // `reverse` (DCRNN's forward/backward diffusion matrices).
+  tensor::Tensor RandomWalkMatrix(bool reverse) const;
+
+ private:
+  int64_t num_nodes_;
+  std::vector<std::pair<double, double>> coords_;
+  std::vector<std::tuple<int64_t, int64_t, float>> edges_;
+  std::vector<std::vector<int64_t>> successors_;
+  std::vector<std::vector<int64_t>> predecessors_;
+};
+
+}  // namespace sstban::graph
+
+#endif  // SSTBAN_GRAPH_TRAFFIC_GRAPH_H_

@@ -1,0 +1,17 @@
+#include "nn/embedding.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace sstban::nn {
+
+Embedding::Embedding(int64_t vocab, int64_t dim, core::Rng& rng) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(tensor::Shape{vocab, dim}, rng));
+}
+
+autograd::Variable Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return autograd::EmbeddingLookup(weight_, indices);
+}
+
+}  // namespace sstban::nn

@@ -1,0 +1,28 @@
+#ifndef SSTBAN_NN_EMBEDDING_H_
+#define SSTBAN_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+// Learned lookup table: indices -> rows of a trainable [vocab, dim] matrix.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t dim, core::Rng& rng);
+
+  // Returns [indices.size(), dim].
+  autograd::Variable Forward(const std::vector<int64_t>& indices) const;
+
+  // Direct access to the full table (e.g. SSTBAN's spatial embedding, which
+  // uses every node's vector each step).
+  const autograd::Variable& weight() const { return weight_; }
+
+ private:
+  autograd::Variable weight_;
+};
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_EMBEDDING_H_

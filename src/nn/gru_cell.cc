@@ -1,0 +1,34 @@
+#include "nn/gru_cell.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+
+namespace sstban::nn {
+
+namespace ag = ::sstban::autograd;
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, core::Rng& rng)
+    : hidden_dim_(hidden_dim) {
+  input_proj_ = std::make_unique<Linear>(input_dim, 3 * hidden_dim, rng);
+  hidden_proj_ =
+      std::make_unique<Linear>(hidden_dim, 3 * hidden_dim, rng, /*use_bias=*/false);
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("hidden_proj", hidden_proj_.get());
+}
+
+ag::Variable GruCell::Forward(const ag::Variable& x, const ag::Variable& h) const {
+  SSTBAN_CHECK_EQ(h.dim(h.rank() - 1), hidden_dim_);
+  ag::Variable xi = input_proj_->Forward(x);   // [B, 3H]
+  ag::Variable hi = hidden_proj_->Forward(h);  // [B, 3H]
+  auto part = [&](const ag::Variable& v, int64_t idx) {
+    return ag::Slice(v, -1, idx * hidden_dim_, hidden_dim_);
+  };
+  ag::Variable z = ag::Sigmoid(ag::Add(part(xi, 0), part(hi, 0)));
+  ag::Variable r = ag::Sigmoid(ag::Add(part(xi, 1), part(hi, 1)));
+  // Candidate uses the reset-gated hidden state: x Wc + r * (h Uc).
+  ag::Variable c = ag::Tanh(ag::Add(part(xi, 2), ag::Mul(r, part(hi, 2))));
+  ag::Variable one_minus_z = ag::AddScalar(ag::Neg(z), 1.0f);
+  return ag::Add(ag::Mul(one_minus_z, h), ag::Mul(z, c));
+}
+
+}  // namespace sstban::nn

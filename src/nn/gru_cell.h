@@ -1,0 +1,34 @@
+#ifndef SSTBAN_NN_GRU_CELL_H_
+#define SSTBAN_NN_GRU_CELL_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+// Gated recurrent unit cell:
+//   z = sigmoid(x Wz + h Uz),  r = sigmoid(x Wr + h Ur)
+//   c = tanh(x Wc + (r * h) Uc),  h' = (1 - z) * h + z * c
+// Used by the RNN-family baselines (DCRNN/AGCRN use graph-conv variants of
+// the same gating; see src/baselines).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, core::Rng& rng);
+
+  // x: [B, input_dim], h: [B, hidden_dim] -> new hidden [B, hidden_dim].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  std::unique_ptr<Linear> input_proj_;   // x -> [z | r | c] pre-activations
+  std::unique_ptr<Linear> hidden_proj_;  // h -> [z | r | c] pre-activations
+};
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_GRU_CELL_H_

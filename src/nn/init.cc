@@ -1,0 +1,43 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sstban::nn {
+
+namespace {
+
+void ComputeFans(const tensor::Shape& shape, float* fan_in, float* fan_out) {
+  SSTBAN_CHECK_GE(shape.rank(), 1);
+  if (shape.rank() == 1) {
+    *fan_in = *fan_out = static_cast<float>(shape.dims()[0]);
+    return;
+  }
+  // Trailing two axes are (in, out); any leading axes (e.g. conv kernel
+  // taps) multiply both fans.
+  float receptive = 1.0f;
+  for (int i = 0; i + 2 < shape.rank(); ++i) {
+    receptive *= static_cast<float>(shape.dims()[i]);
+  }
+  *fan_in = receptive * static_cast<float>(shape.dims()[shape.rank() - 2]);
+  *fan_out = receptive * static_cast<float>(shape.dims()[shape.rank() - 1]);
+}
+
+}  // namespace
+
+tensor::Tensor XavierUniform(const tensor::Shape& shape, core::Rng& rng) {
+  float fan_in, fan_out;
+  ComputeFans(shape, &fan_in, &fan_out);
+  float bound = std::sqrt(6.0f / (fan_in + fan_out));
+  return tensor::Tensor::RandomUniform(shape, rng, -bound, bound);
+}
+
+tensor::Tensor HeNormal(const tensor::Shape& shape, core::Rng& rng) {
+  float fan_in, fan_out;
+  ComputeFans(shape, &fan_in, &fan_out);
+  return tensor::Tensor::RandomNormal(shape, rng, 0.0f,
+                                      std::sqrt(2.0f / fan_in));
+}
+
+}  // namespace sstban::nn

@@ -1,0 +1,19 @@
+#ifndef SSTBAN_NN_INIT_H_
+#define SSTBAN_NN_INIT_H_
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace sstban::nn {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+// For rank-2 weights fan_in/fan_out are the two dims; for conv weights
+// [K, C_in, C_out] the kernel size multiplies the fans.
+tensor::Tensor XavierUniform(const tensor::Shape& shape, core::Rng& rng);
+
+// He/Kaiming normal: N(0, sqrt(2 / fan_in)); preferred before ReLU.
+tensor::Tensor HeNormal(const tensor::Shape& shape, core::Rng& rng);
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_INIT_H_

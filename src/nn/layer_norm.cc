@@ -1,0 +1,25 @@
+#include "nn/layer_norm.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+
+namespace sstban::nn {
+
+namespace ag = ::sstban::autograd;
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", tensor::Tensor::Ones(tensor::Shape{dim}));
+  beta_ = RegisterParameter("beta", tensor::Tensor::Zeros(tensor::Shape{dim}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), dim_);
+  ag::Variable mean = ag::Mean(x, -1, /*keepdim=*/true);
+  ag::Variable centered = ag::Sub(x, mean);
+  ag::Variable variance = ag::Mean(ag::Square(centered), -1, /*keepdim=*/true);
+  ag::Variable denom = ag::Sqrt(ag::AddScalar(variance, eps_));
+  ag::Variable normalized = ag::Div(centered, denom);
+  return ag::Add(ag::Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace sstban::nn

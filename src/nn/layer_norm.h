@@ -1,0 +1,25 @@
+#ifndef SSTBAN_NN_LAYER_NORM_H_
+#define SSTBAN_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+// Layer normalization over the last axis with learned scale (gamma) and
+// shift (beta): y = gamma * (x - mean) / sqrt(var + eps) + beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+ private:
+  int64_t dim_;
+  float eps_;
+  autograd::Variable gamma_;  // [dim]
+  autograd::Variable beta_;   // [dim]
+};
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_LAYER_NORM_H_

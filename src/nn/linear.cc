@@ -1,0 +1,31 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+#include "nn/init.h"
+
+namespace sstban::nn {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, core::Rng& rng, bool use_bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(tensor::Shape{in_dim, out_dim}, rng));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", tensor::Tensor::Zeros(tensor::Shape{out_dim}));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  SSTBAN_CHECK_GE(x.rank(), 1);
+  SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), in_dim_)
+      << "Linear expects last dim" << in_dim_ << "got" << x.shape().ToString();
+  std::vector<int64_t> out_dims = x.shape().dims();
+  out_dims.back() = out_dim_;
+  int64_t rows = x.size() / in_dim_;
+  autograd::Variable flat = autograd::Reshape(x, tensor::Shape{rows, in_dim_});
+  autograd::Variable y = autograd::Matmul(flat, weight_);
+  if (bias_.defined()) y = autograd::Add(y, bias_);
+  return autograd::Reshape(y, tensor::Shape(out_dims));
+}
+
+}  // namespace sstban::nn

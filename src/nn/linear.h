@@ -1,0 +1,29 @@
+#ifndef SSTBAN_NN_LINEAR_H_
+#define SSTBAN_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+// Affine map y = x W + b applied along the last axis: input [..., in_dim]
+// -> output [..., out_dim]. Leading axes are flattened for the matmul and
+// restored afterwards.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_dim, int64_t out_dim, core::Rng& rng, bool use_bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t in_dim() const { return in_dim_; }
+  int64_t out_dim() const { return out_dim_; }
+
+ private:
+  int64_t in_dim_;
+  int64_t out_dim_;
+  autograd::Variable weight_;  // [in_dim, out_dim]
+  autograd::Variable bias_;    // [out_dim] or undefined
+};
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_LINEAR_H_

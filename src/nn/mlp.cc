@@ -1,0 +1,44 @@
+#include "nn/mlp.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace sstban::nn {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, core::Rng& rng,
+         Activation hidden_activation, Activation output_activation)
+    : hidden_activation_(hidden_activation),
+      output_activation_(output_activation) {
+  SSTBAN_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule(core::StrFormat("layer%zu", i), layers_.back().get());
+  }
+}
+
+autograd::Variable Mlp::Forward(const autograd::Variable& x) const {
+  autograd::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    bool last = (i + 1 == layers_.size());
+    h = Activate(h, last ? output_activation_ : hidden_activation_);
+  }
+  return h;
+}
+
+autograd::Variable Activate(const autograd::Variable& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return autograd::Relu(x);
+    case Activation::kSigmoid:
+      return autograd::Sigmoid(x);
+    case Activation::kTanh:
+      return autograd::Tanh(x);
+  }
+  return x;
+}
+
+}  // namespace sstban::nn

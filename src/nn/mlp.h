@@ -1,0 +1,37 @@
+#ifndef SSTBAN_NN_MLP_H_
+#define SSTBAN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+// Fully-connected stack: Linear -> activation -> ... -> Linear. The final
+// layer's activation is controlled separately (default none), as usual for
+// regression heads and the paper's STE feature MLPs.
+class Mlp : public Module {
+ public:
+  // `dims` = {in, hidden..., out}; requires at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, core::Rng& rng,
+      Activation hidden_activation = Activation::kRelu,
+      Activation output_activation = Activation::kNone);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation hidden_activation_;
+  Activation output_activation_;
+};
+
+// Applies the given activation (kNone is the identity).
+autograd::Variable Activate(const autograd::Variable& x, Activation activation);
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_MLP_H_

@@ -1,0 +1,58 @@
+#include "nn/module.h"
+
+#include "core/check.h"
+
+namespace sstban::nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> result;
+  for (const auto& [name, param] : NamedParameters()) result.push_back(param);
+  return result;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, autograd::Variable>> result;
+  CollectNamed("", &result);
+  return result;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.size();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  autograd::Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  SSTBAN_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, autograd::Variable>>* out) const {
+  for (const auto& [name, param] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, param);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace sstban::nn

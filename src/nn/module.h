@@ -1,0 +1,60 @@
+#ifndef SSTBAN_NN_MODULE_H_
+#define SSTBAN_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace sstban::nn {
+
+// Base class for neural-network building blocks. A module owns trainable
+// parameters (autograd leaves with requires_grad) and may contain child
+// modules; `Parameters()` walks the tree so optimizers see every weight.
+// Modules are neither copyable nor movable: parameters are shared by
+// reference with the optimizer.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its descendants, in registration order.
+  std::vector<autograd::Variable> Parameters() const;
+
+  // Parameters paired with dotted path names ("encoder.block0.wq").
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters() const;
+
+  // Total number of scalar weights.
+  int64_t NumParameters() const;
+
+  // Switches train/eval behavior (dropout etc.) for the whole subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  // Zeroes the gradients of every parameter in the subtree.
+  void ZeroGrad();
+
+ protected:
+  // Registers `init` as a trainable parameter and returns the leaf variable.
+  autograd::Variable RegisterParameter(std::string name, tensor::Tensor init);
+
+  // Registers a child (non-owning; children are normally members of the
+  // parent and outlive it naturally).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, autograd::Variable>>* out) const;
+
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_MODULE_H_

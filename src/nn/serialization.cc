@@ -1,0 +1,112 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "core/string_util.h"
+
+namespace sstban::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'T', 'B'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+core::Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return core::Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  auto named = module.NamedParameters();
+  WritePod(out, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, param] : named) {
+    WritePod(out, static_cast<uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const tensor::Tensor& value = param.value();
+    WritePod(out, static_cast<uint32_t>(value.rank()));
+    for (int64_t d : value.shape().dims()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(value.data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+  }
+  if (!out) return core::Status::IoError("write failed: " + path);
+  return core::Status::Ok();
+}
+
+core::Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::Status::IoError("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return core::Status::InvalidArgument("not an SSTBAN checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return core::Status::InvalidArgument(
+        core::StrFormat("unsupported checkpoint version %u", version));
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return core::Status::IoError("truncated header");
+  auto named = module->NamedParameters();
+  if (count != named.size()) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "checkpoint has %llu parameters, module has %zu",
+        static_cast<unsigned long long>(count), named.size()));
+  }
+  // Stage everything first so a mismatch leaves the module untouched.
+  std::vector<tensor::Tensor> staged(named.size());
+  for (size_t i = 0; i < named.size(); ++i) {
+    uint64_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > 4096) {
+      return core::Status::IoError("truncated or corrupt parameter name");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return core::Status::IoError("truncated parameter name");
+    if (name != named[i].first) {
+      return core::Status::InvalidArgument(
+          "parameter name mismatch: file has '" + name + "', module expects '" +
+          named[i].first + "'");
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank > 16) {
+      return core::Status::IoError("corrupt parameter rank");
+    }
+    std::vector<int64_t> dims(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(in, &dims[d])) return core::Status::IoError("truncated dims");
+    }
+    tensor::Shape shape(dims);
+    if (shape != named[i].second.shape()) {
+      return core::Status::InvalidArgument(
+          "shape mismatch for '" + name + "': file " + shape.ToString() +
+          " vs module " + named[i].second.shape().ToString());
+    }
+    tensor::Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    if (!in) return core::Status::IoError("truncated parameter data");
+    staged[i] = value;
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].second.mutable_value().CopyFrom(staged[i]);
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace sstban::nn

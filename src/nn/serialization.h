@@ -1,0 +1,27 @@
+#ifndef SSTBAN_NN_SERIALIZATION_H_
+#define SSTBAN_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "nn/module.h"
+
+namespace sstban::nn {
+
+// Binary checkpoint format for module parameters:
+//   magic "SSTB" | uint32 version | uint64 param count |
+//   per parameter: uint64 name length | name bytes |
+//                  uint32 rank | int64 dims[rank] | float data[numel]
+// Parameters are matched by their dotted registry path, so the module on
+// the loading side must have the same architecture.
+
+// Writes every named parameter of `module` to `path`.
+core::Status SaveParameters(const Module& module, const std::string& path);
+
+// Restores parameter values into `module`; fails (without partial writes
+// to the module) if names, counts, or shapes do not match the file.
+core::Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace sstban::nn
+
+#endif  // SSTBAN_NN_SERIALIZATION_H_

@@ -1,0 +1,43 @@
+#include "optim/lr_scheduler.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sstban::optim {
+
+LrScheduler::LrScheduler(Optimizer* optimizer)
+    : optimizer_(optimizer), base_rate_(optimizer->learning_rate()) {
+  SSTBAN_CHECK(optimizer != nullptr);
+}
+
+void LrScheduler::Step() {
+  ++epoch_;
+  optimizer_->set_learning_rate(RateAt(epoch_));
+}
+
+float LrScheduler::current_rate() const { return optimizer_->learning_rate(); }
+
+StepDecay::StepDecay(Optimizer* optimizer, int step_size, float gamma)
+    : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {
+  SSTBAN_CHECK_GE(step_size, 1);
+}
+
+float StepDecay::RateAt(int epoch) const {
+  return base_rate_ * std::pow(gamma_, static_cast<float>(epoch / step_size_));
+}
+
+CosineAnnealing::CosineAnnealing(Optimizer* optimizer, int max_epochs,
+                                 float min_rate)
+    : LrScheduler(optimizer), max_epochs_(max_epochs), min_rate_(min_rate) {
+  SSTBAN_CHECK_GE(max_epochs, 1);
+}
+
+float CosineAnnealing::RateAt(int epoch) const {
+  if (epoch >= max_epochs_) return min_rate_;
+  float progress = static_cast<float>(epoch) / static_cast<float>(max_epochs_);
+  return min_rate_ + 0.5f * (base_rate_ - min_rate_) *
+                         (1.0f + std::cos(static_cast<float>(M_PI) * progress));
+}
+
+}  // namespace sstban::optim

@@ -1,0 +1,63 @@
+#ifndef SSTBAN_OPTIM_LR_SCHEDULER_H_
+#define SSTBAN_OPTIM_LR_SCHEDULER_H_
+
+#include "optim/optimizer.h"
+
+namespace sstban::optim {
+
+// Adjusts an optimizer's learning rate once per epoch. Call Step() after
+// each epoch; the scheduler owns no state besides the epoch counter.
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer* optimizer);
+  virtual ~LrScheduler() = default;
+
+  LrScheduler(const LrScheduler&) = delete;
+  LrScheduler& operator=(const LrScheduler&) = delete;
+
+  // Advances one epoch and applies the new rate.
+  void Step();
+
+  int epoch() const { return epoch_; }
+  float current_rate() const;
+
+ protected:
+  // Rate to use at the given epoch (0-based, called with epoch >= 1).
+  virtual float RateAt(int epoch) const = 0;
+
+  Optimizer* optimizer_;
+  float base_rate_;
+
+ private:
+  int epoch_ = 0;
+};
+
+// Multiplies the rate by `gamma` every `step_size` epochs.
+class StepDecay : public LrScheduler {
+ public:
+  StepDecay(Optimizer* optimizer, int step_size, float gamma = 0.1f);
+
+ protected:
+  float RateAt(int epoch) const override;
+
+ private:
+  int step_size_;
+  float gamma_;
+};
+
+// Cosine annealing from the base rate down to `min_rate` over `max_epochs`.
+class CosineAnnealing : public LrScheduler {
+ public:
+  CosineAnnealing(Optimizer* optimizer, int max_epochs, float min_rate = 0.0f);
+
+ protected:
+  float RateAt(int epoch) const override;
+
+ private:
+  int max_epochs_;
+  float min_rate_;
+};
+
+}  // namespace sstban::optim
+
+#endif  // SSTBAN_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,126 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace sstban::optim {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    SSTBAN_CHECK(p.requires_grad()) << "optimizer given a non-trainable tensor";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(tensor::Tensor::Zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    int64_t n = p.size();
+    if (momentum_ > 0.0f) {
+      float* v = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(tensor::Tensor::Zeros(p.shape()));
+    v_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.mutable_value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    int64_t n = p.size();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      float m_hat = m[j] / bias1;
+      float v_hat = v[j] / bias2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<autograd::Variable>& params, float max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      total_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const auto& p : params) {
+      if (!p.has_grad()) continue;
+      // Grad storage is shared with the node; scaling in place is intended.
+      float* g = const_cast<float*>(p.grad().data());
+      for (int64_t j = 0; j < p.size(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+EarlyStopping::EarlyStopping(int patience, float min_delta)
+    : patience_(patience),
+      min_delta_(min_delta),
+      best_(std::numeric_limits<float>::infinity()) {}
+
+bool EarlyStopping::Update(float metric) {
+  improved_ = metric < best_ - min_delta_;
+  if (improved_) {
+    best_ = metric;
+    stale_ = 0;
+  } else {
+    ++stale_;
+  }
+  return stale_ >= patience_;
+}
+
+}  // namespace sstban::optim

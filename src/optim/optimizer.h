@@ -1,0 +1,92 @@
+#ifndef SSTBAN_OPTIM_OPTIMIZER_H_
+#define SSTBAN_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace sstban::optim {
+
+// Base interface for first-order optimizers. The optimizer keeps references
+// (shared nodes) to the parameters it updates; Step() reads each parameter's
+// accumulated gradient and updates its value in place.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the current gradients. Parameters with no
+  // accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  // Clears gradients on all managed parameters.
+  void ZeroGrad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_;
+};
+
+// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba 2015) with bias correction — the de-facto optimizer for
+// the STGNN literature; the paper trains with lr = 0.001.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t step_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+// Scales gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<autograd::Variable>& params, float max_norm);
+
+// Stops training when the validation metric has not improved for `patience`
+// consecutive epochs (the paper uses patience = 5).
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int patience = 5, float min_delta = 0.0f);
+
+  // Records an epoch's validation metric; returns true when training should
+  // stop.
+  bool Update(float metric);
+
+  bool improved_last_update() const { return improved_; }
+  float best_metric() const { return best_; }
+  int epochs_since_best() const { return stale_; }
+
+ private:
+  int patience_;
+  float min_delta_;
+  float best_;
+  int stale_ = 0;
+  bool improved_ = false;
+};
+
+}  // namespace sstban::optim
+
+#endif  // SSTBAN_OPTIM_OPTIMIZER_H_

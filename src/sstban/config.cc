@@ -1,0 +1,123 @@
+#include "sstban/config.h"
+
+#include "core/check.h"
+
+namespace sstban::sstban {
+
+core::Status SstbanConfig::Validate() const {
+  if (num_nodes <= 0) return core::Status::InvalidArgument("num_nodes must be > 0");
+  if (input_len <= 0 || output_len <= 0) {
+    return core::Status::InvalidArgument("input_len/output_len must be > 0");
+  }
+  if (num_features <= 0) {
+    return core::Status::InvalidArgument("num_features must be > 0");
+  }
+  if (steps_per_day <= 0) {
+    return core::Status::InvalidArgument("steps_per_day must be > 0");
+  }
+  if (hidden_dim <= 0 || num_heads <= 0) {
+    return core::Status::InvalidArgument("hidden_dim/num_heads must be > 0");
+  }
+  if (encoder_blocks <= 0 || decoder_blocks <= 0 || recon_blocks <= 0) {
+    return core::Status::InvalidArgument("block counts must be > 0");
+  }
+  if (use_bottleneck && (temporal_refs <= 0 || spatial_refs <= 0)) {
+    return core::Status::InvalidArgument("reference point counts must be > 0");
+  }
+  if (self_supervised) {
+    if (patch_len <= 0) return core::Status::InvalidArgument("patch_len must be > 0");
+    if (mask_rate < 0.0 || mask_rate >= 1.0) {
+      return core::Status::InvalidArgument("mask_rate must be in [0, 1)");
+    }
+    if (lambda < 0.0 || lambda > 1.0) {
+      return core::Status::InvalidArgument("lambda must be in [0, 1]");
+    }
+  }
+  return core::Status::Ok();
+}
+
+SstbanConfig TableIiiConfig(const std::string& scenario) {
+  SstbanConfig c;
+  // Common to all nine scenarios (§V-C): T' = N' = 3, L'' = 1.
+  c.temporal_refs = 3;
+  c.spatial_refs = 3;
+  c.recon_blocks = 1;
+  if (scenario == "seattle-24") {
+    c.input_len = c.output_len = 24;
+    c.encoder_blocks = c.decoder_blocks = 4;
+    c.hidden_dim = 4;
+    c.num_heads = 8;
+    c.patch_len = 3;
+    c.mask_rate = 0.3;
+    c.lambda = 0.1;
+  } else if (scenario == "seattle-36") {
+    c.input_len = c.output_len = 36;
+    c.encoder_blocks = c.decoder_blocks = 2;
+    c.hidden_dim = 8;
+    c.num_heads = 16;
+    c.patch_len = 18;
+    c.mask_rate = 0.5;
+    c.lambda = 0.5;
+  } else if (scenario == "seattle-48") {
+    c.input_len = c.output_len = 48;
+    c.encoder_blocks = c.decoder_blocks = 2;
+    c.hidden_dim = 8;
+    c.num_heads = 16;
+    c.patch_len = 3;
+    c.mask_rate = 0.3;
+    c.lambda = 0.1;
+  } else if (scenario == "pems04-24") {
+    c.input_len = c.output_len = 24;
+    c.encoder_blocks = c.decoder_blocks = 2;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 12;
+    c.mask_rate = 0.1;
+    c.lambda = 0.05;
+  } else if (scenario == "pems04-36") {
+    c.input_len = c.output_len = 36;
+    c.encoder_blocks = c.decoder_blocks = 2;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 12;
+    c.mask_rate = 0.3;
+    c.lambda = 0.05;
+  } else if (scenario == "pems04-48") {
+    c.input_len = c.output_len = 48;
+    c.encoder_blocks = c.decoder_blocks = 2;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 3;
+    c.mask_rate = 0.2;
+    c.lambda = 0.3;
+  } else if (scenario == "pems08-24") {
+    c.input_len = c.output_len = 24;
+    c.encoder_blocks = c.decoder_blocks = 3;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 12;
+    c.mask_rate = 0.1;
+    c.lambda = 0.05;
+  } else if (scenario == "pems08-36") {
+    c.input_len = c.output_len = 36;
+    c.encoder_blocks = c.decoder_blocks = 3;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 12;
+    c.mask_rate = 0.5;
+    c.lambda = 0.8;
+  } else if (scenario == "pems08-48") {
+    c.input_len = c.output_len = 48;
+    c.encoder_blocks = c.decoder_blocks = 3;
+    c.hidden_dim = 16;
+    c.num_heads = 8;
+    c.patch_len = 24;
+    c.mask_rate = 0.5;
+    c.lambda = 0.3;
+  } else {
+    SSTBAN_CHECK(false) << "unknown Table III scenario:" << scenario;
+  }
+  return c;
+}
+
+}  // namespace sstban::sstban

@@ -1,0 +1,68 @@
+#include "sstban/decoders.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+#include "core/string_util.h"
+#include "tensor/ops.h"
+
+namespace sstban::sstban {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+StForecastingDecoder::StForecastingDecoder(const SstbanConfig& config,
+                                           core::Rng& rng) {
+  for (int64_t l = 0; l < config.decoder_blocks; ++l) {
+    blocks_.push_back(std::make_unique<StbaBlock>(
+        config.hidden_dim, config.num_heads, config.temporal_refs,
+        config.spatial_refs, config.use_bottleneck, rng));
+    RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
+                   blocks_.back().get());
+  }
+  output_proj_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                              config.num_features, rng);
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+ag::Variable StForecastingDecoder::Forward(const ag::Variable& h,
+                                           const ag::Variable& e_out) const {
+  ag::Variable out = h;
+  for (const auto& block : blocks_) {
+    out = block->Forward(out, e_out);
+  }
+  return output_proj_->Forward(out);
+}
+
+StReconstructingDecoder::StReconstructingDecoder(const SstbanConfig& config,
+                                                 core::Rng& rng)
+    : dim_(config.hidden_dim) {
+  mask_token_ = RegisterParameter(
+      "mask_token", t::Tensor::RandomNormal(t::Shape{dim_}, rng, 0.0f, 0.02f));
+  for (int64_t l = 0; l < config.recon_blocks; ++l) {
+    blocks_.push_back(std::make_unique<StbaBlock>(
+        config.hidden_dim, config.num_heads, config.temporal_refs,
+        config.spatial_refs, config.use_bottleneck, rng));
+    RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
+                   blocks_.back().get());
+  }
+}
+
+ag::Variable StReconstructingDecoder::Forward(const ag::Variable& encoded,
+                                              const ag::Variable& e,
+                                              const t::Tensor& keep_latent) const {
+  SSTBAN_CHECK_EQ(encoded.rank(), 4);
+  int64_t batch = encoded.dim(0), time = encoded.dim(1), nodes = encoded.dim(2);
+  SSTBAN_CHECK(keep_latent.shape() == (t::Shape{batch, time, nodes, 1}))
+      << "keep_latent" << keep_latent.shape().ToString();
+  // h~(0) = keep * encoded + (1 - keep) * mask_token.
+  ag::Variable keep(keep_latent);
+  ag::Variable drop(t::AddScalar(t::Neg(keep_latent), 1.0f));
+  ag::Variable token = ag::Reshape(mask_token_, t::Shape{1, 1, 1, dim_});
+  ag::Variable h = ag::Add(ag::Mul(keep, encoded), ag::Mul(drop, token));
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, e);
+  }
+  return h;
+}
+
+}  // namespace sstban::sstban

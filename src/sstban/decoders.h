@@ -1,0 +1,53 @@
+#ifndef SSTBAN_SSTBAN_DECODERS_H_
+#define SSTBAN_SSTBAN_DECODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "sstban/config.h"
+#include "sstban/stba_block.h"
+
+namespace sstban::sstban {
+
+// ST Forecasting decoder (§IV-C3): L' residual STBA blocks over the
+// transform-attention output, followed by a linear projection d -> C that
+// emits the future traffic signals.
+class StForecastingDecoder : public nn::Module {
+ public:
+  StForecastingDecoder(const SstbanConfig& config, core::Rng& rng);
+
+  // h: [B, Q, N, d], e_out: [B, Q, N, d] -> prediction [B, Q, N, C].
+  autograd::Variable Forward(const autograd::Variable& h,
+                             const autograd::Variable& e_out) const;
+
+ private:
+  std::vector<std::unique_ptr<StbaBlock>> blocks_;
+  std::unique_ptr<nn::Linear> output_proj_;
+};
+
+// ST Reconstructing decoder (§IV-D3): fills the masked latent positions
+// with a shared learnable mask token, then runs L'' STBA blocks to recover
+// the complete latent representation, which is aligned with the clean
+// encoder's H^(L) in latent space.
+class StReconstructingDecoder : public nn::Module {
+ public:
+  StReconstructingDecoder(const SstbanConfig& config, core::Rng& rng);
+
+  // encoded: [B, P, N, d] (latent from the masked encoder pass);
+  // e: [B, P, N, d]; keep_latent: [B, P, N, 1] with 1 where the position
+  // was (at least partially) observed. Returns [B, P, N, d].
+  autograd::Variable Forward(const autograd::Variable& encoded,
+                             const autograd::Variable& e,
+                             const tensor::Tensor& keep_latent) const;
+
+ private:
+  int64_t dim_;
+  autograd::Variable mask_token_;  // [d], shared across positions
+  std::vector<std::unique_ptr<StbaBlock>> blocks_;
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_DECODERS_H_

@@ -1,0 +1,31 @@
+#include "sstban/encoder.h"
+
+#include "core/string_util.h"
+
+namespace sstban::sstban {
+
+namespace ag = ::sstban::autograd;
+
+StEncoder::StEncoder(const SstbanConfig& config, core::Rng& rng) {
+  input_proj_ = std::make_unique<nn::Linear>(config.num_features,
+                                             config.hidden_dim, rng);
+  RegisterModule("input_proj", input_proj_.get());
+  for (int64_t l = 0; l < config.encoder_blocks; ++l) {
+    blocks_.push_back(std::make_unique<StbaBlock>(
+        config.hidden_dim, config.num_heads, config.temporal_refs,
+        config.spatial_refs, config.use_bottleneck, rng));
+    RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
+                   blocks_.back().get());
+  }
+}
+
+ag::Variable StEncoder::Forward(const ag::Variable& x, const ag::Variable& e,
+                                const tensor::Tensor* keep_mask) const {
+  ag::Variable h = input_proj_->Forward(x);  // [B, P, N, d]
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, e, keep_mask);
+  }
+  return h;
+}
+
+}  // namespace sstban::sstban

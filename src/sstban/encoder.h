@@ -1,0 +1,36 @@
+#ifndef SSTBAN_SSTBAN_ENCODER_H_
+#define SSTBAN_SSTBAN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "sstban/config.h"
+#include "sstban/stba_block.h"
+
+namespace sstban::sstban {
+
+// Spatial-Temporal encoder (§IV-C1): a linear projection C -> d followed by
+// L residual STBA blocks. Shared verbatim by the forecasting branch and the
+// self-supervised branch (the sharing is the point of the multi-task
+// design — the MAE task exercises this encoder).
+class StEncoder : public nn::Module {
+ public:
+  StEncoder(const SstbanConfig& config, core::Rng& rng);
+
+  // x: [B, P, N, C] normalized signals; e: [B, P, N, d] ST embedding;
+  // keep_mask (optional): [B, P, N] with 1 = observed. Returns the latent
+  // H^(L) in [B, P, N, d].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& e,
+                             const tensor::Tensor* keep_mask = nullptr) const;
+
+ private:
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<std::unique_ptr<StbaBlock>> blocks_;
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_ENCODER_H_

@@ -1,0 +1,100 @@
+#include "sstban/masking.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/check.h"
+
+namespace sstban::sstban {
+
+const char* MaskStrategyName(MaskStrategy strategy) {
+  switch (strategy) {
+    case MaskStrategy::kSpacetimeAgnostic:
+      return "spacetime-agnostic";
+    case MaskStrategy::kSpaceOnly:
+      return "space-only";
+    case MaskStrategy::kTimeOnly:
+      return "time-only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Zeros time steps [seg*l_m, min((seg+1)*l_m, P)) of series (v, c).
+void MaskPatch(tensor::Tensor& mask, int64_t seg, int64_t v, int64_t c,
+               int64_t patch_len, int64_t input_len) {
+  int64_t n = mask.dim(1), feats = mask.dim(2);
+  int64_t t_begin = seg * patch_len;
+  int64_t t_end = std::min(t_begin + patch_len, input_len);
+  float* p = mask.data();
+  for (int64_t t = t_begin; t < t_end; ++t) {
+    p[(t * n + v) * feats + c] = 0.0f;
+  }
+}
+
+}  // namespace
+
+tensor::Tensor GenerateMask(int64_t input_len, int64_t num_nodes,
+                            int64_t num_features, int64_t patch_len,
+                            double mask_rate, MaskStrategy strategy,
+                            core::Rng& rng) {
+  SSTBAN_CHECK_GT(input_len, 0);
+  SSTBAN_CHECK_GT(num_nodes, 0);
+  SSTBAN_CHECK_GT(num_features, 0);
+  SSTBAN_CHECK_GT(patch_len, 0);
+  SSTBAN_CHECK(mask_rate >= 0.0 && mask_rate < 1.0)
+      << "mask rate must be in [0, 1), got" << mask_rate;
+  tensor::Tensor mask =
+      tensor::Tensor::Ones(tensor::Shape{input_len, num_nodes, num_features});
+
+  int64_t segments = (input_len + patch_len - 1) / patch_len;
+  switch (strategy) {
+    case MaskStrategy::kSpacetimeAgnostic: {
+      int64_t num_patches = segments * num_nodes * num_features;
+      auto num_masked = static_cast<int64_t>(mask_rate * num_patches);
+      num_masked = std::min(num_masked, num_patches - 1);  // keep >= 1 visible
+      std::vector<int64_t> sampled =
+          rng.SampleWithoutReplacement(num_patches, num_masked);
+      for (int64_t idx : sampled) {
+        int64_t seg = idx / (num_nodes * num_features);
+        int64_t rest = idx % (num_nodes * num_features);
+        int64_t v = rest / num_features;
+        int64_t c = rest % num_features;
+        MaskPatch(mask, seg, v, c, patch_len, input_len);
+      }
+      break;
+    }
+    case MaskStrategy::kSpaceOnly: {
+      auto num_masked = static_cast<int64_t>(mask_rate * num_nodes);
+      num_masked = std::min(num_masked, num_nodes - 1);
+      std::vector<int64_t> sampled =
+          rng.SampleWithoutReplacement(num_nodes, num_masked);
+      for (int64_t v : sampled) {
+        for (int64_t seg = 0; seg < segments; ++seg) {
+          for (int64_t c = 0; c < num_features; ++c) {
+            MaskPatch(mask, seg, v, c, patch_len, input_len);
+          }
+        }
+      }
+      break;
+    }
+    case MaskStrategy::kTimeOnly: {
+      auto num_masked = static_cast<int64_t>(mask_rate * segments);
+      num_masked = std::min(num_masked, segments - 1);
+      std::vector<int64_t> sampled =
+          rng.SampleWithoutReplacement(segments, num_masked);
+      for (int64_t seg : sampled) {
+        for (int64_t v = 0; v < num_nodes; ++v) {
+          for (int64_t c = 0; c < num_features; ++c) {
+            MaskPatch(mask, seg, v, c, patch_len, input_len);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return mask;
+}
+
+}  // namespace sstban::sstban

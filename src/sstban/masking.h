@@ -1,0 +1,36 @@
+#ifndef SSTBAN_SSTBAN_MASKING_H_
+#define SSTBAN_SSTBAN_MASKING_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace sstban::sstban {
+
+// The three mask-sampling strategies compared in §V-D4 / Fig. 8.
+enum class MaskStrategy {
+  // Algorithm 1: patches (length-l_m temporal runs of one node/feature
+  // series) are sampled uniformly across space and time.
+  kSpacetimeAgnostic,
+  // Whole nodes are masked for the entire input window.
+  kSpaceOnly,
+  // Whole temporal patches are masked across every node.
+  kTimeOnly,
+};
+
+const char* MaskStrategyName(MaskStrategy strategy);
+
+// Generates a {0, 1} mask tensor of shape [P, N, C] (1 = keep, 0 = masked)
+// for one input sample. `patch_len` is the paper's l_m, `mask_rate` its
+// alpha_m. A trailing partial patch is allowed when l_m does not divide P.
+// At least one patch is always left visible so the encoder never sees a
+// fully-masked input.
+tensor::Tensor GenerateMask(int64_t input_len, int64_t num_nodes,
+                            int64_t num_features, int64_t patch_len,
+                            double mask_rate, MaskStrategy strategy,
+                            core::Rng& rng);
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_MASKING_H_

@@ -1,0 +1,88 @@
+#ifndef SSTBAN_SSTBAN_MODEL_H_
+#define SSTBAN_SSTBAN_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rng.h"
+#include "sstban/config.h"
+#include "sstban/decoders.h"
+#include "sstban/encoder.h"
+#include "sstban/ste.h"
+#include "sstban/transform_attention.h"
+#include "training/model.h"
+
+namespace sstban::sstban {
+
+// The full SSTBAN model (Fig. 1): a forecasting branch
+// (encoder -> transform attention -> forecasting decoder) and a
+// self-supervised masked-autoencoding branch (masking -> shared encoder ->
+// reconstructing decoder -> latent alignment), combined through the
+// multi-task loss (1 - lambda) * MAE + lambda * MSE.
+class SstbanModel : public training::TrafficModel {
+ public:
+  explicit SstbanModel(const SstbanConfig& config);
+
+  // Forecasting branch only (used at inference / evaluation).
+  autograd::Variable Predict(const tensor::Tensor& x_norm,
+                             const data::Batch& batch) override;
+
+  // Two-branch multi-task objective (training).
+  autograd::Variable TrainingLoss(const tensor::Tensor& x_norm,
+                                  const tensor::Tensor& y_norm,
+                                  const data::Batch& batch) override;
+
+  std::string name() const override {
+    return config_.use_bottleneck ? "SSTBAN" : "SSTBAN-w/o-STBA";
+  }
+
+  const SstbanConfig& config() const { return config_; }
+
+  // Runtime adjustments for self-supervision scheduling experiments
+  // (multi-task vs pre-train-then-fine-tune; see bench_ablation_ssl_modes).
+  // lambda = 1 trains the reconstruction objective alone; lambda = 0 (or
+  // set_self_supervised(false)) trains pure forecasting.
+  void set_lambda(double lambda) { config_.lambda = lambda; }
+  void set_self_supervised(bool enabled);
+
+  // Forecast from partially observed input: `keep_pos` is [B, P, N] with 1
+  // where the position was actually observed. Missing positions are zeroed
+  // in the input and excluded as attention keys in the encoder — the same
+  // machinery the self-supervised branch trains, reused for inference with
+  // sensor dropouts.
+  autograd::Variable PredictWithMissing(const tensor::Tensor& x_norm,
+                                        const tensor::Tensor& keep_pos,
+                                        const data::Batch& batch);
+
+  // Exposed pieces of one training forward pass, for tests and ablations.
+  struct ForwardOutput {
+    autograd::Variable prediction;      // [B, Q, N, C]
+    autograd::Variable forecast_loss;   // scalar MAE
+    autograd::Variable alignment_loss;  // scalar MSE (undefined if SSL off)
+    autograd::Variable total_loss;      // scalar
+  };
+  ForwardOutput ForwardTwoBranch(const tensor::Tensor& x_norm,
+                                 const tensor::Tensor& y_norm,
+                                 const data::Batch& batch);
+
+ private:
+  // The per-branch forecasting pipeline; returns the normalized prediction
+  // and (via h_latent) the clean-encoder latent used as alignment target.
+  autograd::Variable ForecastBranch(const autograd::Variable& x,
+                                    const data::Batch& batch,
+                                    autograd::Variable* h_latent,
+                                    autograd::Variable* e_in);
+
+  SstbanConfig config_;
+  core::Rng rng_;       // construction-time weight init stream
+  core::Rng mask_rng_;  // per-step masking stream
+  std::unique_ptr<SpatialTemporalEmbedding> ste_;
+  std::unique_ptr<StEncoder> encoder_;
+  std::unique_ptr<TransformAttention> transform_;
+  std::unique_ptr<StForecastingDecoder> decoder_;
+  std::unique_ptr<StReconstructingDecoder> reconstructor_;
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_MODEL_H_

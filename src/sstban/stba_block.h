@@ -1,0 +1,45 @@
+#ifndef SSTBAN_SSTBAN_STBA_BLOCK_H_
+#define SSTBAN_SSTBAN_STBA_BLOCK_H_
+
+#include <memory>
+
+#include "nn/module.h"
+#include "sstban/bottleneck_attention.h"
+
+namespace sstban::sstban {
+
+// Spatial-Temporal Bottleneck Attentive block (§IV-B, Fig. 2). The block
+// concatenates its input H with the ST embedding E into Z = H || E
+// (width 2d), runs temporal bottleneck attention per node (over the T axis)
+// and spatial bottleneck attention per time slice (over the N axis), and
+// returns T + S plus a residual connection to H.
+class StbaBlock : public nn::Module {
+ public:
+  // When use_bottleneck is false both attentions fall back to full
+  // quadratic self-attention (the Table VI "w/o STBA" variant).
+  StbaBlock(int64_t dim, int64_t num_heads, int64_t temporal_refs,
+            int64_t spatial_refs, bool use_bottleneck, core::Rng& rng);
+
+  // h, e: [B, T, N, d]. `keep_mask`, when given, is [B, T, N] with 1 for
+  // observed positions; masked positions are excluded as attention keys.
+  autograd::Variable Forward(const autograd::Variable& h,
+                             const autograd::Variable& e,
+                             const tensor::Tensor* keep_mask = nullptr) const;
+
+ private:
+  autograd::Variable ApplyTemporal(const autograd::Variable& z,
+                                   const tensor::Tensor* key_mask) const;
+  autograd::Variable ApplySpatial(const autograd::Variable& z,
+                                  const tensor::Tensor* key_mask) const;
+
+  int64_t dim_;
+  bool use_bottleneck_;
+  std::unique_ptr<BottleneckAttention> temporal_bottleneck_;
+  std::unique_ptr<BottleneckAttention> spatial_bottleneck_;
+  std::unique_ptr<FullSelfAttention> temporal_full_;
+  std::unique_ptr<FullSelfAttention> spatial_full_;
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_STBA_BLOCK_H_

@@ -1,0 +1,40 @@
+#ifndef SSTBAN_SSTBAN_STE_H_
+#define SSTBAN_SSTBAN_STE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace sstban::sstban {
+
+// Spatial-Temporal Embedding (STE) block (§IV-A). The spatial embedding is
+// a learned vector per node, shared across time; the temporal embedding is
+// produced from one-hot time-of-day and day-of-week features through an MLP,
+// shared across nodes. The two are summed into E in R^{len x N x d}.
+class SpatialTemporalEmbedding : public nn::Module {
+ public:
+  SpatialTemporalEmbedding(int64_t num_nodes, int64_t steps_per_day,
+                           int64_t dim, core::Rng& rng);
+
+  // tod/dow: flattened calendar indices of length batch*len (as produced by
+  // data::Batch). Returns E of shape [batch, len, N, dim].
+  autograd::Variable Forward(const std::vector<int64_t>& tod,
+                             const std::vector<int64_t>& dow, int64_t batch,
+                             int64_t len) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t steps_per_day_;
+  int64_t dim_;
+  std::unique_ptr<nn::Embedding> spatial_;  // [N, d]
+  std::unique_ptr<nn::Mlp> temporal_mlp_;   // one-hot(tod) ++ one-hot(dow) -> d
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_STE_H_

@@ -1,0 +1,43 @@
+#include "sstban/transform_attention.h"
+
+#include "autograd/ops.h"
+#include "core/check.h"
+
+namespace sstban::sstban {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+TransformAttention::TransformAttention(int64_t dim, int64_t num_heads,
+                                       core::Rng& rng)
+    : dim_(dim) {
+  attention_ =
+      std::make_unique<nn::MultiHeadAttention>(dim, dim, dim, num_heads, rng);
+  RegisterModule("attention", attention_.get());
+}
+
+ag::Variable TransformAttention::Forward(const ag::Variable& e_out,
+                                         const ag::Variable& e_in,
+                                         const ag::Variable& h) const {
+  SSTBAN_CHECK_EQ(e_out.rank(), 4);
+  SSTBAN_CHECK(e_in.shape() == h.shape());
+  int64_t batch = h.dim(0), p = h.dim(1), nodes = h.dim(2);
+  int64_t q = e_out.dim(1);
+  SSTBAN_CHECK_EQ(e_out.dim(0), batch);
+  SSTBAN_CHECK_EQ(e_out.dim(2), nodes);
+  SSTBAN_CHECK_EQ(e_out.dim(3), dim_);
+
+  // Per-node sequences: [B, L, N, d] -> [B*N, L, d].
+  auto per_node = [&](const ag::Variable& x, int64_t len) {
+    ag::Variable r = ag::Permute(x, {0, 2, 1, 3});  // [B, N, L, d]
+    return ag::Reshape(r, t::Shape{batch * nodes, len, dim_});
+  };
+  ag::Variable query = per_node(e_out, q);
+  ag::Variable key = per_node(e_in, p);
+  ag::Variable value = per_node(h, p);
+  ag::Variable out = attention_->Forward(query, key, value);  // [B*N, Q, d]
+  out = ag::Reshape(out, t::Shape{batch, nodes, q, dim_});
+  return ag::Permute(out, {0, 2, 1, 3});  // [B, Q, N, d]
+}
+
+}  // namespace sstban::sstban

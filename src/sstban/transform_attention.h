@@ -1,0 +1,34 @@
+#ifndef SSTBAN_SSTBAN_TRANSFORM_ATTENTION_H_
+#define SSTBAN_SSTBAN_TRANSFORM_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/module.h"
+
+namespace sstban::sstban {
+
+// Transform attention (§IV-C2, Eq. 3): converts the P-step encoder output
+// into a Q-step decoder input by attending from the output-time ST
+// embedding E' (queries) to the input-time ST embedding E (keys) over the
+// encoder latent H^(L) (values), independently for every node. This directly
+// links each future step with every historical step, sidestepping recursive
+// error propagation (the approach GMAN introduced).
+class TransformAttention : public nn::Module {
+ public:
+  TransformAttention(int64_t dim, int64_t num_heads, core::Rng& rng);
+
+  // e_out: [B, Q, N, d], e_in: [B, P, N, d], h: [B, P, N, d]
+  // -> [B, Q, N, d].
+  autograd::Variable Forward(const autograd::Variable& e_out,
+                             const autograd::Variable& e_in,
+                             const autograd::Variable& h) const;
+
+ private:
+  int64_t dim_;
+  std::unique_ptr<nn::MultiHeadAttention> attention_;
+};
+
+}  // namespace sstban::sstban
+
+#endif  // SSTBAN_SSTBAN_TRANSFORM_ATTENTION_H_

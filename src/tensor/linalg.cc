@@ -1,0 +1,76 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include "core/string_util.h"
+
+namespace sstban::tensor {
+
+core::StatusOr<Tensor> CholeskyFactor(const Tensor& a) {
+  if (a.rank() != 2 || a.dim(0) != a.dim(1)) {
+    return core::Status::InvalidArgument(
+        "CholeskyFactor requires a square matrix, got " + a.shape().ToString());
+  }
+  int64_t n = a.dim(0);
+  Tensor l = Tensor::Zeros(Shape{n, n});
+  const float* pa = a.data();
+  float* pl = l.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc = pa[i * n + j];
+      for (int64_t k = 0; k < j; ++k) {
+        acc -= static_cast<double>(pl[i * n + k]) * pl[j * n + k];
+      }
+      if (i == j) {
+        if (acc <= 0.0) {
+          return core::Status::InvalidArgument(core::StrFormat(
+              "matrix is not positive definite (pivot %lld is %g)",
+              static_cast<long long>(i), acc));
+        }
+        pl[i * n + j] = static_cast<float>(std::sqrt(acc));
+      } else {
+        pl[i * n + j] = static_cast<float>(acc / pl[j * n + j]);
+      }
+    }
+  }
+  return l;
+}
+
+core::StatusOr<Tensor> CholeskySolve(const Tensor& a, const Tensor& b) {
+  if (b.rank() != 2 || b.dim(0) != a.dim(0)) {
+    return core::Status::InvalidArgument(
+        "CholeskySolve shape mismatch: A " + a.shape().ToString() + ", B " +
+        b.shape().ToString());
+  }
+  auto factor = CholeskyFactor(a);
+  if (!factor.ok()) return factor.status();
+  const Tensor& l = factor.value();
+  int64_t n = a.dim(0);
+  int64_t m = b.dim(1);
+  const float* pl = l.data();
+  // Forward substitution: L Y = B.
+  Tensor y = b.Clone();
+  float* py = y.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < m; ++c) {
+      double acc = py[i * m + c];
+      for (int64_t k = 0; k < i; ++k) acc -= static_cast<double>(pl[i * n + k]) * py[k * m + c];
+      py[i * m + c] = static_cast<float>(acc / pl[i * n + i]);
+    }
+  }
+  // Back substitution: L^T X = Y.
+  Tensor x = y.Clone();
+  float* px = x.data();
+  for (int64_t i = n - 1; i >= 0; --i) {
+    for (int64_t c = 0; c < m; ++c) {
+      double acc = px[i * m + c];
+      for (int64_t k = i + 1; k < n; ++k) {
+        acc -= static_cast<double>(pl[k * n + i]) * px[k * m + c];
+      }
+      px[i * m + c] = static_cast<float>(acc / pl[i * n + i]);
+    }
+  }
+  return x;
+}
+
+}  // namespace sstban::tensor

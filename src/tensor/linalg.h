@@ -1,0 +1,21 @@
+#ifndef SSTBAN_TENSOR_LINALG_H_
+#define SSTBAN_TENSOR_LINALG_H_
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace sstban::tensor {
+
+// Lower-triangular Cholesky factor L of a symmetric positive-definite
+// matrix A (L * L^T == A). Returns InvalidArgument when A is not square or
+// a non-positive pivot is encountered (A not SPD).
+core::StatusOr<Tensor> CholeskyFactor(const Tensor& a);
+
+// Solves A X = B for X where A is SPD, via a Cholesky factorization.
+// A: [n, n], B: [n, m] -> X: [n, m]. Used by the closed-form ridge
+// regression in the VAR baseline.
+core::StatusOr<Tensor> CholeskySolve(const Tensor& a, const Tensor& b);
+
+}  // namespace sstban::tensor
+
+#endif  // SSTBAN_TENSOR_LINALG_H_

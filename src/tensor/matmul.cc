@@ -1,0 +1,182 @@
+#include "tensor/matmul.h"
+
+#include <cstring>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+
+namespace sstban::tensor {
+
+namespace {
+
+// C[M,N] += A[M,K] * B[K,N], all row-major contiguous. i-k-j loop order:
+// the inner j-loop streams both B's row and C's row, which vectorizes well.
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      float aval = arow[p];
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+// C[M,N] += A[M,K] * B[N,K]^T. The inner loop is a contiguous dot product
+// over K for both operands (the natural layout for Q*K^T attention scores).
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// C[M,N] += A[K,M]^T * B[K,N].
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float aval = arow[i];
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+// C[M,N] += A[K,M]^T * B[N,K]^T == (B*A)^T; computed directly.
+void GemmTT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+// Attention on small models produces floods of tiny GEMMs (head_dim and
+// reference-point counts of 1-8); compile-time-unrolled kernels for those
+// shapes remove most of the per-element loop overhead.
+template <int K>
+void GemmNTFixedK(const float* a, const float* b, float* c, int64_t m,
+                  int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * K;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * K;
+      float acc = 0.0f;
+      for (int p = 0; p < K; ++p) acc += arow[p] * brow[p];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+template <int N>
+void GemmNNFixedN(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float acc[N] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      float aval = arow[p];
+      const float* brow = b + p * N;
+      for (int j = 0; j < N; ++j) acc[j] += aval * brow[j];
+    }
+    float* crow = c + i * N;
+    for (int j = 0; j < N; ++j) crow[j] += acc[j];
+  }
+}
+
+void GemmDispatch(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool ta, bool tb) {
+  if (!ta && !tb) {
+    switch (n) {
+      case 1: GemmNNFixedN<1>(a, b, c, m, k); return;
+      case 2: GemmNNFixedN<2>(a, b, c, m, k); return;
+      case 3: GemmNNFixedN<3>(a, b, c, m, k); return;
+      case 4: GemmNNFixedN<4>(a, b, c, m, k); return;
+      case 6: GemmNNFixedN<6>(a, b, c, m, k); return;
+      case 8: GemmNNFixedN<8>(a, b, c, m, k); return;
+      default: GemmNN(a, b, c, m, k, n); return;
+    }
+  } else if (!ta && tb) {
+    switch (k) {
+      case 1: GemmNTFixedK<1>(a, b, c, m, n); return;
+      case 2: GemmNTFixedK<2>(a, b, c, m, n); return;
+      case 3: GemmNTFixedK<3>(a, b, c, m, n); return;
+      case 4: GemmNTFixedK<4>(a, b, c, m, n); return;
+      case 6: GemmNTFixedK<6>(a, b, c, m, n); return;
+      case 8: GemmNTFixedK<8>(a, b, c, m, n); return;
+      default: GemmNT(a, b, c, m, k, n); return;
+    }
+  } else if (ta && !tb) {
+    GemmTN(a, b, c, m, k, n);
+  } else {
+    GemmTT(a, b, c, m, k, n);
+  }
+}
+
+}  // namespace
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  SSTBAN_CHECK_EQ(a.rank(), 2);
+  SSTBAN_CHECK_EQ(b.rank(), 2);
+  int64_t m = a.dim(0), k = a.dim(1);
+  SSTBAN_CHECK_EQ(b.dim(0), k)
+      << "matmul inner dims:" << a.shape().ToString() << "x" << b.shape().ToString();
+  int64_t n = b.dim(1);
+  Tensor out(Shape{m, n});
+  if (m >= 64) {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    core::ParallelFor(0, m, [&](int64_t lo, int64_t hi) {
+      GemmNN(pa + lo * k, pb, po + lo * n, hi - lo, k, n);
+    }, /*min_chunk=*/16);
+  } else {
+    GemmNN(a.data(), b.data(), out.data(), m, k, n);
+  }
+  return out;
+}
+
+Tensor Bmm(const Tensor& a, const Tensor& b, bool transpose_a,
+           bool transpose_b) {
+  SSTBAN_CHECK_EQ(a.rank(), 3);
+  SSTBAN_CHECK_EQ(b.rank(), 3);
+  int64_t batch = a.dim(0);
+  SSTBAN_CHECK_EQ(b.dim(0), batch);
+  int64_t m = transpose_a ? a.dim(2) : a.dim(1);
+  int64_t k = transpose_a ? a.dim(1) : a.dim(2);
+  int64_t kb = transpose_b ? b.dim(2) : b.dim(1);
+  int64_t n = transpose_b ? b.dim(1) : b.dim(2);
+  SSTBAN_CHECK_EQ(k, kb) << "bmm inner dims:" << a.shape().ToString() << "x"
+                         << b.shape().ToString();
+  Tensor out(Shape{batch, m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  int64_t a_stride = a.dim(1) * a.dim(2);
+  int64_t b_stride = b.dim(1) * b.dim(2);
+  int64_t o_stride = m * n;
+  core::ParallelFor(0, batch, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      GemmDispatch(pa + i * a_stride, pb + i * b_stride, po + i * o_stride, m,
+                   k, n, transpose_a, transpose_b);
+    }
+  }, /*min_chunk=*/1);
+  return out;
+}
+
+}  // namespace sstban::tensor

@@ -1,0 +1,21 @@
+#ifndef SSTBAN_TENSOR_MATMUL_H_
+#define SSTBAN_TENSOR_MATMUL_H_
+
+#include "tensor/tensor.h"
+
+namespace sstban::tensor {
+
+// Dense matrix product of rank-2 tensors: [M, K] x [K, N] -> [M, N].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+// Batched matrix product of rank-3 tensors with shared batch size:
+// [B, M, K] x [B, K, N] -> [B, M, N]. When transpose_a / transpose_b are
+// set the corresponding operand's trailing two axes are treated as
+// transposed (so a is [B, K, M] and/or b is [B, N, K]); the flags avoid
+// materializing transposed copies in attention kernels and backward passes.
+Tensor Bmm(const Tensor& a, const Tensor& b, bool transpose_a = false,
+           bool transpose_b = false);
+
+}  // namespace sstban::tensor
+
+#endif  // SSTBAN_TENSOR_MATMUL_H_

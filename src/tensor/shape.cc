@@ -1,0 +1,61 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace sstban::tensor {
+
+int64_t Shape::dim(int i) const {
+  int axis = CanonicalAxis(i);
+  return dims_[axis];
+}
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t stride = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    strides[i] = stride;
+    stride *= dims_[i];
+  }
+  return strides;
+}
+
+int Shape::CanonicalAxis(int axis) const {
+  int r = rank();
+  if (axis < 0) axis += r;
+  SSTBAN_CHECK(axis >= 0 && axis < r)
+      << "axis" << axis << "out of range for rank" << r;
+  return axis;
+}
+
+std::string Shape::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (int64_t d : dims_) parts.push_back(std::to_string(d));
+  return "[" + core::Join(parts, ", ") + "]";
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  int rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(rank);
+  for (int i = 0; i < rank; ++i) {
+    int ai = a.rank() - rank + i;
+    int bi = b.rank() - rank + i;
+    int64_t da = ai >= 0 ? a.dims()[ai] : 1;
+    int64_t db = bi >= 0 ? b.dims()[bi] : 1;
+    SSTBAN_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast" << a.ToString() << "with" << b.ToString();
+    dims[i] = std::max(da, db);
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace sstban::tensor

@@ -1,0 +1,49 @@
+#ifndef SSTBAN_TENSOR_SHAPE_H_
+#define SSTBAN_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sstban::tensor {
+
+// Dimensions of a dense row-major tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const;
+  // Negative axes count from the end (-1 is the last axis).
+  int64_t operator[](int i) const { return dim(i); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of all dimensions; 1 for a scalar.
+  int64_t NumElements() const;
+
+  // Row-major strides, in elements.
+  std::vector<int64_t> Strides() const;
+
+  // Canonicalizes a possibly negative axis into [0, rank).
+  int CanonicalAxis(int axis) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  // e.g. "[2, 3, 4]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+// Result shape of broadcasting `a` against `b` under NumPy rules.
+// CHECK-fails if the shapes are incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+}  // namespace sstban::tensor
+
+#endif  // SSTBAN_TENSOR_SHAPE_H_

@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/memory_tracker.h"
+
+namespace sstban::tensor {
+
+namespace internal {
+
+Storage::Storage(int64_t num_elements)
+    : data_(new float[num_elements]()), num_elements_(num_elements) {
+  core::MemoryTracker::Global().OnAlloc(num_elements_ *
+                                        static_cast<int64_t>(sizeof(float)));
+}
+
+Storage::~Storage() {
+  core::MemoryTracker::Global().OnFree(num_elements_ *
+                                       static_cast<int64_t>(sizeof(float)));
+}
+
+}  // namespace internal
+
+Tensor::Tensor(Shape shape)
+    : storage_(std::make_shared<internal::Storage>(shape.NumElements())),
+      shape_(std::move(shape)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  SSTBAN_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()));
+  Tensor t(std::move(shape));
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  float* out = t.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, core::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* out = t.data();
+  int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) out[i] = rng.NextUniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, core::Rng& rng, float mean,
+                            float stddev) {
+  Tensor t(std::move(shape));
+  float* out = t.data();
+  int64_t n = t.size();
+  for (int64_t i = 0; i < n; ++i) out[i] = rng.NextGaussian(mean, stddev);
+  return t;
+}
+
+float* Tensor::data() {
+  SSTBAN_CHECK(defined()) << "data() on undefined tensor";
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  SSTBAN_CHECK(defined()) << "data() on undefined tensor";
+  return storage_->data();
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  SSTBAN_CHECK_EQ(static_cast<int>(index.size()), rank());
+  std::vector<int64_t> strides = shape_.Strides();
+  int64_t offset = 0;
+  int axis = 0;
+  for (int64_t i : index) {
+    SSTBAN_CHECK(i >= 0 && i < shape_.dims()[axis])
+        << "index" << i << "out of bounds for axis" << axis << "with size"
+        << shape_.dims()[axis];
+    offset += i * strides[axis];
+    ++axis;
+  }
+  return data()[offset];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return const_cast<Tensor*>(this)->at(index);
+}
+
+float Tensor::item() const {
+  SSTBAN_CHECK_EQ(size(), 1);
+  return data()[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  SSTBAN_CHECK(defined());
+  SSTBAN_CHECK_EQ(new_shape.NumElements(), size())
+      << "cannot reshape" << shape_.ToString() << "to" << new_shape.ToString();
+  return Tensor(storage_, std::move(new_shape));
+}
+
+Tensor Tensor::Clone() const {
+  SSTBAN_CHECK(defined());
+  Tensor copy(shape_);
+  std::memcpy(copy.data(), data(), size() * sizeof(float));
+  return copy;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  SSTBAN_CHECK(shape_ == src.shape())
+      << "CopyFrom shape mismatch:" << shape_.ToString() << "vs"
+      << src.shape().ToString();
+  std::memcpy(data(), src.data(), size() * sizeof(float));
+}
+
+void Tensor::Fill(float value) {
+  float* out = data();
+  int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) out[i] = value;
+}
+
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + size());
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << shape_.ToString() << " {";
+  int64_t n = std::min(size(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data()[i];
+  }
+  if (n < size()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sstban::tensor

@@ -1,0 +1,60 @@
+#include "training/forecast_service.h"
+
+#include "autograd/variable.h"
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace sstban::training {
+
+ForecastService::ForecastService(TrafficModel* model, data::Normalizer normalizer,
+                                 int64_t input_len, int64_t output_len,
+                                 int64_t steps_per_day)
+    : model_(model),
+      normalizer_(std::move(normalizer)),
+      input_len_(input_len),
+      output_len_(output_len),
+      steps_per_day_(steps_per_day) {
+  SSTBAN_CHECK(model != nullptr);
+  SSTBAN_CHECK_GT(input_len, 0);
+  SSTBAN_CHECK_GT(output_len, 0);
+  SSTBAN_CHECK_GT(steps_per_day, 0);
+}
+
+core::StatusOr<tensor::Tensor> ForecastService::Forecast(
+    const tensor::Tensor& recent, int64_t first_step) {
+  if (recent.rank() != 3 || recent.dim(0) != input_len_) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "expected [%lld, N, C] recent window, got %s",
+        static_cast<long long>(input_len_), recent.shape().ToString().c_str()));
+  }
+  if (first_step < 0) {
+    return core::Status::InvalidArgument("first_step must be >= 0");
+  }
+  int64_t nodes = recent.dim(1);
+  int64_t feats = recent.dim(2);
+
+  data::Batch batch;
+  batch.x = recent.Reshape(tensor::Shape{1, input_len_, nodes, feats});
+  batch.y = tensor::Tensor::Zeros(
+      tensor::Shape{1, output_len_, nodes, feats});  // unused placeholder
+  auto calendar = [&](int64_t step, std::vector<int64_t>* tod,
+                      std::vector<int64_t>* dow) {
+    tod->push_back(step % steps_per_day_);
+    dow->push_back((step / steps_per_day_) % 7);
+  };
+  for (int64_t p = 0; p < input_len_; ++p) {
+    calendar(first_step + p, &batch.tod_in, &batch.dow_in);
+  }
+  for (int64_t q = 0; q < output_len_; ++q) {
+    calendar(first_step + input_len_ + q, &batch.tod_out, &batch.dow_out);
+  }
+
+  model_->SetTraining(false);
+  autograd::NoGradGuard no_grad;
+  tensor::Tensor x_norm = normalizer_.Transform(batch.x);
+  autograd::Variable pred = model_->Predict(x_norm, batch);
+  tensor::Tensor denorm = normalizer_.InverseTransform(pred.value());
+  return denorm.Reshape(tensor::Shape{output_len_, nodes, feats});
+}
+
+}  // namespace sstban::training

@@ -1,0 +1,43 @@
+#ifndef SSTBAN_TRAINING_FORECAST_SERVICE_H_
+#define SSTBAN_TRAINING_FORECAST_SERVICE_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+#include "data/normalizer.h"
+#include "training/model.h"
+
+namespace sstban::training {
+
+// Deployment-facing wrapper around a trained TrafficModel: accepts a raw
+// (denormalized) recent window plus the absolute time index of its first
+// slice, derives calendar features, normalizes, runs the model, and returns
+// the denormalized multi-step forecast — what an ITS integration actually
+// consumes. The absolute index is measured in slices since a Monday 00:00
+// origin, so time-of-day and day-of-week are self-consistent.
+class ForecastService {
+ public:
+  // The service borrows `model` (must outlive the service).
+  ForecastService(TrafficModel* model, data::Normalizer normalizer,
+                  int64_t input_len, int64_t output_len, int64_t steps_per_day);
+
+  // recent: [P, N, C] raw signals whose first slice is at absolute index
+  // `first_step`. Returns [Q, N, C] raw forecasts for the following Q
+  // slices, or InvalidArgument on shape mismatch.
+  core::StatusOr<tensor::Tensor> Forecast(const tensor::Tensor& recent,
+                                          int64_t first_step);
+
+  int64_t input_len() const { return input_len_; }
+  int64_t output_len() const { return output_len_; }
+
+ private:
+  TrafficModel* model_;
+  data::Normalizer normalizer_;
+  int64_t input_len_;
+  int64_t output_len_;
+  int64_t steps_per_day_;
+};
+
+}  // namespace sstban::training
+
+#endif  // SSTBAN_TRAINING_FORECAST_SERVICE_H_

@@ -1,0 +1,44 @@
+#include "training/metrics.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace sstban::training {
+
+std::string Metrics::ToString() const {
+  return core::StrFormat("MAE %.3f  RMSE %.3f  MAPE %.2f%%", mae, rmse, mape);
+}
+
+MetricsAccumulator::MetricsAccumulator(double mape_threshold)
+    : mape_threshold_(mape_threshold) {}
+
+void MetricsAccumulator::Add(const tensor::Tensor& prediction,
+                             const tensor::Tensor& truth) {
+  SSTBAN_CHECK(prediction.shape() == truth.shape())
+      << prediction.shape().ToString() << "vs" << truth.shape().ToString();
+  const float* pp = prediction.data();
+  const float* pt = truth.data();
+  for (int64_t i = 0; i < prediction.size(); ++i) {
+    double err = static_cast<double>(pp[i]) - pt[i];
+    abs_sum_ += std::fabs(err);
+    sq_sum_ += err * err;
+    if (std::fabs(pt[i]) > mape_threshold_) {
+      ape_sum_ += std::fabs(err) / std::fabs(pt[i]);
+      ++ape_count_;
+    }
+  }
+  count_ += prediction.size();
+}
+
+Metrics MetricsAccumulator::Compute() const {
+  SSTBAN_CHECK_GT(count_, 0);
+  Metrics m;
+  m.mae = abs_sum_ / static_cast<double>(count_);
+  m.rmse = std::sqrt(sq_sum_ / static_cast<double>(count_));
+  m.mape = ape_count_ > 0 ? 100.0 * ape_sum_ / static_cast<double>(ape_count_) : 0.0;
+  return m;
+}
+
+}  // namespace sstban::training

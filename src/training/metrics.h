@@ -1,0 +1,44 @@
+#ifndef SSTBAN_TRAINING_METRICS_H_
+#define SSTBAN_TRAINING_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sstban::training {
+
+// The paper's three evaluation metrics, computed on denormalized values.
+struct Metrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  // percent
+
+  std::string ToString() const;
+};
+
+// Streaming accumulator so metrics can be aggregated across batches (and
+// per forecast horizon for the Fig. 4 curves). MAPE follows the standard
+// traffic-forecasting convention of skipping near-zero ground truths.
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(double mape_threshold = 1e-1);
+
+  // Accumulates elementwise errors; shapes must match.
+  void Add(const tensor::Tensor& prediction, const tensor::Tensor& truth);
+
+  Metrics Compute() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double mape_threshold_;
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double ape_sum_ = 0.0;
+  int64_t count_ = 0;
+  int64_t ape_count_ = 0;
+};
+
+}  // namespace sstban::training
+
+#endif  // SSTBAN_TRAINING_METRICS_H_

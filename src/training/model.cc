@@ -1,0 +1,23 @@
+#include "training/model.h"
+
+#include "autograd/ops.h"
+
+namespace sstban::training {
+
+autograd::Variable TrafficModel::TrainingLoss(const tensor::Tensor& x_norm,
+                                              const tensor::Tensor& y_norm,
+                                              const data::Batch& batch) {
+  autograd::Variable pred = Predict(x_norm, batch);
+  autograd::Variable target(y_norm, /*requires_grad=*/false);
+  return autograd::MaeLoss(pred, target);
+}
+
+void TrafficModel::Fit(const data::WindowDataset& windows,
+                       const std::vector<int64_t>& train_indices,
+                       const data::Normalizer& normalizer) {
+  (void)windows;
+  (void)train_indices;
+  (void)normalizer;
+}
+
+}  // namespace sstban::training

@@ -1,0 +1,44 @@
+#ifndef SSTBAN_TRAINING_MODEL_H_
+#define SSTBAN_TRAINING_MODEL_H_
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "nn/module.h"
+
+namespace sstban::training {
+
+// Common interface all forecasting models implement (SSTBAN and every
+// baseline in Tables IV/V). Models consume z-score-normalized signals and
+// emit normalized predictions; the evaluator denormalizes before computing
+// MAE/RMSE/MAPE, matching the paper's protocol ("we re-transform the
+// predictions back to the actual values").
+class TrafficModel : public nn::Module {
+ public:
+  // Normalized input [B, P, N, C] (+ calendar features from `batch`) ->
+  // normalized prediction [B, Q, N, C].
+  virtual autograd::Variable Predict(const tensor::Tensor& x_norm,
+                                     const data::Batch& batch) = 0;
+
+  // Training objective. The default is the paper's forecasting loss, mean
+  // absolute error in normalized space; models with auxiliary objectives
+  // (SSTBAN's self-supervised branch) override this.
+  virtual autograd::Variable TrainingLoss(const tensor::Tensor& x_norm,
+                                          const tensor::Tensor& y_norm,
+                                          const data::Batch& batch);
+
+  // False for closed-form models (HA, VAR) that skip the SGD loop.
+  virtual bool IsTrainable() const { return true; }
+
+  // One-shot fitting hook for non-gradient models; no-op by default.
+  virtual void Fit(const data::WindowDataset& windows,
+                   const std::vector<int64_t>& train_indices,
+                   const data::Normalizer& normalizer);
+
+  // Short display name for result tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sstban::training
+
+#endif  // SSTBAN_TRAINING_MODEL_H_

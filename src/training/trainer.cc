@@ -1,0 +1,160 @@
+#include "training/trainer.h"
+
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "core/check.h"
+#include "core/memory_tracker.h"
+#include "core/rng.h"
+#include "core/timer.h"
+#include "optim/optimizer.h"
+#include "tensor/ops.h"
+
+namespace sstban::training {
+
+namespace {
+
+// Deep-copies current parameter values (for best-epoch restoration).
+std::vector<tensor::Tensor> SnapshotParams(
+    const std::vector<autograd::Variable>& params) {
+  std::vector<tensor::Tensor> snapshot;
+  snapshot.reserve(params.size());
+  for (const auto& p : params) snapshot.push_back(p.value().Clone());
+  return snapshot;
+}
+
+void RestoreParams(std::vector<autograd::Variable>& params,
+                   const std::vector<tensor::Tensor>& snapshot) {
+  SSTBAN_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value().CopyFrom(snapshot[i]);
+  }
+}
+
+}  // namespace
+
+TrainStats Trainer::Train(TrafficModel* model, const data::WindowDataset& windows,
+                          const data::SplitIndices& split,
+                          const data::Normalizer& normalizer) {
+  SSTBAN_CHECK(model != nullptr);
+  TrainStats stats;
+  core::MemoryTracker::Global().ResetPeak();
+  core::Timer total_timer;
+
+  if (!model->IsTrainable()) {
+    model->Fit(windows, split.train, normalizer);
+    stats.epochs_run = 1;
+    stats.total_train_seconds = total_timer.ElapsedSeconds();
+    stats.seconds_per_epoch = stats.total_train_seconds;
+    EvalResult val = Evaluate(model, windows, split.val, normalizer,
+                              config_.batch_size, false,
+                              config_.target_feature);
+    stats.best_val_mae = val.overall.mae;
+    stats.peak_memory_bytes = core::MemoryTracker::Global().peak_bytes();
+    return stats;
+  }
+
+  std::vector<autograd::Variable> params = model->Parameters();
+  optim::Adam optimizer(params, config_.learning_rate);
+  optim::EarlyStopping early(config_.patience);
+  core::Rng rng(config_.seed);
+  std::vector<tensor::Tensor> best_params = SnapshotParams(params);
+  double best_val = 1e30;
+
+  std::vector<int64_t> order = split.train;
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    model->SetTraining(true);
+    if (config_.shuffle) rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    for (size_t begin = 0; begin < order.size(); begin += config_.batch_size) {
+      size_t end = std::min(begin + config_.batch_size, order.size());
+      std::vector<int64_t> indices(order.begin() + begin, order.begin() + end);
+      data::Batch batch = windows.MakeBatch(indices);
+      tensor::Tensor x_norm = normalizer.Transform(batch.x);
+      tensor::Tensor y_norm = normalizer.Transform(batch.y);
+      autograd::Variable loss = model->TrainingLoss(x_norm, y_norm, batch);
+      model->ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(params, config_.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    epoch_loss /= static_cast<double>(num_batches);
+    stats.epoch_train_loss.push_back(epoch_loss);
+    ++stats.epochs_run;
+
+    EvalResult val = Evaluate(model, windows, split.val, normalizer,
+                              config_.batch_size, false,
+                              config_.target_feature);
+    if (config_.verbose) {
+      std::printf("[%s] epoch %d  train loss %.4f  val %s\n",
+                  model->name().c_str(), epoch, epoch_loss,
+                  val.overall.ToString().c_str());
+    }
+    if (val.overall.mae < best_val) {
+      best_val = val.overall.mae;
+      best_params = SnapshotParams(params);
+    }
+    if (early.Update(static_cast<float>(val.overall.mae))) break;
+  }
+
+  RestoreParams(params, best_params);
+  stats.best_val_mae = best_val;
+  stats.total_train_seconds = total_timer.ElapsedSeconds();
+  stats.seconds_per_epoch =
+      stats.total_train_seconds / std::max(stats.epochs_run, 1);
+  stats.peak_memory_bytes = core::MemoryTracker::Global().peak_bytes();
+  return stats;
+}
+
+EvalResult Evaluate(TrafficModel* model, const data::WindowDataset& windows,
+                    const std::vector<int64_t>& indices,
+                    const data::Normalizer& normalizer, int64_t batch_size,
+                    bool per_horizon, int target_feature) {
+  SSTBAN_CHECK(!indices.empty());
+  model->SetTraining(false);
+  autograd::NoGradGuard no_grad;
+  int64_t horizon = windows.output_len();
+  MetricsAccumulator overall;
+  std::vector<MetricsAccumulator> horizon_acc;
+  if (per_horizon) {
+    horizon_acc.assign(static_cast<size_t>(horizon), MetricsAccumulator());
+  }
+  core::Timer timer;
+  double inference_seconds = 0.0;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    size_t end = std::min(begin + static_cast<size_t>(batch_size), indices.size());
+    std::vector<int64_t> batch_indices(indices.begin() + begin,
+                                       indices.begin() + end);
+    data::Batch batch = windows.MakeBatch(batch_indices);
+    tensor::Tensor x_norm = normalizer.Transform(batch.x);
+    core::Timer inf;
+    autograd::Variable pred = model->Predict(x_norm, batch);
+    inference_seconds += inf.ElapsedSeconds();
+    tensor::Tensor denorm = normalizer.InverseTransform(pred.value());
+    tensor::Tensor truth = batch.y;
+    if (target_feature >= 0) {
+      denorm = tensor::Slice(denorm, -1, target_feature, 1);
+      truth = tensor::Slice(truth, -1, target_feature, 1);
+    }
+    overall.Add(denorm, truth);
+    if (per_horizon) {
+      for (int64_t q = 0; q < horizon; ++q) {
+        horizon_acc[q].Add(tensor::Slice(denorm, 1, q, 1),
+                           tensor::Slice(truth, 1, q, 1));
+      }
+    }
+  }
+  EvalResult result;
+  result.overall = overall.Compute();
+  result.inference_seconds = inference_seconds;
+  if (per_horizon) {
+    for (auto& acc : horizon_acc) result.per_horizon.push_back(acc.Compute());
+  }
+  return result;
+}
+
+}  // namespace sstban::training

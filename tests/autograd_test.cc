@@ -1,0 +1,275 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/rng.h"
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace sstban::autograd {
+namespace {
+
+namespace t = ::sstban::tensor;
+using sstban::testing::ExpectGradientsMatch;
+
+t::Tensor Rand(t::Shape shape, uint64_t seed, float scale = 1.0f) {
+  core::Rng rng(seed);
+  return t::Tensor::RandomNormal(std::move(shape), rng, 0.0f, scale);
+}
+
+TEST(VariableTest, LeafProperties) {
+  Variable v(t::Tensor::Ones(t::Shape{2, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.shape(), t::Shape({2, 2}));
+}
+
+TEST(VariableTest, BackwardThroughSimpleChain) {
+  Variable x(t::Tensor::Full(t::Shape{3}, 2.0f), true);
+  Variable y = SumAll(Mul(x, x));  // d/dx sum(x^2) = 2x
+  y.Backward();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad().data()[i], 4.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossUses) {
+  Variable x(t::Tensor::Full(t::Shape{2}, 3.0f), true);
+  Variable y = SumAll(Add(x, x));  // x used twice -> grad 2
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 2.0f);
+}
+
+TEST(VariableTest, DiamondGraphGradientIsCorrect) {
+  // y = sum((x+x) * x) = sum(2 x^2) -> dy/dx = 4x.
+  Variable x(t::Tensor::Full(t::Shape{2}, 1.5f), true);
+  Variable y = SumAll(Mul(Add(x, x), x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 6.0f);
+}
+
+TEST(VariableTest, DetachStopsGradient) {
+  Variable x(t::Tensor::Full(t::Shape{2}, 2.0f), true);
+  Variable y = SumAll(Mul(x.Detach(), x));  // only the second factor gets grad
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 2.0f);
+}
+
+TEST(VariableTest, NoGradGuardDisablesRecording) {
+  Variable x(t::Tensor::Full(t::Shape{2}, 2.0f), true);
+  NoGradGuard guard;
+  Variable y = Mul(x, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable x(t::Tensor::Full(t::Shape{1}, 2.0f), true);
+  SumAll(Mul(x, x)).Backward();
+  EXPECT_TRUE(x.has_grad());
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, ConstantInputsGetNoGrad) {
+  Variable x(t::Tensor::Full(t::Shape{1}, 2.0f), true);
+  Variable c(t::Tensor::Full(t::Shape{1}, 5.0f), false);
+  Variable y = SumAll(Mul(x, c));
+  y.Backward();
+  EXPECT_TRUE(x.has_grad());
+  EXPECT_FALSE(c.has_grad());
+}
+
+// -- Gradient checks, one per op family ------------------------------------
+
+TEST(GradCheckTest, AddWithBroadcast) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) { return SumAll(Mul(Add(v[0], v[1]), v[0])); },
+      {Rand({2, 3}, 1), Rand({3}, 2)});
+}
+
+TEST(GradCheckTest, SubDivMul) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return SumAll(Div(Mul(v[0], v[1]), AddScalar(Square(v[2]), 1.0f)));
+      },
+      {Rand({2, 2}, 3), Rand({2, 2}, 4), Rand({2, 2}, 5)});
+}
+
+TEST(GradCheckTest, UnaryChain) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return MeanAll(Tanh(Add(Sigmoid(v[0]), Relu(v[0]))));
+      },
+      {Rand({3, 3}, 6)});
+}
+
+TEST(GradCheckTest, ExpLogSqrt) {
+  // Keep inputs positive and away from zero for log/sqrt.
+  core::Rng rng(7);
+  t::Tensor x = t::Tensor::RandomUniform(t::Shape{4}, rng, 0.5f, 2.0f);
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return SumAll(Add(Log(v[0]), Sqrt(Exp(v[0]))));
+      },
+      {x});
+}
+
+TEST(GradCheckTest, AbsAwayFromZero) {
+  core::Rng rng(8);
+  t::Tensor x = t::Tensor::RandomUniform(t::Shape{4}, rng, 0.5f, 2.0f);
+  x.data()[1] *= -1.0f;
+  x.data()[3] *= -1.0f;
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) { return SumAll(Abs(v[0])); }, {x});
+}
+
+TEST(GradCheckTest, Matmul2D) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) { return SumAll(Square(Matmul(v[0], v[1]))); },
+      {Rand({3, 4}, 9, 0.5f), Rand({4, 2}, 10, 0.5f)});
+}
+
+class BmmGradTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmGradTest, MatchesNumeric) {
+  auto [ta, tb] = GetParam();
+  t::Shape a_shape = ta ? t::Shape{2, 3, 4} : t::Shape{2, 4, 3};
+  t::Shape b_shape = tb ? t::Shape{2, 5, 3} : t::Shape{2, 3, 5};
+  ExpectGradientsMatch(
+      [ta, tb](std::vector<Variable>& v) {
+        return SumAll(Square(Bmm(v[0], v[1], ta, tb)));
+      },
+      {Rand(a_shape, 11, 0.5f), Rand(b_shape, 12, 0.5f)});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmGradTest,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(GradCheckTest, ReshapePermute) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        Variable p = Permute(v[0], {2, 0, 1});
+        return SumAll(Square(Reshape(p, t::Shape{4, 6})));
+      },
+      {Rand({2, 3, 4}, 13)});
+}
+
+TEST(GradCheckTest, ConcatSlice) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        Variable c = Concat({v[0], v[1]}, 1);
+        return SumAll(Square(Slice(c, 1, 1, 3)));
+      },
+      {Rand({2, 2}, 14), Rand({2, 3}, 15)});
+}
+
+TEST(GradCheckTest, SumMeanAxis) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(Add(Sum(v[0], 0), Mean(v[0], 0))));
+      },
+      {Rand({3, 4}, 16)});
+}
+
+TEST(GradCheckTest, SumKeepdim) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(Sub(v[0], Mean(v[0], -1, true))));
+      },
+      {Rand({2, 5}, 17)});
+}
+
+TEST(GradCheckTest, Softmax) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        Variable s = Softmax(v[0]);
+        return SumAll(Mul(s, v[1]));
+      },
+      {Rand({3, 4}, 18), Rand({3, 4}, 19)});
+}
+
+TEST(GradCheckTest, SoftmaxWithMask) {
+  t::Tensor mask = t::Tensor::Zeros(t::Shape{2, 4});
+  mask.at({0, 1}) = -1e9f;
+  mask.at({1, 3}) = -1e9f;
+  ExpectGradientsMatch(
+      [mask](std::vector<Variable>& v) {
+        return SumAll(Square(SoftmaxWithMask(v[0], mask)));
+      },
+      {Rand({2, 4}, 20)});
+}
+
+TEST(GradCheckTest, EmbeddingLookup) {
+  std::vector<int64_t> indices = {0, 2, 2, 1};
+  ExpectGradientsMatch(
+      [&indices](std::vector<Variable>& v) {
+        return SumAll(Square(EmbeddingLookup(v[0], indices)));
+      },
+      {Rand({3, 4}, 21)});
+}
+
+TEST(GradCheckTest, Conv1dTimeWithDilation) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) {
+        return SumAll(Square(Conv1dTime(v[0], v[1], v[2], /*dilation=*/2)));
+      },
+      {Rand({2, 7, 3}, 22, 0.5f), Rand({2, 3, 4}, 23, 0.5f), Rand({4}, 24, 0.5f)});
+}
+
+TEST(GradCheckTest, Losses) {
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) { return MseLoss(v[0], v[1]); },
+      {Rand({3, 3}, 25), Rand({3, 3}, 26)});
+  // MAE gradient is discontinuous at 0; keep pred and target separated.
+  t::Tensor pred = t::Tensor::Full(t::Shape{4}, 2.0f);
+  t::Tensor target = t::Tensor::FromVector(t::Shape{4}, {0.0f, 1.0f, 3.5f, 4.0f});
+  ExpectGradientsMatch(
+      [](std::vector<Variable>& v) { return MaeLoss(v[0], v[1]); },
+      {pred, target});
+}
+
+TEST(OpsTest, Conv1dTimeShapeAndValues) {
+  // Kernel [1, 1] summing two adjacent steps of a single channel.
+  Variable x(t::Tensor::FromVector(t::Shape{1, 4, 1}, {1, 2, 3, 4}));
+  Variable w(t::Tensor::FromVector(t::Shape{2, 1, 1}, {1, 1}));
+  Variable out = Conv1dTime(x, w, Variable(), 1);
+  EXPECT_EQ(out.shape(), t::Shape({1, 3, 1}));
+  EXPECT_EQ(out.value().ToVector(), (std::vector<float>{3, 5, 7}));
+  // Dilation 2 pairs steps two apart.
+  Variable out2 = Conv1dTime(x, w, Variable(), 2);
+  EXPECT_EQ(out2.value().ToVector(), (std::vector<float>{4, 6}));
+}
+
+TEST(OpsTest, DropoutTrainingAndEval) {
+  core::Rng rng(27);
+  Variable x(t::Tensor::Ones(t::Shape{1000}), true);
+  Variable dropped = Dropout(x, 0.5f, rng, /*training=*/true);
+  int64_t zeros = 0;
+  double sum = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    float v = dropped.value().data()[i];
+    if (v == 0.0f) ++zeros;
+    sum += v;
+  }
+  EXPECT_GT(zeros, 380);
+  EXPECT_LT(zeros, 620);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // inverted scaling keeps mean ~1
+  Variable eval = Dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(t::AllClose(eval.value(), x.value()));
+}
+
+TEST(OpsTest, DropoutBackwardUsesSameMask) {
+  core::Rng rng(28);
+  Variable x(t::Tensor::Ones(t::Shape{100}), true);
+  Variable y = SumAll(Dropout(x, 0.3f, rng, true));
+  y.Backward();
+  // Gradient must be 0 exactly where the output was 0 and 1/(1-p) elsewhere.
+  for (int64_t i = 0; i < 100; ++i) {
+    float g = x.grad().data()[i];
+    EXPECT_TRUE(g == 0.0f || std::fabs(g - 1.0f / 0.7f) < 1e-5) << g;
+  }
+}
+
+}  // namespace
+}  // namespace sstban::autograd

@@ -1,0 +1,226 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "baselines/agcrn.h"
+#include "baselines/astgnn.h"
+#include "baselines/common.h"
+#include "baselines/dcrnn.h"
+#include "baselines/dmstgcn.h"
+#include "baselines/gman.h"
+#include "baselines/gwnet.h"
+#include "baselines/historical_average.h"
+#include "baselines/var_model.h"
+#include "core/rng.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "graph/traffic_graph.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+
+namespace sstban::baselines {
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+constexpr int64_t kNodes = 6;
+constexpr int64_t kP = 8;
+constexpr int64_t kQ = 8;
+constexpr int64_t kStepsPerDay = 12;
+
+data::Batch MakeBatch(int64_t batch_size, int64_t feats = 1) {
+  data::Batch batch;
+  core::Rng rng(77);
+  batch.x = t::Tensor::RandomNormal(t::Shape{batch_size, kP, kNodes, feats}, rng);
+  batch.y = t::Tensor::RandomNormal(t::Shape{batch_size, kQ, kNodes, feats}, rng);
+  for (int64_t i = 0; i < batch_size * kP; ++i) {
+    batch.tod_in.push_back(i % kStepsPerDay);
+    batch.dow_in.push_back(0);
+  }
+  for (int64_t i = 0; i < batch_size * kQ; ++i) {
+    batch.tod_out.push_back(i % kStepsPerDay);
+    batch.dow_out.push_back(0);
+  }
+  return batch;
+}
+
+graph::TrafficGraph TestGraph() {
+  core::Rng rng(5);
+  return graph::TrafficGraph::RandomCorridor(kNodes, 2, rng);
+}
+
+TEST(CommonTest, SupportMatmulMatchesPerBatchMatmul) {
+  core::Rng rng(1);
+  t::Tensor support = t::Tensor::RandomNormal(t::Shape{4, 4}, rng);
+  t::Tensor x = t::Tensor::RandomNormal(t::Shape{3, 4, 5}, rng);
+  ag::Variable result = SupportMatmul(ag::Variable(support), ag::Variable(x));
+  for (int64_t b = 0; b < 3; ++b) {
+    t::Tensor xb = t::Slice(x, 0, b, 1).Reshape(t::Shape{4, 5});
+    t::Tensor expected = t::Matmul(support, xb);
+    t::Tensor got = t::Slice(result.value(), 0, b, 1).Reshape(t::Shape{4, 5});
+    EXPECT_TRUE(t::AllClose(got, expected, 1e-4f, 1e-4f)) << "batch " << b;
+  }
+}
+
+TEST(CommonTest, SupportMatmulGradientsFlowBothWays) {
+  core::Rng rng(2);
+  ag::Variable support(t::Tensor::RandomNormal(t::Shape{3, 3}, rng), true);
+  ag::Variable x(t::Tensor::RandomNormal(t::Shape{2, 3, 4}, rng), true);
+  ag::SumAll(ag::Square(SupportMatmul(support, x))).Backward();
+  EXPECT_TRUE(support.has_grad());
+  EXPECT_TRUE(x.has_grad());
+}
+
+TEST(CommonTest, AdaptiveAdjacencyRowsSumToOne) {
+  core::Rng rng(3);
+  ag::Variable e1(t::Tensor::RandomNormal(t::Shape{5, 3}, rng));
+  ag::Variable e2(t::Tensor::RandomNormal(t::Shape{5, 3}, rng));
+  ag::Variable adj = AdaptiveAdjacency(e1, e2);
+  EXPECT_EQ(adj.shape(), t::Shape({5, 5}));
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0;
+    for (int64_t j = 0; j < 5; ++j) row += adj.value().at({i, j});
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(HistoricalAverageTest, PredictsInputMeanExactly) {
+  HistoricalAverage ha;
+  data::Batch batch = MakeBatch(2);
+  ag::Variable pred = ha.Predict(batch.x, batch);
+  ASSERT_EQ(pred.shape(), t::Shape({2, kQ, kNodes, 1}));
+  t::Tensor mean = t::Mean(batch.x, 1, true);
+  for (int64_t q = 0; q < kQ; ++q) {
+    EXPECT_TRUE(t::AllClose(t::Slice(pred.value(), 1, q, 1), mean, 1e-5f, 1e-5f));
+  }
+  EXPECT_FALSE(ha.IsTrainable());
+}
+
+TEST(VarModelTest, RecoversLinearAutoregressiveProcess) {
+  // Build a dataset following y_t = 0.8 y_{t-1} + noise per node; a lag-1
+  // VAR must forecast it much better than chance.
+  const int64_t steps = 400, nodes = 3;
+  auto ds = std::make_shared<data::TrafficDataset>();
+  ds->name = "ar1";
+  ds->signals = t::Tensor(t::Shape{steps, nodes, 1});
+  ds->steps_per_day = 24;
+  core::Rng rng(9);
+  std::vector<float> state(nodes, 0.0f);
+  for (int64_t ti = 0; ti < steps; ++ti) {
+    ds->time_of_day.push_back(ti % 24);
+    ds->day_of_week.push_back((ti / 24) % 7);
+    for (int64_t v = 0; v < nodes; ++v) {
+      state[v] = 0.8f * state[v] + 0.05f * rng.NextGaussian();
+      ds->signals.at({ti, v, 0}) = state[v] + 1.0f;  // positive offset
+    }
+  }
+  data::WindowDataset windows(ds, 8, 4);
+  data::SplitIndices split = data::ChronologicalSplit(windows);
+  data::Normalizer norm = data::Normalizer::Fit(ds->signals);
+  VarModel var(/*lag=*/2, /*ridge=*/1e-3f);
+  var.Fit(windows, split.train, norm);
+  ASSERT_TRUE(var.fitted());
+
+  data::Batch batch = windows.MakeBatch({split.test[0], split.test[5]});
+  t::Tensor x_norm = norm.Transform(batch.x);
+  ag::Variable pred = var.Predict(x_norm, batch);
+  t::Tensor denorm = norm.InverseTransform(pred.value());
+  // One-step-ahead error must be small relative to signal scale.
+  t::Tensor err1 = t::Abs(t::Sub(t::Slice(denorm, 1, 0, 1),
+                                 t::Slice(batch.y, 1, 0, 1)));
+  EXPECT_LT(t::MeanAll(err1).item(), 0.08f);
+}
+
+TEST(VarModelTest, NotTrainableAndRequiresFit) {
+  VarModel var;
+  EXPECT_FALSE(var.IsTrainable());
+  EXPECT_FALSE(var.fitted());
+}
+
+// Shape + gradient-flow smoke tests shared across the neural baselines.
+void ExpectModelWellFormed(training::TrafficModel* model, int64_t feats = 1) {
+  data::Batch batch = MakeBatch(2, feats);
+  core::Rng rng(31);
+  t::Tensor x_norm = batch.x;
+  ag::Variable pred = model->Predict(x_norm, batch);
+  ASSERT_EQ(pred.shape(), t::Shape({2, kQ, kNodes, feats})) << model->name();
+  EXPECT_FALSE(t::HasNonFinite(pred.value())) << model->name();
+  t::Tensor y_norm = batch.y;
+  ag::Variable loss = model->TrainingLoss(x_norm, y_norm, batch);
+  model->ZeroGrad();
+  loss.Backward();
+  int64_t with_grad = 0, total = 0;
+  for (auto& [name, p] : model->NamedParameters()) {
+    ++total;
+    if (p.has_grad()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, total) << model->name() << ": some params got no grad";
+  EXPECT_GT(total, 0) << model->name();
+}
+
+TEST(DcrnnTest, WellFormed) {
+  graph::TrafficGraph g = TestGraph();
+  DcrnnLite model(g, 1, 8);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "DCRNN");
+}
+
+TEST(GwnetTest, WellFormed) {
+  graph::TrafficGraph g = TestGraph();
+  GwnetLite model(g, 1, kQ, 8, 2);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "GWNet");
+}
+
+TEST(AgcrnTest, WellFormed) {
+  AgcrnLite model(kNodes, 1, kQ, 8, 4);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "AGCRN");
+}
+
+TEST(DmstgcnTest, WellFormed) {
+  DmstgcnLite model(kNodes, 1, kQ, kStepsPerDay, 8, 2);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "DMSTGCN");
+}
+
+TEST(AstgnnTest, WellFormed) {
+  graph::TrafficGraph g = TestGraph();
+  AstgnnLite model(g, 1, kP, kQ, 8, 1, 2);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "ASTGNN");
+}
+
+TEST(GmanTest, WellFormed) {
+  sstban::SstbanConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kP;
+  config.output_len = kQ;
+  config.num_features = 1;
+  config.steps_per_day = kStepsPerDay;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  GmanLite model(config);
+  ExpectModelWellFormed(&model);
+  EXPECT_EQ(model.name(), "GMAN");
+}
+
+TEST(DcrnnTest, MultiFeatureSupport) {
+  graph::TrafficGraph g = TestGraph();
+  DcrnnLite model(g, 3, 8);
+  ExpectModelWellFormed(&model, 3);
+}
+
+TEST(GwnetTest, MultiFeatureSupport) {
+  graph::TrafficGraph g = TestGraph();
+  GwnetLite model(g, 3, kQ, 8, 2);
+  ExpectModelWellFormed(&model, 3);
+}
+
+}  // namespace
+}  // namespace sstban::baselines

@@ -1,0 +1,256 @@
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/corruption.h"
+#include "data/csv_io.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "tensor/ops.h"
+
+namespace sstban::data {
+namespace {
+
+std::shared_ptr<TrafficDataset> SmallWorld() {
+  SyntheticWorldConfig config;
+  config.num_nodes = 8;
+  config.num_corridors = 2;
+  config.steps_per_day = 24;
+  config.num_days = 7;
+  config.seed = 99;
+  return std::make_shared<TrafficDataset>(GenerateSyntheticWorld(config));
+}
+
+TEST(SyntheticWorldTest, ShapesAndCalendar) {
+  auto ds = SmallWorld();
+  EXPECT_EQ(ds->num_steps(), 24 * 7);
+  EXPECT_EQ(ds->num_nodes(), 8);
+  EXPECT_EQ(ds->num_features(), 1);
+  EXPECT_EQ(ds->time_of_day[0], 0);
+  EXPECT_EQ(ds->time_of_day[25], 1);
+  EXPECT_EQ(ds->day_of_week[0], 0);
+  EXPECT_EQ(ds->day_of_week[24 * 6], 6);
+}
+
+TEST(SyntheticWorldTest, DeterministicInSeed) {
+  auto a = SmallWorld();
+  auto b = SmallWorld();
+  EXPECT_TRUE(tensor::AllClose(a->signals, b->signals));
+}
+
+TEST(SyntheticWorldTest, FlowIsNonNegativeAndFinite) {
+  auto ds = SmallWorld();
+  EXPECT_GE(tensor::MinAll(ds->signals), 0.0f);
+  EXPECT_FALSE(tensor::HasNonFinite(ds->signals));
+}
+
+TEST(SyntheticWorldTest, DailyPeriodicityIsStrong) {
+  // Rush-hour flow should exceed night flow on weekdays by a clear margin
+  // — this long-range structure is what SSTBAN's daily-pattern learning
+  // (paper §V-D1) relies on.
+  auto ds = SmallWorld();
+  double rush = 0, night = 0;
+  int rush_n = 0, night_n = 0;
+  for (int64_t t = 0; t < ds->num_steps(); ++t) {
+    if (ds->day_of_week[t] >= 5) continue;  // weekdays only
+    double mean = 0;
+    for (int64_t v = 0; v < ds->num_nodes(); ++v) {
+      mean += ds->signals.at({t, v, 0});
+    }
+    mean /= static_cast<double>(ds->num_nodes());
+    int64_t hour = ds->time_of_day[t];
+    if (hour == 8 || hour == 17) {
+      rush += mean;
+      ++rush_n;
+    } else if (hour <= 4) {
+      night += mean;
+      ++night_n;
+    }
+  }
+  EXPECT_GT(rush / rush_n, 1.8 * night / night_n);
+}
+
+TEST(SyntheticWorldTest, SpeedWorldHasThreeCoupledFeatures) {
+  SyntheticWorldConfig config = SeattleLikeConfig();
+  config.num_nodes = 6;
+  config.num_days = 3;
+  TrafficDataset ds = GenerateSyntheticWorld(config);
+  EXPECT_EQ(ds.num_features(), 3);
+  // Occupancy in [0, 1]; speed positive and below free-flow bound.
+  for (int64_t t = 0; t < ds.num_steps(); ++t) {
+    for (int64_t v = 0; v < ds.num_nodes(); ++v) {
+      EXPECT_GE(ds.signals.at({t, v, 2}), 0.0f);
+      EXPECT_LE(ds.signals.at({t, v, 2}), 1.0f);
+      EXPECT_GT(ds.signals.at({t, v, 1}), 0.0f);
+      EXPECT_LT(ds.signals.at({t, v, 1}), 90.0f);
+    }
+  }
+}
+
+TEST(SyntheticWorldTest, SpeedDropsWhenOccupancyHigh) {
+  // The Greenshields coupling: across observations, high occupancy must
+  // coincide with low speed (negative correlation).
+  SyntheticWorldConfig config = SeattleLikeConfig();
+  config.num_nodes = 6;
+  config.num_days = 7;
+  TrafficDataset ds = GenerateSyntheticWorld(config);
+  double sum_s = 0, sum_o = 0, sum_so = 0, sum_ss = 0, sum_oo = 0;
+  int64_t n = 0;
+  for (int64_t t = 0; t < ds.num_steps(); ++t) {
+    for (int64_t v = 0; v < ds.num_nodes(); ++v) {
+      double speed = ds.signals.at({t, v, 1});
+      double occ = ds.signals.at({t, v, 2});
+      sum_s += speed;
+      sum_o += occ;
+      sum_so += speed * occ;
+      sum_ss += speed * speed;
+      sum_oo += occ * occ;
+      ++n;
+    }
+  }
+  double cov = sum_so / n - (sum_s / n) * (sum_o / n);
+  double corr = cov / (std::sqrt(sum_ss / n - (sum_s / n) * (sum_s / n)) *
+                       std::sqrt(sum_oo / n - (sum_o / n) * (sum_o / n)));
+  EXPECT_LT(corr, -0.8);
+}
+
+TEST(WindowDatasetTest, WindowCountAndBatchShapes) {
+  auto ds = SmallWorld();
+  WindowDataset windows(ds, 12, 6);
+  EXPECT_EQ(windows.num_windows(), 24 * 7 - 12 - 6 + 1);
+  Batch batch = windows.MakeBatch({0, 5});
+  EXPECT_EQ(batch.x.shape(), tensor::Shape({2, 12, 8, 1}));
+  EXPECT_EQ(batch.y.shape(), tensor::Shape({2, 6, 8, 1}));
+  EXPECT_EQ(batch.tod_in.size(), 2u * 12u);
+  EXPECT_EQ(batch.tod_out.size(), 2u * 6u);
+}
+
+TEST(WindowDatasetTest, TargetFollowsInputChronologically) {
+  auto ds = SmallWorld();
+  WindowDataset windows(ds, 4, 3);
+  Batch batch = windows.MakeBatch({10});
+  // x covers steps [10, 14), y covers [14, 17).
+  EXPECT_FLOAT_EQ(batch.x.at({0, 0, 0, 0}), ds->signals.at({10, 0, 0}));
+  EXPECT_FLOAT_EQ(batch.x.at({0, 3, 7, 0}), ds->signals.at({13, 7, 0}));
+  EXPECT_FLOAT_EQ(batch.y.at({0, 0, 0, 0}), ds->signals.at({14, 0, 0}));
+  EXPECT_EQ(batch.tod_in[0], ds->time_of_day[10]);
+  EXPECT_EQ(batch.tod_out[2], ds->time_of_day[16]);
+}
+
+TEST(SplitTest, ChronologicalSplitProportions) {
+  auto ds = SmallWorld();
+  WindowDataset windows(ds, 6, 6);
+  SplitIndices split = ChronologicalSplit(windows, 0.6, 0.2);
+  int64_t total = windows.num_windows();
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / total, 0.6, 0.02);
+  EXPECT_NEAR(static_cast<double>(split.val.size()) / total, 0.2, 0.02);
+  // Chronological: max(train) < min(val) < ... < max(test).
+  EXPECT_LT(split.train.back(), split.val.front());
+  EXPECT_LT(split.val.back(), split.test.front());
+}
+
+TEST(SplitTest, KeepLatestFraction) {
+  std::vector<int64_t> train = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int64_t> kept = KeepLatestFraction(train, 0.3);
+  EXPECT_EQ(kept, (std::vector<int64_t>{7, 8, 9}));
+  EXPECT_EQ(KeepLatestFraction(train, 1.0).size(), 10u);
+  // Never empty.
+  EXPECT_EQ(KeepLatestFraction(train, 0.01).size(), 1u);
+}
+
+TEST(NormalizerTest, TransformHasZeroMeanUnitVariance) {
+  auto ds = SmallWorld();
+  Normalizer norm = Normalizer::Fit(ds->signals);
+  tensor::Tensor z = norm.Transform(ds->signals);
+  EXPECT_NEAR(tensor::MeanAll(z).item(), 0.0f, 1e-3f);
+  float var = tensor::MeanAll(tensor::Square(z)).item();
+  EXPECT_NEAR(var, 1.0f, 1e-2f);
+}
+
+TEST(NormalizerTest, RoundTripIsIdentity) {
+  auto ds = SmallWorld();
+  Normalizer norm = Normalizer::Fit(ds->signals);
+  tensor::Tensor round = norm.InverseTransform(norm.Transform(ds->signals));
+  EXPECT_TRUE(tensor::AllClose(round, ds->signals, 1e-2f, 1e-4f));
+}
+
+TEST(NormalizerTest, PerFeatureStatistics) {
+  // Two features with very different scales must normalize independently.
+  tensor::Tensor signals(tensor::Shape{100, 1, 2});
+  core::Rng rng(5);
+  for (int64_t t = 0; t < 100; ++t) {
+    signals.at({t, 0, 0}) = rng.NextGaussian(1000.0f, 100.0f);
+    signals.at({t, 0, 1}) = rng.NextGaussian(0.5f, 0.1f);
+  }
+  Normalizer norm = Normalizer::Fit(signals);
+  EXPECT_NEAR(norm.mean(0), 1000.0f, 30.0f);
+  EXPECT_NEAR(norm.mean(1), 0.5f, 0.05f);
+  tensor::Tensor z = norm.Transform(signals);
+  float var0 = 0, var1 = 0;
+  for (int64_t t = 0; t < 100; ++t) {
+    var0 += z.at({t, 0, 0}) * z.at({t, 0, 0});
+    var1 += z.at({t, 0, 1}) * z.at({t, 0, 1});
+  }
+  EXPECT_NEAR(var0 / 100, 1.0f, 0.1f);
+  EXPECT_NEAR(var1 / 100, 1.0f, 0.1f);
+}
+
+TEST(CorruptionTest, NoiseTouchesRequestedFractionAndRange) {
+  auto ds = SmallWorld();
+  int64_t t_begin = 20, t_end = 100;
+  TrafficDataset noisy =
+      AddGaussianNoise(*ds, 0.5, 100.0f, 1.0f, t_begin, t_end, 7);
+  // Outside the range: untouched.
+  EXPECT_TRUE(tensor::AllClose(tensor::Slice(noisy.signals, 0, 0, t_begin),
+                               tensor::Slice(ds->signals, 0, 0, t_begin)));
+  // Inside: roughly half the entries moved by ~100.
+  int64_t changed = 0, total = 0;
+  for (int64_t t = t_begin; t < t_end; ++t) {
+    for (int64_t v = 0; v < ds->num_nodes(); ++v) {
+      float delta = noisy.signals.at({t, v, 0}) - ds->signals.at({t, v, 0});
+      if (std::fabs(delta) > 1e-6) {
+        ++changed;
+        EXPECT_NEAR(delta, 100.0f, 6.0f);
+      }
+      ++total;
+    }
+  }
+  double fraction = static_cast<double>(changed) / total;
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(CorruptionTest, OriginalDatasetUnmodified) {
+  auto ds = SmallWorld();
+  tensor::Tensor before = ds->signals.Clone();
+  AddGaussianNoise(*ds, 1.0, 10.0f, 500.0f, 0, ds->num_steps(), 3);
+  EXPECT_TRUE(tensor::AllClose(ds->signals, before));
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  auto ds = SmallWorld();
+  std::string path = ::testing::TempDir() + "/signals.csv";
+  ASSERT_TRUE(SaveSignalsCsv(ds->signals, path).ok());
+  auto loaded = LoadSignalsCsv(path, ds->num_nodes(), ds->num_features());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(tensor::AllClose(loaded.value(), ds->signals, 1e-2f, 1e-3f));
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, LoadRejectsWrongColumnCount) {
+  std::string path = ::testing::TempDir() + "/bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadSignalsCsv(path, 1, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadSignalsCsv("/nonexistent/file.csv", 2, 1).ok());
+}
+
+}  // namespace
+}  // namespace sstban::data

@@ -1,0 +1,351 @@
+// Tests for the components beyond the paper's core: checkpoint
+// serialization, learning-rate schedulers, the extra activation/loss ops,
+// the ForecastService deployment wrapper, and SSTBAN's missing-data
+// prediction path.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/rng.h"
+#include "data/synthetic_world.h"
+#include "gradcheck.h"
+#include "nn/mlp.h"
+#include "nn/serialization.h"
+#include "optim/lr_scheduler.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+#include "training/forecast_service.h"
+#include "training/trainer.h"
+
+namespace sstban {
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+using ::sstban::testing::ExpectGradientsMatch;
+
+t::Tensor Rand(t::Shape shape, uint64_t seed) {
+  core::Rng rng(seed);
+  return t::Tensor::RandomNormal(std::move(shape), rng, 0.0f, 0.7f);
+}
+
+// -- Serialization -----------------------------------------------------------
+
+TEST(SerializationTest, RoundTripRestoresExactValues) {
+  core::Rng rng(1);
+  nn::Mlp original({4, 8, 2}, rng);
+  std::string path = ::testing::TempDir() + "/ckpt.bin";
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+
+  core::Rng rng2(999);  // different init
+  nn::Mlp restored({4, 8, 2}, rng2);
+  ASSERT_TRUE(nn::LoadParameters(&restored, path).ok());
+
+  auto a = original.NamedParameters();
+  auto b = restored.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(t::AllClose(a[i].second.value(), b[i].second.value(), 0, 0))
+        << a[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsArchitectureMismatch) {
+  core::Rng rng(2);
+  nn::Mlp original({4, 8, 2}, rng);
+  std::string path = ::testing::TempDir() + "/ckpt2.bin";
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+  nn::Mlp wrong_shape({4, 16, 2}, rng);
+  EXPECT_FALSE(nn::LoadParameters(&wrong_shape, path).ok());
+  nn::Mlp wrong_depth({4, 8, 8, 2}, rng);
+  EXPECT_FALSE(nn::LoadParameters(&wrong_depth, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbageFile) {
+  std::string path = ::testing::TempDir() + "/garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a checkpoint at all", f);
+  fclose(f);
+  core::Rng rng(3);
+  nn::Mlp model({2, 2}, rng);
+  EXPECT_FALSE(nn::LoadParameters(&model, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  core::Rng rng(4);
+  nn::Mlp model({2, 2}, rng);
+  auto status = nn::LoadParameters(&model, "/nonexistent/ckpt.bin");
+  EXPECT_EQ(status.code(), core::StatusCode::kIoError);
+}
+
+TEST(SerializationTest, FullSstbanModelRoundTrip) {
+  sstban::SstbanConfig config;
+  config.num_nodes = 4;
+  config.input_len = 6;
+  config.output_len = 6;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  sstban::SstbanModel a(config);
+  std::string path = ::testing::TempDir() + "/sstban.bin";
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  config.seed = 777;  // different init
+  sstban::SstbanModel b(config);
+  ASSERT_TRUE(nn::LoadParameters(&b, path).ok());
+  // Identical weights -> identical predictions.
+  data::Batch batch;
+  core::Rng rng(5);
+  batch.x = t::Tensor::RandomNormal(t::Shape{2, 6, 4, 1}, rng);
+  batch.y = t::Tensor::Zeros(t::Shape{2, 6, 4, 1});
+  for (int i = 0; i < 12; ++i) {
+    batch.tod_in.push_back(i % 12);
+    batch.dow_in.push_back(0);
+    batch.tod_out.push_back(i % 12);
+    batch.dow_out.push_back(0);
+  }
+  EXPECT_TRUE(t::AllClose(a.Predict(batch.x, batch).value(),
+                          b.Predict(batch.x, batch).value(), 1e-6f, 1e-6f));
+  std::remove(path.c_str());
+}
+
+// -- LR schedulers ---------------------------------------------------------
+
+TEST(LrSchedulerTest, StepDecayHalvesAtBoundaries) {
+  ag::Variable p(t::Tensor::Zeros(t::Shape{1}), true);
+  optim::Sgd opt({p}, 1.0f);
+  optim::StepDecay sched(&opt, /*step_size=*/2, /*gamma=*/0.5f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  sched.Step();  // epoch 1
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  sched.Step();  // epoch 2
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.5f);
+  sched.Step();
+  sched.Step();  // epoch 4
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.25f);
+}
+
+TEST(LrSchedulerTest, CosineAnnealsToMinimum) {
+  ag::Variable p(t::Tensor::Zeros(t::Shape{1}), true);
+  optim::Sgd opt({p}, 1.0f);
+  optim::CosineAnnealing sched(&opt, /*max_epochs=*/10, /*min_rate=*/0.1f);
+  float prev = opt.learning_rate();
+  for (int i = 0; i < 10; ++i) {
+    sched.Step();
+    EXPECT_LE(opt.learning_rate(), prev + 1e-6f);  // monotone decreasing
+    prev = opt.learning_rate();
+  }
+  EXPECT_NEAR(opt.learning_rate(), 0.1f, 1e-5f);
+  sched.Step();  // past the horizon: stays at the floor
+  EXPECT_NEAR(opt.learning_rate(), 0.1f, 1e-5f);
+}
+
+// -- New ops -----------------------------------------------------------------
+
+TEST(NewOpsTest, SoftplusValuesAndStability) {
+  ag::Variable x(t::Tensor::FromVector(t::Shape{3}, {0.0f, 100.0f, -100.0f}));
+  ag::Variable y = ag::Softplus(x);
+  EXPECT_NEAR(y.value().data()[0], std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(y.value().data()[1], 100.0f, 1e-3f);
+  EXPECT_NEAR(y.value().data()[2], 0.0f, 1e-3f);
+  EXPECT_FALSE(t::HasNonFinite(y.value()));
+}
+
+TEST(NewOpsTest, SoftplusGradCheck) {
+  ExpectGradientsMatch(
+      [](std::vector<ag::Variable>& v) { return ag::SumAll(ag::Softplus(v[0])); },
+      {Rand({5}, 6)});
+}
+
+TEST(NewOpsTest, GeluMatchesKnownValues) {
+  ag::Variable x(t::Tensor::FromVector(t::Shape{3}, {0.0f, 1.0f, -1.0f}));
+  ag::Variable y = ag::Gelu(x);
+  EXPECT_NEAR(y.value().data()[0], 0.0f, 1e-5f);
+  EXPECT_NEAR(y.value().data()[1], 0.8412f, 1e-3f);
+  EXPECT_NEAR(y.value().data()[2], -0.1588f, 1e-3f);
+}
+
+TEST(NewOpsTest, GeluGradCheck) {
+  ExpectGradientsMatch(
+      [](std::vector<ag::Variable>& v) { return ag::SumAll(ag::Gelu(v[0])); },
+      {Rand({6}, 7)});
+}
+
+TEST(NewOpsTest, HuberMatchesQuadraticAndLinearRegimes) {
+  // Small errors: 0.5 e^2; large errors: delta(|e| - 0.5 delta).
+  ag::Variable pred(t::Tensor::FromVector(t::Shape{2}, {0.5f, 5.0f}));
+  ag::Variable target(t::Tensor::Zeros(t::Shape{2}));
+  float loss = ag::HuberLoss(pred, target, 1.0f).item();
+  float expected = 0.5f * (0.5f * 0.25f + (5.0f - 0.5f));
+  EXPECT_NEAR(loss, expected, 1e-5f);
+}
+
+TEST(NewOpsTest, HuberGradCheck) {
+  // Keep |errors| away from the delta kink for finite differences.
+  t::Tensor pred = t::Tensor::FromVector(t::Shape{4}, {0.2f, 3.0f, -0.3f, -2.5f});
+  t::Tensor target = t::Tensor::Zeros(t::Shape{4});
+  ExpectGradientsMatch(
+      [&target](std::vector<ag::Variable>& v) {
+        return ag::HuberLoss(v[0], ag::Variable(target), 1.0f);
+      },
+      {pred});
+}
+
+TEST(NewOpsTest, MaskedMaeIgnoresNearZeroTargets) {
+  ag::Variable pred(t::Tensor::FromVector(t::Shape{3}, {1.0f, 5.0f, 9.0f}));
+  ag::Variable target(t::Tensor::FromVector(t::Shape{3}, {0.0f, 4.0f, 10.0f}));
+  // Entry 0 excluded (target 0); mean(|1|, |1|) over 2 valid entries = 1.
+  EXPECT_NEAR(ag::MaskedMaeLoss(pred, target).item(), 1.0f, 1e-5f);
+}
+
+TEST(NewOpsTest, MaskedMaeAllMaskedIsZeroAndSafe) {
+  ag::Variable pred(t::Tensor::FromVector(t::Shape{2}, {1.0f, 2.0f}), true);
+  ag::Variable target(t::Tensor::Zeros(t::Shape{2}));
+  ag::Variable loss = ag::MaskedMaeLoss(pred, target);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+  loss.Backward();  // must not crash; gradient simply zero
+  EXPECT_FLOAT_EQ(pred.grad().data()[0], 0.0f);
+}
+
+// -- ForecastService -----------------------------------------------------
+
+TEST(ForecastServiceTest, ProducesDenormalizedForecast) {
+  data::SyntheticWorldConfig world;
+  world.num_nodes = 4;
+  world.num_corridors = 2;
+  world.steps_per_day = 12;
+  world.num_days = 6;
+  world.seed = 50;
+  auto dataset = std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(world));
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+
+  sstban::SstbanConfig config;
+  config.num_nodes = 4;
+  config.input_len = 6;
+  config.output_len = 6;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  sstban::SstbanModel model(config);
+
+  training::ForecastService service(&model, norm, 6, 6, 12);
+  tensor::Tensor recent = t::Slice(dataset->signals, 0, 30, 6);
+  auto forecast = service.Forecast(recent, 30);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast.value().shape(), t::Shape({6, 4, 1}));
+  // Denormalized output should live on the raw flow scale (mean is far
+  // from 0 where the z-scores would sit).
+  EXPECT_GT(t::MeanAll(forecast.value()).item(), 1.0f);
+}
+
+TEST(ForecastServiceTest, RejectsBadShapes) {
+  sstban::SstbanConfig config;
+  config.num_nodes = 4;
+  config.input_len = 6;
+  config.output_len = 6;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  sstban::SstbanModel model(config);
+  training::ForecastService service(&model, data::Normalizer(), 6, 6, 12);
+  auto result = service.Forecast(t::Tensor::Zeros(t::Shape{5, 4, 1}), 0);
+  EXPECT_FALSE(result.ok());
+  auto result2 = service.Forecast(t::Tensor::Zeros(t::Shape{6, 4, 1}), -3);
+  EXPECT_FALSE(result2.ok());
+}
+
+// -- SSTBAN extensions ------------------------------------------------------
+
+TEST(SstbanExtensionsTest, PredictWithMissingIgnoresMaskedPositions) {
+  sstban::SstbanConfig config;
+  config.num_nodes = 5;
+  config.input_len = 8;
+  config.output_len = 8;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  sstban::SstbanModel model(config);
+  data::Batch batch;
+  core::Rng rng(9);
+  batch.x = t::Tensor::RandomNormal(t::Shape{1, 8, 5, 1}, rng);
+  batch.y = t::Tensor::Zeros(t::Shape{1, 8, 5, 1});
+  for (int i = 0; i < 8; ++i) {
+    batch.tod_in.push_back(i % 12);
+    batch.dow_in.push_back(0);
+    batch.tod_out.push_back((i + 8) % 12);
+    batch.dow_out.push_back(0);
+  }
+  t::Tensor keep = t::Tensor::Ones(t::Shape{1, 8, 5});
+  keep.at({0, 3, 2}) = 0.0f;
+  ag::Variable out1 = model.PredictWithMissing(batch.x, keep, batch);
+  // Corrupting the masked observation must not change the forecast.
+  t::Tensor x2 = batch.x.Clone();
+  x2.at({0, 3, 2, 0}) += 1000.0f;
+  ag::Variable out2 = model.PredictWithMissing(x2, keep, batch);
+  EXPECT_TRUE(t::AllClose(out1.value(), out2.value(), 1e-4f, 1e-4f));
+  EXPECT_FALSE(t::HasNonFinite(out1.value()));
+}
+
+TEST(SstbanExtensionsTest, LambdaMutatorChangesLossMix) {
+  sstban::SstbanConfig config;
+  config.num_nodes = 4;
+  config.input_len = 6;
+  config.output_len = 6;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  config.lambda = 0.5;
+  sstban::SstbanModel model(config);
+  model.SetTraining(true);
+  data::Batch batch;
+  core::Rng rng(11);
+  batch.x = t::Tensor::RandomNormal(t::Shape{1, 6, 4, 1}, rng);
+  batch.y = t::Tensor::RandomNormal(t::Shape{1, 6, 4, 1}, rng);
+  for (int i = 0; i < 6; ++i) {
+    batch.tod_in.push_back(i);
+    batch.dow_in.push_back(0);
+    batch.tod_out.push_back(i + 6);
+    batch.dow_out.push_back(0);
+  }
+  model.set_lambda(1.0);
+  auto out_recon = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  EXPECT_NEAR(out_recon.total_loss.item(), out_recon.alignment_loss.item(), 1e-5f);
+  model.set_lambda(0.0);
+  auto out_forecast = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  EXPECT_NEAR(out_forecast.total_loss.item(), out_forecast.forecast_loss.item(),
+              1e-5f);
+  model.set_self_supervised(false);
+  auto out_off = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  EXPECT_FALSE(out_off.alignment_loss.defined());
+}
+
+}  // namespace
+}  // namespace sstban

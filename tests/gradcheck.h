@@ -1,0 +1,58 @@
+#ifndef SSTBAN_TESTS_GRADCHECK_H_
+#define SSTBAN_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace sstban::testing {
+
+// Verifies analytic gradients against central finite differences for a
+// scalar-valued function of several tensors. float32 limits precision, so
+// perturbations and tolerances are coarse; keep test tensors tiny and
+// well-conditioned.
+//
+//   fn: builds the scalar output from leaf variables (re-invoked per probe).
+inline void ExpectGradientsMatch(
+    const std::function<autograd::Variable(std::vector<autograd::Variable>&)>& fn,
+    std::vector<tensor::Tensor> inputs, float eps = 1e-2f, float tol = 2e-2f) {
+  // Analytic gradients.
+  std::vector<autograd::Variable> leaves;
+  leaves.reserve(inputs.size());
+  for (auto& t : inputs) leaves.emplace_back(t.Clone(), /*requires_grad=*/true);
+  autograd::Variable out = fn(leaves);
+  ASSERT_EQ(out.size(), 1) << "gradcheck needs a scalar output";
+  out.Backward();
+
+  for (size_t which = 0; which < inputs.size(); ++which) {
+    ASSERT_TRUE(leaves[which].has_grad()) << "no grad for input " << which;
+    const tensor::Tensor& analytic = leaves[which].grad();
+    for (int64_t i = 0; i < inputs[which].size(); ++i) {
+      auto probe = [&](float delta) {
+        std::vector<autograd::Variable> probe_leaves;
+        for (size_t j = 0; j < inputs.size(); ++j) {
+          tensor::Tensor copy = inputs[j].Clone();
+          if (j == which) copy.data()[i] += delta;
+          probe_leaves.emplace_back(copy, false);
+        }
+        return fn(probe_leaves).item();
+      };
+      float numeric = (probe(eps) - probe(-eps)) / (2.0f * eps);
+      float a = analytic.data()[i];
+      float scale = std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+      EXPECT_NEAR(a, numeric, tol * scale)
+          << "input " << which << " element " << i;
+    }
+  }
+}
+
+}  // namespace sstban::testing
+
+#endif  // SSTBAN_TESTS_GRADCHECK_H_

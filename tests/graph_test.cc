@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "graph/traffic_graph.h"
+#include "tensor/ops.h"
+
+namespace sstban::graph {
+namespace {
+
+TEST(TrafficGraphTest, AddEdgeUpdatesNeighborLists) {
+  TrafficGraph g(3, {{0, 0}, {1, 0}, {2, 0}});
+  g.AddEdge(0, 1, 0.5f);
+  g.AddEdge(1, 2, 0.8f);
+  EXPECT_EQ(g.Successors(0), (std::vector<int64_t>{1}));
+  EXPECT_EQ(g.Predecessors(2), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(g.Successors(2).empty());
+}
+
+TEST(TrafficGraphTest, AdjacencyMatrixMatchesEdges) {
+  TrafficGraph g(3, {{0, 0}, {1, 0}, {2, 0}});
+  g.AddEdge(0, 1, 0.5f);
+  tensor::Tensor a = g.Adjacency();
+  EXPECT_FLOAT_EQ(a.at({0, 1}), 0.5f);
+  EXPECT_FLOAT_EQ(a.at({1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(a.at({0, 0}), 0.0f);
+}
+
+TEST(TrafficGraphTest, RandomCorridorIsConnectedAlongCorridors) {
+  core::Rng rng(1);
+  TrafficGraph g = TrafficGraph::RandomCorridor(24, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 24);
+  // Every corridor of length k contributes k-1 edges: at least
+  // num_nodes - num_corridors edges total.
+  EXPECT_GE(static_cast<int64_t>(g.edges().size()), 24 - 3);
+  // Each node has at most a handful of neighbors (corridor + interchanges).
+  for (int64_t v = 0; v < 24; ++v) {
+    EXPECT_LE(g.Successors(v).size(), 5u);
+  }
+}
+
+TEST(TrafficGraphTest, RandomCorridorDeterministicInSeed) {
+  core::Rng rng1(7), rng2(7);
+  TrafficGraph a = TrafficGraph::RandomCorridor(16, 2, rng1);
+  TrafficGraph b = TrafficGraph::RandomCorridor(16, 2, rng2);
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+  EXPECT_TRUE(tensor::AllClose(a.Adjacency(), b.Adjacency()));
+}
+
+TEST(TrafficGraphTest, NormalizedAdjacencyIsSymmetricWithSelfLoops) {
+  core::Rng rng(2);
+  TrafficGraph g = TrafficGraph::RandomCorridor(12, 2, rng);
+  tensor::Tensor norm = g.NormalizedAdjacency();
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_GT(norm.at({i, i}), 0.0f);  // self loop survives normalization
+    for (int64_t j = 0; j < 12; ++j) {
+      EXPECT_NEAR(norm.at({i, j}), norm.at({j, i}), 1e-6f);
+    }
+  }
+}
+
+TEST(TrafficGraphTest, RandomWalkRowsSumToOneOrZero) {
+  core::Rng rng(3);
+  TrafficGraph g = TrafficGraph::RandomCorridor(12, 2, rng);
+  for (bool reverse : {false, true}) {
+    tensor::Tensor walk = g.RandomWalkMatrix(reverse);
+    for (int64_t i = 0; i < 12; ++i) {
+      double row_sum = 0;
+      for (int64_t j = 0; j < 12; ++j) row_sum += walk.at({i, j});
+      EXPECT_TRUE(std::abs(row_sum - 1.0) < 1e-5 || row_sum == 0.0)
+          << "row " << i << " sums to " << row_sum;
+    }
+  }
+}
+
+TEST(TrafficGraphTest, ReverseWalkUsesTransposedEdges) {
+  TrafficGraph g(2, {{0, 0}, {1, 0}});
+  g.AddEdge(0, 1, 1.0f);
+  tensor::Tensor forward = g.RandomWalkMatrix(false);
+  tensor::Tensor reverse = g.RandomWalkMatrix(true);
+  EXPECT_FLOAT_EQ(forward.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(reverse.at({1, 0}), 1.0f);
+}
+
+}  // namespace
+}  // namespace sstban::graph

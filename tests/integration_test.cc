@@ -1,0 +1,153 @@
+// End-to-end integration: train SSTBAN and baselines on a tiny synthetic
+// world and verify the learning signal is real — trained models beat the
+// historical average, the self-supervised branch trains without divergence,
+// and the full pipeline (world -> windows -> normalize -> train -> eval)
+// holds together.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/historical_average.h"
+#include "baselines/var_model.h"
+#include "data/synthetic_world.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "training/trainer.h"
+
+namespace sstban {
+namespace {
+
+struct Pipeline {
+  std::shared_ptr<data::TrafficDataset> dataset;
+  std::unique_ptr<data::WindowDataset> windows;
+  data::SplitIndices split;
+  data::Normalizer normalizer;
+};
+
+Pipeline MakePipeline() {
+  data::SyntheticWorldConfig config;
+  config.num_nodes = 6;
+  config.num_corridors = 2;
+  config.steps_per_day = 24;
+  config.num_days = 14;
+  config.seed = 2024;
+  Pipeline p;
+  p.dataset = std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(config));
+  p.windows = std::make_unique<data::WindowDataset>(p.dataset, 12, 12);
+  p.split = data::ChronologicalSplit(*p.windows);
+  p.normalizer = data::Normalizer::Fit(p.dataset->signals);
+  return p;
+}
+
+training::TrainerConfig FastTrainer() {
+  training::TrainerConfig config;
+  config.max_epochs = 4;
+  config.batch_size = 16;
+  config.learning_rate = 2e-3f;
+  return config;
+}
+
+TEST(IntegrationTest, SstbanBeatsHistoricalAverage) {
+  Pipeline p = MakePipeline();
+
+  baselines::HistoricalAverage ha;
+  training::EvalResult ha_result =
+      training::Evaluate(&ha, *p.windows, p.split.test, p.normalizer, 16);
+
+  sstban::SstbanConfig config;
+  config.num_nodes = p.dataset->num_nodes();
+  config.input_len = 12;
+  config.output_len = 12;
+  config.num_features = 1;
+  config.steps_per_day = p.dataset->steps_per_day;
+  config.hidden_dim = 8;
+  config.num_heads = 4;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 3;
+  config.mask_rate = 0.2;
+  config.lambda = 0.1;
+  sstban::SstbanModel model(config);
+
+  training::Trainer trainer(FastTrainer());
+  training::TrainStats stats =
+      trainer.Train(&model, *p.windows, p.split, p.normalizer);
+  EXPECT_GT(stats.epochs_run, 0);
+  EXPECT_GT(stats.peak_memory_bytes, 0);
+
+  training::EvalResult sstban_result =
+      training::Evaluate(&model, *p.windows, p.split.test, p.normalizer, 16);
+  EXPECT_LT(sstban_result.overall.mae, ha_result.overall.mae)
+      << "SSTBAN " << sstban_result.overall.ToString() << " vs HA "
+      << ha_result.overall.ToString();
+}
+
+TEST(IntegrationTest, SelfSupervisedLossDecreasesDuringTraining) {
+  Pipeline p = MakePipeline();
+  sstban::SstbanConfig config;
+  config.num_nodes = p.dataset->num_nodes();
+  config.input_len = 12;
+  config.output_len = 12;
+  config.num_features = 1;
+  config.steps_per_day = p.dataset->steps_per_day;
+  config.hidden_dim = 8;
+  config.num_heads = 4;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 3;
+  config.mask_rate = 0.3;
+  config.lambda = 0.5;
+  sstban::SstbanModel model(config);
+  training::Trainer trainer(FastTrainer());
+  training::TrainStats stats =
+      trainer.Train(&model, *p.windows, p.split, p.normalizer);
+  ASSERT_GE(stats.epoch_train_loss.size(), 2u);
+  EXPECT_LT(stats.epoch_train_loss.back(), stats.epoch_train_loss.front());
+}
+
+TEST(IntegrationTest, VarBeatsHistoricalAverageOnShortHorizon) {
+  Pipeline p = MakePipeline();
+  baselines::HistoricalAverage ha;
+  baselines::VarModel var(3);
+  training::Trainer trainer(FastTrainer());
+  trainer.Train(&var, *p.windows, p.split, p.normalizer);
+  training::EvalResult ha_result = training::Evaluate(
+      &ha, *p.windows, p.split.test, p.normalizer, 16, /*per_horizon=*/true);
+  training::EvalResult var_result = training::Evaluate(
+      &var, *p.windows, p.split.test, p.normalizer, 16, /*per_horizon=*/true);
+  // VAR excels at the first step (near-Markov structure).
+  EXPECT_LT(var_result.per_horizon.front().mae,
+            ha_result.per_horizon.front().mae);
+}
+
+TEST(IntegrationTest, TrainingIsDeterministicGivenSeeds) {
+  Pipeline p = MakePipeline();
+  auto run_once = [&]() {
+    sstban::SstbanConfig config;
+    config.num_nodes = p.dataset->num_nodes();
+    config.input_len = 12;
+    config.output_len = 12;
+    config.num_features = 1;
+    config.steps_per_day = p.dataset->steps_per_day;
+    config.hidden_dim = 4;
+    config.num_heads = 2;
+    config.encoder_blocks = 1;
+    config.decoder_blocks = 1;
+    config.patch_len = 3;
+    config.seed = 7;
+    sstban::SstbanModel model(config);
+    training::TrainerConfig tc = FastTrainer();
+    tc.max_epochs = 1;
+    tc.seed = 99;
+    training::Trainer trainer(tc);
+    training::TrainStats stats =
+        trainer.Train(&model, *p.windows, p.split, p.normalizer);
+    return stats.epoch_train_loss.front();
+  };
+  EXPECT_FLOAT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sstban

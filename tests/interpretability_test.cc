@@ -1,0 +1,84 @@
+// Tests for the attention-probability introspection API used by the
+// reference-point (cluster-center) analysis.
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/rng.h"
+#include "nn/attention.h"
+#include "sstban/bottleneck_attention.h"
+#include "tensor/ops.h"
+
+namespace sstban {
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+t::Tensor Rand(t::Shape shape, uint64_t seed) {
+  core::Rng rng(seed);
+  return t::Tensor::RandomNormal(std::move(shape), rng, 0.0f, 0.8f);
+}
+
+TEST(AttentionProbsTest, ShapeAndNormalization) {
+  core::Rng rng(1);
+  nn::MultiHeadAttention mha(6, 6, 6, 2, rng);
+  ag::Variable q(Rand({2, 4, 6}, 2));
+  ag::Variable kv(Rand({2, 7, 6}, 3));
+  t::Tensor probs;
+  mha.Forward(q, kv, kv, nullptr, &probs);
+  ASSERT_EQ(probs.shape(), t::Shape({2, 4, 7}));
+  // Head-averaged rows still sum to 1 (each head's row sums to 1).
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 4; ++i) {
+      double row = 0;
+      for (int64_t j = 0; j < 7; ++j) row += probs.at({b, i, j});
+      EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(AttentionProbsTest, MaskedKeysGetZeroProbability) {
+  core::Rng rng(4);
+  nn::MultiHeadAttention mha(4, 4, 4, 2, rng);
+  ag::Variable q(Rand({1, 3, 4}, 5));
+  ag::Variable kv(Rand({1, 5, 4}, 6));
+  t::Tensor mask = t::Tensor::Ones(t::Shape{1, 5});
+  mask.at({0, 1}) = 0.0f;
+  mask.at({0, 4}) = 0.0f;
+  t::Tensor probs;
+  mha.Forward(q, kv, kv, &mask, &probs);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(probs.at({0, i, 1}), 0.0f, 1e-6);
+    EXPECT_NEAR(probs.at({0, i, 4}), 0.0f, 1e-6);
+  }
+}
+
+TEST(AttentionProbsTest, NullPointerPathUnchanged) {
+  core::Rng rng(7);
+  nn::MultiHeadAttention mha(4, 4, 4, 2, rng);
+  ag::Variable q(Rand({1, 3, 4}, 8));
+  t::Tensor probs;
+  ag::Variable with = mha.Forward(q, q, q, nullptr, &probs);
+  ag::Variable without = mha.Forward(q, q, q);
+  EXPECT_TRUE(t::AllClose(with.value(), without.value(), 0, 0));
+}
+
+TEST(BottleneckAssignmentTest, ShapeMatchesReferenceCount) {
+  core::Rng rng(9);
+  sstban::BottleneckAttention attn(6, 4, 3, 2, rng);
+  ag::Variable x(Rand({2, 10, 6}, 10));
+  t::Tensor assignments;
+  attn.Forward(x, nullptr, &assignments);
+  ASSERT_EQ(assignments.shape(), t::Shape({2, 10, 3}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 10; ++i) {
+      double row = 0;
+      for (int64_t r = 0; r < 3; ++r) row += assignments.at({b, i, r});
+      EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sstban

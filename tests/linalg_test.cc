@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/linalg.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+
+namespace sstban::tensor {
+namespace {
+
+// Random SPD matrix A = M M^T + n*I.
+Tensor RandomSpd(int64_t n, core::Rng& rng) {
+  Tensor m = Tensor::RandomNormal(Shape{n, n}, rng);
+  Tensor a = Matmul(m, Transpose(m));
+  for (int64_t i = 0; i < n; ++i) a.at({i, i}) += static_cast<float>(n);
+  return a;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  core::Rng rng(1);
+  Tensor a = RandomSpd(6, rng);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Tensor reconstructed = Matmul(l.value(), Transpose(l.value()));
+  EXPECT_TRUE(AllClose(reconstructed, a, 1e-2f, 1e-3f));
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  core::Rng rng(2);
+  auto l = CholeskyFactor(RandomSpd(5, rng));
+  ASSERT_TRUE(l.ok());
+  for (int64_t i = 0; i < 5; ++i)
+    for (int64_t j = i + 1; j < 5; ++j)
+      EXPECT_EQ(l.value().at({i, j}), 0.0f);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Tensor::Zeros(Shape{2, 3})).ok());
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Tensor a = Tensor::Zeros(Shape{2, 2});
+  a.at({0, 0}) = 1.0f;
+  a.at({1, 1}) = -1.0f;
+  auto result = CholeskyFactor(a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskySolveTest, SolvesLinearSystem) {
+  core::Rng rng(3);
+  Tensor a = RandomSpd(8, rng);
+  Tensor x_true = Tensor::RandomNormal(Shape{8, 3}, rng);
+  Tensor b = Matmul(a, x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(x.value(), x_true, 5e-3f, 5e-3f));
+}
+
+TEST(CholeskySolveTest, IdentitySolveReturnsRhs) {
+  Tensor eye = Tensor::Zeros(Shape{4, 4});
+  for (int64_t i = 0; i < 4; ++i) eye.at({i, i}) = 1.0f;
+  core::Rng rng(4);
+  Tensor b = Tensor::RandomNormal(Shape{4, 2}, rng);
+  auto x = CholeskySolve(eye, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(x.value(), b, 1e-5f, 1e-5f));
+}
+
+TEST(CholeskySolveTest, RejectsMismatchedRhs) {
+  core::Rng rng(5);
+  Tensor a = RandomSpd(4, rng);
+  EXPECT_FALSE(CholeskySolve(a, Tensor::Zeros(Shape{5, 2})).ok());
+}
+
+}  // namespace
+}  // namespace sstban::tensor

@@ -1,0 +1,143 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "sstban/masking.h"
+#include "tensor/ops.h"
+
+namespace sstban::sstban {
+namespace {
+
+double MaskedFraction(const tensor::Tensor& mask) {
+  return 1.0 - tensor::MeanAll(mask).item();
+}
+
+TEST(MaskingTest, ValuesAreBinary) {
+  core::Rng rng(1);
+  tensor::Tensor mask =
+      GenerateMask(24, 6, 2, 4, 0.4, MaskStrategy::kSpacetimeAgnostic, rng);
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    float v = mask.data()[i];
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+class MaskRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskRateTest, MaskedFractionMatchesRate) {
+  double rate = GetParam();
+  core::Rng rng(2);
+  // P divisible by patch_len so every patch has equal size and the realized
+  // fraction is exact (floor of rate * num_patches).
+  tensor::Tensor mask =
+      GenerateMask(24, 8, 1, 4, rate, MaskStrategy::kSpacetimeAgnostic, rng);
+  int64_t num_patches = (24 / 4) * 8;
+  double expected =
+      std::floor(rate * num_patches) / static_cast<double>(num_patches);
+  EXPECT_NEAR(MaskedFraction(mask), expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MaskRateTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8));
+
+TEST(MaskingTest, PatchesAreTemporallyContiguous) {
+  core::Rng rng(3);
+  const int64_t p = 20, patch = 5;
+  tensor::Tensor mask =
+      GenerateMask(p, 4, 1, patch, 0.5, MaskStrategy::kSpacetimeAgnostic, rng);
+  // Within each aligned patch window of one node, values must be uniform
+  // (a patch is masked wholesale or not at all).
+  for (int64_t v = 0; v < 4; ++v) {
+    for (int64_t seg = 0; seg < p / patch; ++seg) {
+      float first = mask.at({seg * patch, v, 0});
+      for (int64_t t = seg * patch; t < (seg + 1) * patch; ++t) {
+        EXPECT_EQ(mask.at({t, v, 0}), first) << "t=" << t << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(MaskingTest, PartialTrailingPatchAllowed) {
+  core::Rng rng(4);
+  // P=10, patch=4 -> segments of sizes 4,4,2.
+  tensor::Tensor mask =
+      GenerateMask(10, 2, 1, 4, 0.5, MaskStrategy::kSpacetimeAgnostic, rng);
+  EXPECT_EQ(mask.shape(), tensor::Shape({10, 2, 1}));
+}
+
+TEST(MaskingTest, AtLeastOnePatchAlwaysVisible) {
+  core::Rng rng(5);
+  tensor::Tensor mask =
+      GenerateMask(12, 3, 1, 3, 0.99, MaskStrategy::kSpacetimeAgnostic, rng);
+  EXPECT_GT(tensor::SumAll(mask).item(), 0.0f);
+}
+
+TEST(MaskingTest, SpaceOnlyMasksWholeNodes) {
+  core::Rng rng(6);
+  tensor::Tensor mask =
+      GenerateMask(16, 10, 2, 4, 0.3, MaskStrategy::kSpaceOnly, rng);
+  int64_t masked_nodes = 0;
+  for (int64_t v = 0; v < 10; ++v) {
+    float first = mask.at({0, v, 0});
+    for (int64_t t = 0; t < 16; ++t) {
+      for (int64_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(mask.at({t, v, c}), first)
+            << "node " << v << " not uniformly masked";
+      }
+    }
+    if (first == 0.0f) ++masked_nodes;
+  }
+  EXPECT_EQ(masked_nodes, 3);  // floor(0.3 * 10)
+}
+
+TEST(MaskingTest, TimeOnlyMasksWholeSlicesAcrossNodes) {
+  core::Rng rng(7);
+  tensor::Tensor mask =
+      GenerateMask(20, 6, 1, 5, 0.5, MaskStrategy::kTimeOnly, rng);
+  // Each time step is either fully masked or fully visible across nodes.
+  int64_t masked_steps = 0;
+  for (int64_t t = 0; t < 20; ++t) {
+    float first = mask.at({t, 0, 0});
+    for (int64_t v = 0; v < 6; ++v) {
+      EXPECT_EQ(mask.at({t, v, 0}), first);
+    }
+    if (first == 0.0f) ++masked_steps;
+  }
+  // floor(0.5 * 4 segments) = 2 segments of 5 steps.
+  EXPECT_EQ(masked_steps, 10);
+}
+
+TEST(MaskingTest, DeterministicInRngState) {
+  core::Rng rng1(8), rng2(8);
+  tensor::Tensor a =
+      GenerateMask(12, 5, 1, 3, 0.4, MaskStrategy::kSpacetimeAgnostic, rng1);
+  tensor::Tensor b =
+      GenerateMask(12, 5, 1, 3, 0.4, MaskStrategy::kSpacetimeAgnostic, rng2);
+  EXPECT_TRUE(tensor::AllClose(a, b));
+}
+
+TEST(MaskingTest, SuccessiveMasksDiffer) {
+  core::Rng rng(9);
+  tensor::Tensor a =
+      GenerateMask(12, 5, 1, 3, 0.4, MaskStrategy::kSpacetimeAgnostic, rng);
+  tensor::Tensor b =
+      GenerateMask(12, 5, 1, 3, 0.4, MaskStrategy::kSpacetimeAgnostic, rng);
+  EXPECT_FALSE(tensor::AllClose(a, b));
+}
+
+TEST(MaskingTest, StrategyNames) {
+  EXPECT_STREQ(MaskStrategyName(MaskStrategy::kSpacetimeAgnostic),
+               "spacetime-agnostic");
+  EXPECT_STREQ(MaskStrategyName(MaskStrategy::kSpaceOnly), "space-only");
+  EXPECT_STREQ(MaskStrategyName(MaskStrategy::kTimeOnly), "time-only");
+}
+
+TEST(MaskingTest, ZeroRateMasksNothing) {
+  core::Rng rng(10);
+  tensor::Tensor mask =
+      GenerateMask(8, 4, 1, 2, 0.0, MaskStrategy::kSpacetimeAgnostic, rng);
+  EXPECT_FLOAT_EQ(tensor::MeanAll(mask).item(), 1.0f);
+}
+
+}  // namespace
+}  // namespace sstban::sstban

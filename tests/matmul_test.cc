@@ -1,0 +1,98 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sstban::tensor {
+namespace {
+
+// Reference O(n^3) implementation for validation.
+Tensor NaiveMatmul(const Tensor& a, const Tensor& b) {
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::Zeros(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) acc += a.at({i, p}) * b.at({p, j});
+      c.at({i, j}) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(MatmulTest, SmallKnownResult) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(MatmulTest, IdentityIsNoop) {
+  core::Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape{5, 5}, rng);
+  Tensor eye = Tensor::Zeros(Shape{5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_TRUE(AllClose(Matmul(a, eye), a, 1e-5f, 1e-5f));
+}
+
+TEST(MatmulTest, MatchesNaiveOnRandom) {
+  core::Rng rng(2);
+  for (auto [m, k, n] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {3, 7, 5}, {17, 9, 13}, {70, 20, 30}}) {
+    Tensor a = Tensor::RandomNormal(Shape{m, k}, rng);
+    Tensor b = Tensor::RandomNormal(Shape{k, n}, rng);
+    EXPECT_TRUE(AllClose(Matmul(a, b), NaiveMatmul(a, b), 1e-3f, 1e-3f))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+class BmmTransposeTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+
+TEST_P(BmmTransposeTest, MatchesNaivePerBatch) {
+  auto [ta, tb, inner] = GetParam();
+  core::Rng rng(3 + inner);
+  const int64_t batch = 3, m = 5, n = 4;
+  int64_t k = inner;
+  Shape a_shape = ta ? Shape{batch, k, m} : Shape{batch, m, k};
+  Shape b_shape = tb ? Shape{batch, n, k} : Shape{batch, k, n};
+  Tensor a = Tensor::RandomNormal(a_shape, rng);
+  Tensor b = Tensor::RandomNormal(b_shape, rng);
+  Tensor c = Bmm(a, b, ta, tb);
+  ASSERT_EQ(c.shape(), Shape({batch, m, n}));
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    Tensor a2 = Slice(a, 0, bi, 1).Reshape(Shape{a_shape.dim(1), a_shape.dim(2)});
+    Tensor b2 = Slice(b, 0, bi, 1).Reshape(Shape{b_shape.dim(1), b_shape.dim(2)});
+    if (ta) a2 = Transpose(a2);
+    if (tb) b2 = Transpose(b2);
+    Tensor expected = NaiveMatmul(a2, b2);
+    Tensor got = Slice(c, 0, bi, 1).Reshape(Shape{m, n});
+    EXPECT_TRUE(AllClose(got, expected, 1e-3f, 1e-3f))
+        << "batch " << bi << " ta=" << ta << " tb=" << tb << " k=" << k;
+  }
+}
+
+// inner dims 1..8 cover the specialized fixed-size kernels; 11 covers the
+// generic fallback.
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeCombosAndKernelSizes, BmmTransposeTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 2, 3, 4, 6, 8, 11)));
+
+TEST(BmmTest, BatchesAreIndependent) {
+  core::Rng rng(9);
+  Tensor a = Tensor::RandomNormal(Shape{2, 3, 4}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{2, 4, 5}, rng);
+  Tensor c = Bmm(a, b);
+  // Zeroing batch 1 of the inputs must not change batch 0 of the output.
+  Tensor a0 = a.Clone();
+  for (int64_t i = 0; i < 12; ++i) a0.data()[12 + i] = 0.0f;
+  Tensor c0 = Bmm(a0, b);
+  EXPECT_TRUE(AllClose(Slice(c, 0, 0, 1), Slice(c0, 0, 0, 1), 1e-6f, 1e-6f));
+}
+
+}  // namespace
+}  // namespace sstban::tensor

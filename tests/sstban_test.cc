@@ -1,0 +1,386 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "sstban/bottleneck_attention.h"
+#include "sstban/config.h"
+#include "sstban/decoders.h"
+#include "sstban/encoder.h"
+#include "sstban/model.h"
+#include "sstban/stba_block.h"
+#include "sstban/ste.h"
+#include "sstban/transform_attention.h"
+#include "tensor/ops.h"
+
+namespace sstban::sstban {
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+t::Tensor Rand(t::Shape shape, uint64_t seed) {
+  core::Rng rng(seed);
+  return t::Tensor::RandomNormal(std::move(shape), rng, 0.0f, 0.5f);
+}
+
+SstbanConfig TinyConfig() {
+  SstbanConfig c;
+  c.num_nodes = 5;
+  c.input_len = 8;
+  c.output_len = 8;
+  c.num_features = 1;
+  c.steps_per_day = 12;
+  c.hidden_dim = 4;
+  c.num_heads = 2;
+  c.encoder_blocks = 1;
+  c.decoder_blocks = 1;
+  c.recon_blocks = 1;
+  c.temporal_refs = 2;
+  c.spatial_refs = 2;
+  c.patch_len = 2;
+  c.mask_rate = 0.3;
+  c.lambda = 0.2;
+  return c;
+}
+
+data::Batch TinyBatch(const SstbanConfig& c, int64_t batch_size) {
+  data::Batch batch;
+  core::Rng rng(42);
+  batch.x = t::Tensor::RandomNormal(
+      t::Shape{batch_size, c.input_len, c.num_nodes, c.num_features}, rng);
+  batch.y = t::Tensor::RandomNormal(
+      t::Shape{batch_size, c.output_len, c.num_nodes, c.num_features}, rng);
+  for (int64_t i = 0; i < batch_size * c.input_len; ++i) {
+    batch.tod_in.push_back(i % c.steps_per_day);
+    batch.dow_in.push_back((i / c.steps_per_day) % 7);
+  }
+  for (int64_t i = 0; i < batch_size * c.output_len; ++i) {
+    batch.tod_out.push_back((i + 3) % c.steps_per_day);
+    batch.dow_out.push_back(((i + 3) / c.steps_per_day) % 7);
+  }
+  return batch;
+}
+
+TEST(ConfigTest, ValidateAcceptsDefaults) {
+  SstbanConfig c = TinyConfig();
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadValues) {
+  SstbanConfig c = TinyConfig();
+  c.num_nodes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig();
+  c.mask_rate = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig();
+  c.lambda = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig();
+  c.use_bottleneck = true;
+  c.temporal_refs = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, TableIiiPresetsMatchPaper) {
+  SstbanConfig c = TableIiiConfig("seattle-36");
+  EXPECT_EQ(c.input_len, 36);
+  EXPECT_EQ(c.encoder_blocks, 2);
+  EXPECT_EQ(c.hidden_dim, 8);
+  EXPECT_EQ(c.num_heads, 16);
+  EXPECT_EQ(c.patch_len, 18);
+  EXPECT_DOUBLE_EQ(c.mask_rate, 0.5);
+  EXPECT_DOUBLE_EQ(c.lambda, 0.5);
+  c = TableIiiConfig("pems08-48");
+  EXPECT_EQ(c.encoder_blocks, 3);
+  EXPECT_EQ(c.patch_len, 24);
+  EXPECT_EQ(c.temporal_refs, 3);
+  EXPECT_EQ(c.recon_blocks, 1);
+}
+
+TEST(SteTest, OutputShapeAndBroadcastStructure) {
+  core::Rng rng(1);
+  SpatialTemporalEmbedding ste(4, 12, 6, rng);
+  std::vector<int64_t> tod = {0, 1, 2, 3, 4, 5};
+  std::vector<int64_t> dow = {0, 0, 0, 1, 1, 1};
+  ag::Variable e = ste.Forward(tod, dow, /*batch=*/2, /*len=*/3);
+  EXPECT_EQ(e.shape(), t::Shape({2, 3, 4, 6}));
+  // Same (tod, dow) and same node -> identical embedding. tod[0] with
+  // dow[0] appears only once here, so instead check that node structure is
+  // shared: E[b,l,v] - E[b,l,w] must be constant across (b,l).
+  t::Tensor diff01 = t::Sub(t::Slice(e.value(), 2, 0, 1),
+                            t::Slice(e.value(), 2, 1, 1));
+  t::Tensor first = t::Slice(t::Slice(diff01, 0, 0, 1), 1, 0, 1);
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t l = 0; l < 3; ++l) {
+      t::Tensor cell = t::Slice(t::Slice(diff01, 0, b, 1), 1, l, 1);
+      EXPECT_TRUE(t::AllClose(cell, first, 1e-5f, 1e-5f));
+    }
+  }
+}
+
+TEST(SteTest, SameCalendarGivesSameTemporalEmbedding) {
+  core::Rng rng(2);
+  SpatialTemporalEmbedding ste(3, 10, 4, rng);
+  std::vector<int64_t> tod = {5, 5};
+  std::vector<int64_t> dow = {2, 2};
+  ag::Variable e = ste.Forward(tod, dow, 1, 2);
+  EXPECT_TRUE(t::AllClose(t::Slice(e.value(), 1, 0, 1),
+                          t::Slice(e.value(), 1, 1, 1), 1e-6f, 1e-6f));
+}
+
+TEST(BottleneckAttentionTest, ShapeAndFiniteness) {
+  core::Rng rng(3);
+  BottleneckAttention attn(/*in_dim=*/8, /*out_dim=*/4, /*num_refs=*/3,
+                           /*num_heads=*/2, rng);
+  ag::Variable x(Rand({6, 10, 8}, 4));
+  ag::Variable y = attn.Forward(x);
+  EXPECT_EQ(y.shape(), t::Shape({6, 10, 4}));
+  EXPECT_FALSE(t::HasNonFinite(y.value()));
+}
+
+TEST(BottleneckAttentionTest, MaskedElementsDoNotLeakIntoReferences) {
+  core::Rng rng(5);
+  BottleneckAttention attn(4, 4, 2, 2, rng);
+  t::Tensor x = Rand({1, 6, 4}, 6);
+  t::Tensor mask = t::Tensor::Ones(t::Shape{1, 6});
+  mask.at({0, 3}) = 0.0f;
+  ag::Variable out1 = attn.Forward(ag::Variable(x), &mask);
+  t::Tensor x2 = x.Clone();
+  x2.at({0, 3, 0}) += 100.0f;  // perturb the masked element's content
+  ag::Variable out2 = attn.Forward(ag::Variable(x2), &mask);
+  // Outputs at other positions must be unchanged: the masked element was
+  // never aggregated into the reference points. (Position 3's own output
+  // row changes because it still issues a query from its perturbed state.)
+  for (int64_t pos : {0, 1, 2, 4, 5}) {
+    EXPECT_TRUE(t::AllClose(t::Slice(out1.value(), 1, pos, 1),
+                            t::Slice(out2.value(), 1, pos, 1), 1e-4f, 1e-4f))
+        << "position " << pos;
+  }
+}
+
+TEST(BottleneckAttentionTest, ComplexityIsLinearInSequenceLength) {
+  // The bottleneck keeps the score matrices at [L, R]; doubling L must not
+  // square the number of score entries. We verify functionally: runtime is
+  // not the contract here, but the op-level shapes are — a full attention
+  // would need [L, L]. We approximate by checking the module works at a
+  // sequence length where quadratic storage would be large but linear is
+  // trivial.
+  core::Rng rng(7);
+  BottleneckAttention attn(4, 4, 2, 2, rng);
+  ag::Variable x(Rand({1, 2048, 4}, 8));
+  ag::Variable y = attn.Forward(x);
+  EXPECT_EQ(y.dim(1), 2048);
+}
+
+TEST(FullSelfAttentionTest, MatchesInterface) {
+  core::Rng rng(9);
+  FullSelfAttention attn(8, 4, 2, rng);
+  ag::Variable x(Rand({2, 5, 8}, 10));
+  EXPECT_EQ(attn.Forward(x).shape(), t::Shape({2, 5, 4}));
+}
+
+TEST(StbaBlockTest, PreservesShape) {
+  core::Rng rng(11);
+  StbaBlock block(4, 2, 2, 2, /*use_bottleneck=*/true, rng);
+  ag::Variable h(Rand({2, 6, 5, 4}, 12));
+  ag::Variable e(Rand({2, 6, 5, 4}, 13));
+  ag::Variable out = block.Forward(h, e);
+  EXPECT_EQ(out.shape(), t::Shape({2, 6, 5, 4}));
+}
+
+TEST(StbaBlockTest, FullAttentionVariantPreservesShape) {
+  core::Rng rng(14);
+  StbaBlock block(4, 2, 2, 2, /*use_bottleneck=*/false, rng);
+  ag::Variable h(Rand({2, 6, 5, 4}, 15));
+  ag::Variable e(Rand({2, 6, 5, 4}, 16));
+  EXPECT_EQ(block.Forward(h, e).shape(), t::Shape({2, 6, 5, 4}));
+}
+
+TEST(StbaBlockTest, ResidualConnectionPresent) {
+  // Scaling the input H also shifts the output through the residual path:
+  // out - H must equal the attention contribution, so out != attention
+  // output alone. Cheap check: with zeroed attention impossible, verify
+  // out differs from block(H, E) - H recomputation consistency instead.
+  core::Rng rng(17);
+  StbaBlock block(4, 2, 2, 2, true, rng);
+  ag::Variable h(Rand({1, 4, 3, 4}, 18));
+  ag::Variable e(Rand({1, 4, 3, 4}, 19));
+  ag::Variable out1 = block.Forward(h, e);
+  ag::Variable out2 = block.Forward(h, e);
+  // Deterministic forward.
+  EXPECT_TRUE(t::AllClose(out1.value(), out2.value()));
+  // Residual: adding delta to H adds at least delta's direction to out.
+  t::Tensor delta = t::Tensor::Full(h.shape(), 0.5f);
+  ag::Variable h2(t::Add(h.value(), delta));
+  ag::Variable out3 = block.Forward(h2, e);
+  // The difference must be nonzero and correlated with delta (residual
+  // passes it straight through plus attention changes).
+  t::Tensor diff = t::Sub(out3.value(), out1.value());
+  EXPECT_GT(t::MeanAll(diff).item(), 0.1f);
+}
+
+TEST(StbaBlockTest, GradientsFlowToAllParameters) {
+  core::Rng rng(20);
+  StbaBlock block(4, 2, 2, 2, true, rng);
+  ag::Variable h(Rand({1, 4, 3, 4}, 21));
+  ag::Variable e(Rand({1, 4, 3, 4}, 22));
+  ag::SumAll(ag::Square(block.Forward(h, e))).Backward();
+  for (auto& [name, p] : block.NamedParameters()) {
+    EXPECT_TRUE(p.has_grad()) << name;
+  }
+}
+
+TEST(TransformAttentionTest, ConvertsTemporalLength) {
+  core::Rng rng(23);
+  TransformAttention ta(4, 2, rng);
+  ag::Variable e_out(Rand({2, 7, 3, 4}, 24));  // Q=7
+  ag::Variable e_in(Rand({2, 5, 3, 4}, 25));   // P=5
+  ag::Variable h(Rand({2, 5, 3, 4}, 26));
+  ag::Variable out = ta.Forward(e_out, e_in, h);
+  EXPECT_EQ(out.shape(), t::Shape({2, 7, 3, 4}));
+}
+
+TEST(EncoderTest, ProducesLatentOfWidthD) {
+  SstbanConfig c = TinyConfig();
+  core::Rng rng(c.seed);
+  StEncoder encoder(c, rng);
+  data::Batch batch = TinyBatch(c, 2);
+  SpatialTemporalEmbedding ste(c.num_nodes, c.steps_per_day, c.hidden_dim, rng);
+  ag::Variable e = ste.Forward(batch.tod_in, batch.dow_in, 2, c.input_len);
+  ag::Variable h = encoder.Forward(ag::Variable(batch.x), e);
+  EXPECT_EQ(h.shape(),
+            t::Shape({2, c.input_len, c.num_nodes, c.hidden_dim}));
+}
+
+TEST(ReconstructingDecoderTest, MaskTokenFillsMaskedPositions) {
+  SstbanConfig c = TinyConfig();
+  core::Rng rng(31);
+  StReconstructingDecoder decoder(c, rng);
+  int64_t b = 1, p = c.input_len, n = c.num_nodes, d = c.hidden_dim;
+  ag::Variable encoded(Rand({b, p, n, d}, 32));
+  ag::Variable e(Rand({b, p, n, d}, 33));
+  t::Tensor keep = t::Tensor::Ones(t::Shape{b, p, n, 1});
+  keep.at({0, 2, 1, 0}) = 0.0f;
+  ag::Variable out = decoder.Forward(encoded, e, keep);
+  EXPECT_EQ(out.shape(), t::Shape({b, p, n, d}));
+  EXPECT_FALSE(t::HasNonFinite(out.value()));
+  // Changing the encoder latent at the masked position must not change
+  // anything (it was replaced by the mask token before the blocks).
+  t::Tensor encoded2 = encoded.value().Clone();
+  encoded2.at({0, 2, 1, 0}) += 50.0f;
+  ag::Variable out2 = decoder.Forward(ag::Variable(encoded2), e, keep);
+  EXPECT_TRUE(t::AllClose(out.value(), out2.value(), 1e-4f, 1e-4f));
+}
+
+TEST(SstbanModelTest, PredictShape) {
+  SstbanConfig c = TinyConfig();
+  SstbanModel model(c);
+  data::Batch batch = TinyBatch(c, 3);
+  ag::Variable pred = model.Predict(batch.x, batch);
+  EXPECT_EQ(pred.shape(),
+            t::Shape({3, c.output_len, c.num_nodes, c.num_features}));
+  EXPECT_FALSE(t::HasNonFinite(pred.value()));
+}
+
+TEST(SstbanModelTest, TwoBranchLossesAreFiniteAndCombined) {
+  SstbanConfig c = TinyConfig();
+  SstbanModel model(c);
+  model.SetTraining(true);
+  data::Batch batch = TinyBatch(c, 2);
+  auto out = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  ASSERT_TRUE(out.alignment_loss.defined());
+  float fc = out.forecast_loss.item();
+  float al = out.alignment_loss.item();
+  float total = out.total_loss.item();
+  EXPECT_TRUE(std::isfinite(fc));
+  EXPECT_TRUE(std::isfinite(al));
+  float lambda = static_cast<float>(c.lambda);
+  EXPECT_NEAR(total, (1 - lambda) * fc + lambda * al, 1e-4f);
+}
+
+TEST(SstbanModelTest, EvalModeSkipsSelfSupervisedBranch) {
+  SstbanConfig c = TinyConfig();
+  SstbanModel model(c);
+  model.SetTraining(false);
+  data::Batch batch = TinyBatch(c, 2);
+  auto out = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  EXPECT_FALSE(out.alignment_loss.defined());
+  EXPECT_FLOAT_EQ(out.total_loss.item(), out.forecast_loss.item());
+}
+
+TEST(SstbanModelTest, SelfSupervisedOffMatchesForecastLoss) {
+  SstbanConfig c = TinyConfig();
+  c.self_supervised = false;
+  SstbanModel model(c);
+  data::Batch batch = TinyBatch(c, 2);
+  auto out = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  EXPECT_FLOAT_EQ(out.total_loss.item(), out.forecast_loss.item());
+}
+
+TEST(SstbanModelTest, BackwardReachesEveryParameter) {
+  SstbanConfig c = TinyConfig();
+  SstbanModel model(c);
+  data::Batch batch = TinyBatch(c, 2);
+  ag::Variable loss = model.TrainingLoss(batch.x, batch.y, batch);
+  model.ZeroGrad();
+  loss.Backward();
+  int64_t with_grad = 0, total = 0;
+  for (auto& [name, p] : model.NamedParameters()) {
+    ++total;
+    if (p.has_grad()) ++with_grad;
+  }
+  // Every parameter participates in the two-branch loss.
+  EXPECT_EQ(with_grad, total);
+}
+
+TEST(SstbanModelTest, DetachAlignmentTargetControlsGradientPath) {
+  // With detach on (default), the alignment loss alone must NOT produce
+  // gradients in the forecasting decoder, but still trains the encoder via
+  // the masked pathway.
+  SstbanConfig c = TinyConfig();
+  c.detach_alignment_target = true;
+  SstbanModel model(c);
+  data::Batch batch = TinyBatch(c, 2);
+  auto out = model.ForwardTwoBranch(batch.x, batch.y, batch);
+  model.ZeroGrad();
+  out.alignment_loss.Backward();
+  bool reconstructor_has_grad = false;
+  for (auto& [name, p] : model.NamedParameters()) {
+    if (name.find("reconstructor") != std::string::npos && p.has_grad()) {
+      reconstructor_has_grad = true;
+    }
+    if (name.find("decoder") == 0 && p.has_grad()) {
+      FAIL() << "forecasting decoder " << name
+             << " received gradient from detached alignment loss";
+    }
+  }
+  EXPECT_TRUE(reconstructor_has_grad);
+}
+
+TEST(SstbanModelTest, WithoutBottleneckUsesFullAttention) {
+  SstbanConfig c = TinyConfig();
+  c.use_bottleneck = false;
+  SstbanModel model(c);
+  EXPECT_EQ(model.name(), "SSTBAN-w/o-STBA");
+  data::Batch batch = TinyBatch(c, 2);
+  ag::Variable pred = model.Predict(batch.x, batch);
+  EXPECT_FALSE(t::HasNonFinite(pred.value()));
+}
+
+TEST(SstbanModelTest, DeterministicPrediction) {
+  SstbanConfig c = TinyConfig();
+  SstbanModel a(c), b(c);
+  data::Batch batch = TinyBatch(c, 2);
+  EXPECT_TRUE(t::AllClose(a.Predict(batch.x, batch).value(),
+                          b.Predict(batch.x, batch).value()));
+}
+
+}  // namespace
+}  // namespace sstban::sstban

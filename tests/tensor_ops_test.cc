@@ -1,0 +1,234 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace sstban::tensor {
+namespace {
+
+Tensor T(std::initializer_list<int64_t> shape, std::vector<float> values) {
+  return Tensor::FromVector(Shape(shape), std::move(values));
+}
+
+TEST(ElementwiseTest, AddSameShape) {
+  Tensor c = Add(T({2, 2}, {1, 2, 3, 4}), T({2, 2}, {10, 20, 30, 40}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(ElementwiseTest, SubMulDiv) {
+  Tensor a = T({3}, {4, 9, 16});
+  Tensor b = T({3}, {2, 3, 4});
+  EXPECT_EQ(Sub(a, b).ToVector(), (std::vector<float>{2, 6, 12}));
+  EXPECT_EQ(Mul(a, b).ToVector(), (std::vector<float>{8, 27, 64}));
+  EXPECT_EQ(Div(a, b).ToVector(), (std::vector<float>{2, 3, 4}));
+}
+
+TEST(ElementwiseTest, BroadcastScalar) {
+  Tensor c = Add(T({2, 2}, {1, 2, 3, 4}), Tensor::Scalar(10.0f));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{11, 12, 13, 14}));
+  Tensor d = Sub(Tensor::Scalar(10.0f), T({2}, {1, 2}));
+  EXPECT_EQ(d.ToVector(), (std::vector<float>{9, 8}));
+}
+
+TEST(ElementwiseTest, BroadcastRowAndColumn) {
+  // [2,3] + [3] broadcasts over rows.
+  Tensor c = Add(T({2, 3}, {0, 0, 0, 10, 10, 10}), T({3}, {1, 2, 3}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 11, 12, 13}));
+  // [2,1] * [1,3] -> outer product shape.
+  Tensor d = Mul(T({2, 1}, {2, 3}), T({1, 3}, {1, 10, 100}));
+  EXPECT_EQ(d.shape(), Shape({2, 3}));
+  EXPECT_EQ(d.ToVector(), (std::vector<float>{2, 20, 200, 3, 30, 300}));
+}
+
+TEST(ElementwiseTest, Broadcast4D) {
+  // The STE pattern: [B,L,1,d] + [1,1,N,d].
+  Tensor a = Tensor::Ones(Shape{2, 3, 1, 4});
+  Tensor b = Tensor::Full(Shape{1, 1, 5, 4}, 2.0f);
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 3, 5, 4}));
+  for (float v : c.ToVector()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(ElementwiseTest, UnaryFunctions) {
+  Tensor a = T({4}, {-2, -0.5, 0.5, 2});
+  EXPECT_EQ(Neg(a).ToVector(), (std::vector<float>{2, 0.5, -0.5, -2}));
+  EXPECT_EQ(Abs(a).ToVector(), (std::vector<float>{2, 0.5, 0.5, 2}));
+  EXPECT_EQ(Sign(a).ToVector(), (std::vector<float>{-1, -1, 1, 1}));
+  EXPECT_EQ(Relu(a).ToVector(), (std::vector<float>{0, 0, 0.5, 2}));
+  EXPECT_EQ(Square(a).ToVector(), (std::vector<float>{4, 0.25, 0.25, 4}));
+  Tensor s = Sigmoid(T({1}, {0}));
+  EXPECT_FLOAT_EQ(s.item(), 0.5f);
+  EXPECT_FLOAT_EQ(Tanh(T({1}, {0})).item(), 0.0f);
+  EXPECT_NEAR(Exp(T({1}, {1})).item(), std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(T({1}, {std::exp(2.0f)})).item(), 2.0f, 1e-5);
+  EXPECT_FLOAT_EQ(Sqrt(T({1}, {9})).item(), 3.0f);
+}
+
+TEST(ReductionTest, SumAllMeanAll) {
+  Tensor a = T({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 2.5f);
+  EXPECT_FLOAT_EQ(MaxAll(a), 4.0f);
+  EXPECT_FLOAT_EQ(MinAll(a), 1.0f);
+}
+
+TEST(ReductionTest, SumAlongAxis) {
+  Tensor a = T({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rows = Sum(a, 1);
+  EXPECT_EQ(rows.shape(), Shape({2}));
+  EXPECT_EQ(rows.ToVector(), (std::vector<float>{6, 15}));
+  Tensor cols = Sum(a, 0, /*keepdim=*/true);
+  EXPECT_EQ(cols.shape(), Shape({1, 3}));
+  EXPECT_EQ(cols.ToVector(), (std::vector<float>{5, 7, 9}));
+}
+
+TEST(ReductionTest, MeanAndMaxAlongAxis) {
+  Tensor a = T({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Mean(a, 1).ToVector(), (std::vector<float>{2, 5}));
+  EXPECT_EQ(Max(a, 0).ToVector(), (std::vector<float>{4, 5, 6}));
+  EXPECT_EQ(Max(a, -1).ToVector(), (std::vector<float>{3, 6}));
+}
+
+TEST(ReductionTest, ReduceToShapeSumsBroadcastAxes) {
+  Tensor grad = Tensor::Ones(Shape{2, 3, 4});
+  Tensor r1 = ReduceToShape(grad, Shape{4});
+  EXPECT_EQ(r1.ToVector(), (std::vector<float>{6, 6, 6, 6}));
+  Tensor r2 = ReduceToShape(grad, Shape{2, 1, 4});
+  EXPECT_EQ(r2.shape(), Shape({2, 1, 4}));
+  EXPECT_EQ(r2.ToVector()[0], 3.0f);
+  Tensor r3 = ReduceToShape(grad, Shape{2, 3, 4});
+  EXPECT_TRUE(AllClose(r3, grad));
+}
+
+TEST(MovementTest, Transpose2D) {
+  Tensor a = T({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor at = Transpose(a);
+  EXPECT_EQ(at.shape(), Shape({3, 2}));
+  EXPECT_EQ(at.ToVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(MovementTest, PermuteMatchesManualIndexing) {
+  core::Rng rng(3);
+  Tensor a = Tensor::RandomNormal(Shape{2, 3, 4, 5}, rng);
+  Tensor p = Permute(a, {0, 2, 1, 3});  // exercises the memcpy fast path
+  for (int64_t i = 0; i < 2; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      for (int64_t k = 0; k < 4; ++k)
+        for (int64_t l = 0; l < 5; ++l)
+          EXPECT_EQ(p.at({i, k, j, l}), a.at({i, j, k, l}));
+}
+
+TEST(MovementTest, PermuteLastAxisMoved) {
+  core::Rng rng(4);
+  Tensor a = Tensor::RandomNormal(Shape{3, 4, 5}, rng);
+  Tensor p = Permute(a, {2, 0, 1});  // exercises the general odometer path
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 4; ++j)
+      for (int64_t k = 0; k < 5; ++k)
+        EXPECT_EQ(p.at({k, i, j}), a.at({i, j, k}));
+}
+
+TEST(MovementTest, PermuteRoundTrip) {
+  core::Rng rng(5);
+  Tensor a = Tensor::RandomNormal(Shape{2, 3, 4}, rng);
+  Tensor back = Permute(Permute(a, {1, 2, 0}), {2, 0, 1});
+  EXPECT_TRUE(AllClose(a, back));
+}
+
+TEST(MovementTest, ConcatAxis0And1) {
+  Tensor a = T({1, 2}, {1, 2});
+  Tensor b = T({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), Shape({2, 2}));
+  EXPECT_EQ(c0.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), Shape({1, 4}));
+  EXPECT_EQ(c1.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(MovementTest, ConcatNegativeAxis) {
+  Tensor a = T({2, 1}, {1, 2});
+  Tensor b = T({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, -1);
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 3, 4, 2, 5, 6}));
+}
+
+TEST(MovementTest, SliceMiddleAxis) {
+  Tensor a = T({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{2, 3, 6, 7}));
+}
+
+TEST(MovementTest, SliceConcatRoundTrip) {
+  core::Rng rng(6);
+  Tensor a = Tensor::RandomNormal(Shape{3, 5, 2}, rng);
+  Tensor parts = Concat({Slice(a, 1, 0, 2), Slice(a, 1, 2, 3)}, 1);
+  EXPECT_TRUE(AllClose(a, parts));
+}
+
+TEST(MovementTest, RepeatAxis) {
+  Tensor a = T({1, 2}, {1, 2});
+  Tensor r = RepeatAxis(a, 0, 3);
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.ToVector(), (std::vector<float>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  core::Rng rng(8);
+  Tensor a = Tensor::RandomNormal(Shape{4, 7}, rng, 0.0f, 3.0f);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 7; ++c) sum += s.at({r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeInputs) {
+  Tensor a = T({1, 3}, {1000, 1000, 1000});
+  Tensor s = Softmax(a);
+  EXPECT_FALSE(HasNonFinite(s));
+  EXPECT_NEAR(s.at({0, 0}), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(SoftmaxTest, MaskExcludesKeys) {
+  Tensor a = T({1, 3}, {1, 2, 3});
+  Tensor mask = T({1, 3}, {0, -1e9f, 0});
+  Tensor s = SoftmaxWithMask(a, mask);
+  EXPECT_NEAR(s.at({0, 1}), 0.0f, 1e-6);
+  EXPECT_NEAR(s.at({0, 0}) + s.at({0, 2}), 1.0f, 1e-5);
+}
+
+TEST(SoftmaxTest, FullyMaskedRowDegradesToUniform) {
+  Tensor a = T({1, 4}, {1, 2, 3, 4});
+  Tensor mask = Tensor::Full(Shape{1, 4}, -1e9f);
+  Tensor s = SoftmaxWithMask(a, mask);
+  EXPECT_FALSE(HasNonFinite(s));
+  for (int64_t c = 0; c < 4; ++c) EXPECT_NEAR(s.at({0, c}), 0.25f, 1e-4);
+}
+
+TEST(PredicateTest, AllClose) {
+  Tensor a = T({2}, {1.0f, 2.0f});
+  Tensor b = T({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, T({2}, {1.1f, 2.0f})));
+  EXPECT_FALSE(AllClose(a, T({1, 2}, {1.0f, 2.0f})));  // shape mismatch
+}
+
+TEST(PredicateTest, HasNonFinite) {
+  Tensor a = T({2}, {1.0f, 2.0f});
+  EXPECT_FALSE(HasNonFinite(a));
+  a.data()[1] = std::nanf("");
+  EXPECT_TRUE(HasNonFinite(a));
+  a.data()[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(HasNonFinite(a));
+}
+
+}  // namespace
+}  // namespace sstban::tensor

@@ -1,0 +1,139 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace sstban::tensor {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(ShapeTest, Strides) {
+  Shape s{2, 3, 4};
+  std::vector<int64_t> strides = s.Strides();
+  EXPECT_EQ(strides, (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+  EXPECT_EQ(Shape{}.ToString(), "[]");
+}
+
+TEST(ShapeTest, BroadcastSameShape) {
+  EXPECT_EQ(BroadcastShapes(Shape{2, 3}, Shape{2, 3}), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastExpandsOnes) {
+  EXPECT_EQ(BroadcastShapes(Shape{2, 1, 4}, Shape{1, 3, 1}), Shape({2, 3, 4}));
+}
+
+TEST(ShapeTest, BroadcastRankExtension) {
+  EXPECT_EQ(BroadcastShapes(Shape{4}, Shape{2, 3, 4}), Shape({2, 3, 4}));
+}
+
+TEST(TensorTest, ZerosInitialized) {
+  Tensor t = Tensor::Zeros(Shape{3, 3});
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor t = Tensor::Full(Shape{2, 2}, 2.5f);
+  EXPECT_EQ(t.at({1, 1}), 2.5f);
+  Tensor ones = Tensor::Ones(Shape{2});
+  EXPECT_EQ(ones.at({0}), 1.0f);
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_EQ(t.at({1, 0}), 4.0f);
+}
+
+TEST(TensorTest, Arange) {
+  Tensor t = Tensor::Arange(5);
+  EXPECT_EQ(t.at({4}), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(7.5f).item(), 7.5f);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a;  // shallow
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 9.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a.Clone();
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 0.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::Arange(6);
+  Tensor b = a.Reshape(Shape{2, 3});
+  b.data()[5] = 42.0f;
+  EXPECT_EQ(a.at({5}), 42.0f);
+  EXPECT_EQ(b.at({1, 2}), 42.0f);
+}
+
+TEST(TensorTest, CopyFromOverwrites) {
+  Tensor a = Tensor::Zeros(Shape{3});
+  Tensor b = Tensor::FromVector(Shape{3}, {1, 2, 3});
+  a.CopyFrom(b);
+  EXPECT_EQ(a.at({1}), 2.0f);
+}
+
+TEST(TensorTest, RandomUniformWithinBounds) {
+  core::Rng rng(5);
+  Tensor t = Tensor::RandomUniform(Shape{100}, rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.data()[i], -2.0f);
+    EXPECT_LT(t.data()[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, RandomNormalDeterministicInSeed) {
+  core::Rng rng1(5), rng2(5);
+  Tensor a = Tensor::RandomNormal(Shape{10}, rng1);
+  Tensor b = Tensor::RandomNormal(Shape{10}, rng2);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(TensorTest, UndefinedTensor) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.ToString(), "Tensor(undefined)");
+}
+
+TEST(TensorTest, ToVectorRoundTrip) {
+  Tensor t = Tensor::FromVector(Shape{4}, {1, 2, 3, 4});
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace sstban::tensor

@@ -1,0 +1,248 @@
+// Command-line front end for the library. Three subcommands cover the
+// generate -> train -> forecast lifecycle without writing any C++:
+//
+//   sstban_cli generate --preset pems08 --out signals.csv [--days 8] [--nodes 16]
+//   sstban_cli train    --preset pems08 --steps 24 --ckpt model.bin
+//                       [--epochs 6] [--days 8] [--nodes 16] [--lr 0.005]
+//   sstban_cli forecast --preset pems08 --steps 24 --ckpt model.bin
+//                       [--at <window start index>]
+//
+// The preset names the synthetic world (seattle / pems04 / pems08); train
+// and forecast regenerate the identical world from its seed, so a saved
+// checkpoint is self-consistent with the data it was trained on.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "data/csv_io.h"
+#include "tensor/ops.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "nn/serialization.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "training/forecast_service.h"
+#include "training/trainer.h"
+
+namespace {
+
+namespace data = ::sstban::data;
+namespace nn = ::sstban::nn;
+namespace training = ::sstban::training;
+namespace model_ns = ::sstban::sstban;
+
+// Minimal --key value parser; unknown keys are an error.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key, const std::string& fallback) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    std::string v = GetString(key, std::to_string(fallback));
+    return std::atoll(v.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    std::string v = GetString(key, std::to_string(fallback));
+    return std::atof(v.c_str());
+  }
+  // Call after all Get*: rejects flags nobody consumed (typos).
+  bool RejectUnknown() const {
+    bool ok = true;
+    for (const auto& [key, value] : values_) {
+      if (!used_.count(key)) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+data::SyntheticWorldConfig WorldFor(const std::string& preset, Flags& flags) {
+  data::SyntheticWorldConfig world;
+  if (preset == "seattle") {
+    world = data::SeattleLikeConfig();
+  } else if (preset == "pems04") {
+    world = data::Pems04LikeConfig();
+  } else if (preset == "pems08") {
+    world = data::Pems08LikeConfig();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s' (use seattle|pems04|pems08)\n",
+                 preset.c_str());
+    std::exit(2);
+  }
+  world.num_days = flags.GetInt("days", 8);
+  world.num_nodes = flags.GetInt("nodes", 16);
+  return world;
+}
+
+model_ns::SstbanConfig ModelFor(const std::string& preset, int64_t steps,
+                                const data::TrafficDataset& dataset) {
+  model_ns::SstbanConfig config;
+  if (steps == 24 || steps == 36 || steps == 48) {
+    // One of the paper's nine scenarios: use its Table III row.
+    config = model_ns::TableIiiConfig(preset + "-" + std::to_string(steps));
+  } else {
+    config.input_len = config.output_len = steps;
+    config.patch_len = std::max<int64_t>(steps / 8, 1);
+  }
+  config.num_nodes = dataset.num_nodes();
+  config.num_features = dataset.num_features();
+  config.steps_per_day = dataset.steps_per_day;
+  return config;
+}
+
+int RunGenerate(Flags& flags) {
+  std::string preset = flags.GetString("preset", "pems08");
+  std::string out = flags.GetString("out", "signals.csv");
+  data::TrafficDataset dataset =
+      data::GenerateSyntheticWorld(WorldFor(preset, flags));
+  if (!flags.RejectUnknown()) return 2;
+  auto status = data::SaveSignalsCsv(dataset.signals, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %lld x %lld x %lld signals to %s\n",
+              static_cast<long long>(dataset.num_steps()),
+              static_cast<long long>(dataset.num_nodes()),
+              static_cast<long long>(dataset.num_features()), out.c_str());
+  return 0;
+}
+
+int RunTrain(Flags& flags) {
+  std::string preset = flags.GetString("preset", "pems08");
+  int64_t steps = flags.GetInt("steps", 24);
+  std::string ckpt = flags.GetString("ckpt", "sstban.bin");
+  int epochs = static_cast<int>(flags.GetInt("epochs", 6));
+  float lr = static_cast<float>(flags.GetDouble("lr", 5e-3));
+  auto dataset = std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(WorldFor(preset, flags)));
+  if (!flags.RejectUnknown()) return 2;
+
+  data::WindowDataset windows(dataset, steps, steps);
+  data::SplitIndices split = data::ChronologicalSplit(windows);
+  data::Normalizer normalizer = data::Normalizer::Fit(dataset->signals);
+
+  model_ns::SstbanModel model(ModelFor(preset, steps, *dataset));
+  std::printf("training %s on %s (%lld params, %zu train windows)\n",
+              model.name().c_str(), dataset->name.c_str(),
+              static_cast<long long>(model.NumParameters()),
+              split.train.size());
+  training::TrainerConfig trainer_config;
+  trainer_config.max_epochs = epochs;
+  trainer_config.batch_size = 8;
+  trainer_config.learning_rate = lr;
+  trainer_config.verbose = true;
+  trainer_config.target_feature = preset == "seattle" ? 1 : -1;
+  training::Trainer trainer(trainer_config);
+  trainer.Train(&model, windows, split, normalizer);
+
+  training::EvalResult test = training::Evaluate(
+      &model, windows, split.test, normalizer, 8, false,
+      trainer_config.target_feature);
+  std::printf("test: %s\n", test.overall.ToString().c_str());
+  auto status = nn::SaveParameters(model, ckpt);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint saved to %s\n", ckpt.c_str());
+  return 0;
+}
+
+int RunForecast(Flags& flags) {
+  std::string preset = flags.GetString("preset", "pems08");
+  int64_t steps = flags.GetInt("steps", 24);
+  std::string ckpt = flags.GetString("ckpt", "sstban.bin");
+  auto dataset = std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(WorldFor(preset, flags)));
+  int64_t at = flags.GetInt("at", dataset->num_steps() - 2 * steps);
+  if (!flags.RejectUnknown()) return 2;
+  if (at < 0 || at + 2 * steps > dataset->num_steps()) {
+    std::fprintf(stderr, "--at out of range (need %lld history + horizon)\n",
+                 static_cast<long long>(2 * steps));
+    return 2;
+  }
+
+  data::Normalizer normalizer = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanModel model(ModelFor(preset, steps, *dataset));
+  auto status = nn::LoadParameters(&model, ckpt);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  training::ForecastService service(&model, normalizer, steps, steps,
+                                    dataset->steps_per_day);
+  sstban::tensor::Tensor recent =
+      sstban::tensor::Slice(dataset->signals, 0, at, steps);
+  auto forecast = service.Forecast(recent, at);
+  if (!forecast.ok()) {
+    std::fprintf(stderr, "%s\n", forecast.status().ToString().c_str());
+    return 1;
+  }
+
+  // Print network-mean forecast vs truth per step.
+  std::printf("step | forecast (network mean) | actual\n");
+  for (int64_t q = 0; q < steps; ++q) {
+    sstban::tensor::Tensor pred_q =
+        sstban::tensor::Slice(forecast.value(), 0, q, 1);
+    sstban::tensor::Tensor true_q =
+        sstban::tensor::Slice(dataset->signals, 0, at + steps + q, 1);
+    std::printf("%4lld | %22.2f | %8.2f\n", static_cast<long long>(q + 1),
+                sstban::tensor::MeanAll(pred_q).item(),
+                sstban::tensor::MeanAll(true_q).item());
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sstban_cli <generate|train|forecast> [--flag value ...]\n"
+               "  generate --preset seattle|pems04|pems08 --out FILE"
+               " [--days N] [--nodes N]\n"
+               "  train    --preset P --steps 24|36|48 --ckpt FILE"
+               " [--epochs N] [--lr R] [--days N] [--nodes N]\n"
+               "  forecast --preset P --steps S --ckpt FILE [--at INDEX]"
+               " [--days N] [--nodes N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  Flags flags(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "forecast") return RunForecast(flags);
+  PrintUsage();
+  return 2;
+}
