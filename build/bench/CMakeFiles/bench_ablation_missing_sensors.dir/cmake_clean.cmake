@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_missing_sensors.dir/bench_ablation_missing_sensors.cpp.o"
+  "CMakeFiles/bench_ablation_missing_sensors.dir/bench_ablation_missing_sensors.cpp.o.d"
+  "bench_ablation_missing_sensors"
+  "bench_ablation_missing_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_missing_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

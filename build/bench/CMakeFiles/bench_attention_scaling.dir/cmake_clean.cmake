@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attention_scaling.dir/bench_attention_scaling.cpp.o"
+  "CMakeFiles/bench_attention_scaling.dir/bench_attention_scaling.cpp.o.d"
+  "bench_attention_scaling"
+  "bench_attention_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attention_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

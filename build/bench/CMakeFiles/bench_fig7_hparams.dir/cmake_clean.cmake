@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hparams.dir/bench_fig7_hparams.cpp.o"
+  "CMakeFiles/bench_fig7_hparams.dir/bench_fig7_hparams.cpp.o.d"
+  "bench_fig7_hparams"
+  "bench_fig7_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mask.dir/bench_fig9_mask.cpp.o"
+  "CMakeFiles/bench_fig9_mask.dir/bench_fig9_mask.cpp.o.d"
+  "bench_fig9_mask"
+  "bench_fig9_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

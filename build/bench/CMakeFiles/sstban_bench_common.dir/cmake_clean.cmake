@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_bench_common.dir/common/experiment.cc.o"
+  "CMakeFiles/sstban_bench_common.dir/common/experiment.cc.o.d"
+  "libsstban_bench_common.a"
+  "libsstban_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

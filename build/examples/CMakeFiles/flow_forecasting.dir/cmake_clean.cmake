@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_forecasting.dir/flow_forecasting.cpp.o"
+  "CMakeFiles/flow_forecasting.dir/flow_forecasting.cpp.o.d"
+  "flow_forecasting"
+  "flow_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_pretraining.dir/masked_pretraining.cpp.o"
+  "CMakeFiles/masked_pretraining.dir/masked_pretraining.cpp.o.d"
+  "masked_pretraining"
+  "masked_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_point_analysis.dir/reference_point_analysis.cpp.o"
+  "CMakeFiles/reference_point_analysis.dir/reference_point_analysis.cpp.o.d"
+  "reference_point_analysis"
+  "reference_point_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_point_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

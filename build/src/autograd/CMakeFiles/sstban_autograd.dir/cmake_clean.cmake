@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_autograd.dir/ops.cc.o"
+  "CMakeFiles/sstban_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/sstban_autograd.dir/variable.cc.o"
+  "CMakeFiles/sstban_autograd.dir/variable.cc.o.d"
+  "libsstban_autograd.a"
+  "libsstban_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

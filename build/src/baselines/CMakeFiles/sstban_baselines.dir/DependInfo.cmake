@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agcrn.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/agcrn.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/agcrn.cc.o.d"
+  "/root/repo/src/baselines/astgnn.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/astgnn.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/astgnn.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/dcrnn.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/dcrnn.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/dcrnn.cc.o.d"
+  "/root/repo/src/baselines/dmstgcn.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/dmstgcn.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/dmstgcn.cc.o.d"
+  "/root/repo/src/baselines/gman.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/gman.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/gman.cc.o.d"
+  "/root/repo/src/baselines/gwnet.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/gwnet.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/gwnet.cc.o.d"
+  "/root/repo/src/baselines/historical_average.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/historical_average.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/historical_average.cc.o.d"
+  "/root/repo/src/baselines/var_model.cc" "src/baselines/CMakeFiles/sstban_baselines.dir/var_model.cc.o" "gcc" "src/baselines/CMakeFiles/sstban_baselines.dir/var_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sstban/CMakeFiles/sstban_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/sstban_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sstban_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sstban_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sstban_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sstban_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sstban_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sstban_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstban_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

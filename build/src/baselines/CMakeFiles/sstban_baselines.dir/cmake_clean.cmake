@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_baselines.dir/agcrn.cc.o"
+  "CMakeFiles/sstban_baselines.dir/agcrn.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/astgnn.cc.o"
+  "CMakeFiles/sstban_baselines.dir/astgnn.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/common.cc.o"
+  "CMakeFiles/sstban_baselines.dir/common.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/dcrnn.cc.o"
+  "CMakeFiles/sstban_baselines.dir/dcrnn.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/dmstgcn.cc.o"
+  "CMakeFiles/sstban_baselines.dir/dmstgcn.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/gman.cc.o"
+  "CMakeFiles/sstban_baselines.dir/gman.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/gwnet.cc.o"
+  "CMakeFiles/sstban_baselines.dir/gwnet.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/historical_average.cc.o"
+  "CMakeFiles/sstban_baselines.dir/historical_average.cc.o.d"
+  "CMakeFiles/sstban_baselines.dir/var_model.cc.o"
+  "CMakeFiles/sstban_baselines.dir/var_model.cc.o.d"
+  "libsstban_baselines.a"
+  "libsstban_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_core.dir/memory_tracker.cc.o"
+  "CMakeFiles/sstban_core.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/sstban_core.dir/rng.cc.o"
+  "CMakeFiles/sstban_core.dir/rng.cc.o.d"
+  "CMakeFiles/sstban_core.dir/status.cc.o"
+  "CMakeFiles/sstban_core.dir/status.cc.o.d"
+  "CMakeFiles/sstban_core.dir/string_util.cc.o"
+  "CMakeFiles/sstban_core.dir/string_util.cc.o.d"
+  "CMakeFiles/sstban_core.dir/thread_pool.cc.o"
+  "CMakeFiles/sstban_core.dir/thread_pool.cc.o.d"
+  "libsstban_core.a"
+  "libsstban_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

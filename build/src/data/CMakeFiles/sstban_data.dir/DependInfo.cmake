@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corruption.cc" "src/data/CMakeFiles/sstban_data.dir/corruption.cc.o" "gcc" "src/data/CMakeFiles/sstban_data.dir/corruption.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/data/CMakeFiles/sstban_data.dir/csv_io.cc.o" "gcc" "src/data/CMakeFiles/sstban_data.dir/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/sstban_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/sstban_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/normalizer.cc" "src/data/CMakeFiles/sstban_data.dir/normalizer.cc.o" "gcc" "src/data/CMakeFiles/sstban_data.dir/normalizer.cc.o.d"
+  "/root/repo/src/data/synthetic_world.cc" "src/data/CMakeFiles/sstban_data.dir/synthetic_world.cc.o" "gcc" "src/data/CMakeFiles/sstban_data.dir/synthetic_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sstban_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sstban_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstban_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

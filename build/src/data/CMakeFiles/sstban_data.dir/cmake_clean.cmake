@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_data.dir/corruption.cc.o"
+  "CMakeFiles/sstban_data.dir/corruption.cc.o.d"
+  "CMakeFiles/sstban_data.dir/csv_io.cc.o"
+  "CMakeFiles/sstban_data.dir/csv_io.cc.o.d"
+  "CMakeFiles/sstban_data.dir/dataset.cc.o"
+  "CMakeFiles/sstban_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sstban_data.dir/normalizer.cc.o"
+  "CMakeFiles/sstban_data.dir/normalizer.cc.o.d"
+  "CMakeFiles/sstban_data.dir/synthetic_world.cc.o"
+  "CMakeFiles/sstban_data.dir/synthetic_world.cc.o.d"
+  "libsstban_data.a"
+  "libsstban_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

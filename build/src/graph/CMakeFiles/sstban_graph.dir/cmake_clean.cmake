@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_graph.dir/traffic_graph.cc.o"
+  "CMakeFiles/sstban_graph.dir/traffic_graph.cc.o.d"
+  "libsstban_graph.a"
+  "libsstban_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/sstban_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/sstban_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/nn/CMakeFiles/sstban_nn.dir/gru_cell.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/gru_cell.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/sstban_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/sstban_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/sstban_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/sstban_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/sstban_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/sstban_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/sstban_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/sstban_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sstban_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstban_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_nn.dir/attention.cc.o"
+  "CMakeFiles/sstban_nn.dir/attention.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/embedding.cc.o"
+  "CMakeFiles/sstban_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/gru_cell.cc.o"
+  "CMakeFiles/sstban_nn.dir/gru_cell.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/init.cc.o"
+  "CMakeFiles/sstban_nn.dir/init.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/sstban_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/linear.cc.o"
+  "CMakeFiles/sstban_nn.dir/linear.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/mlp.cc.o"
+  "CMakeFiles/sstban_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/module.cc.o"
+  "CMakeFiles/sstban_nn.dir/module.cc.o.d"
+  "CMakeFiles/sstban_nn.dir/serialization.cc.o"
+  "CMakeFiles/sstban_nn.dir/serialization.cc.o.d"
+  "libsstban_nn.a"
+  "libsstban_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_optim.dir/lr_scheduler.cc.o"
+  "CMakeFiles/sstban_optim.dir/lr_scheduler.cc.o.d"
+  "CMakeFiles/sstban_optim.dir/optimizer.cc.o"
+  "CMakeFiles/sstban_optim.dir/optimizer.cc.o.d"
+  "libsstban_optim.a"
+  "libsstban_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsstban_optim.a"
+)

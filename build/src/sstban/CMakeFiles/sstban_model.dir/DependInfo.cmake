@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstban/bottleneck_attention.cc" "src/sstban/CMakeFiles/sstban_model.dir/bottleneck_attention.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/bottleneck_attention.cc.o.d"
+  "/root/repo/src/sstban/config.cc" "src/sstban/CMakeFiles/sstban_model.dir/config.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/config.cc.o.d"
+  "/root/repo/src/sstban/decoders.cc" "src/sstban/CMakeFiles/sstban_model.dir/decoders.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/decoders.cc.o.d"
+  "/root/repo/src/sstban/encoder.cc" "src/sstban/CMakeFiles/sstban_model.dir/encoder.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/encoder.cc.o.d"
+  "/root/repo/src/sstban/masking.cc" "src/sstban/CMakeFiles/sstban_model.dir/masking.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/masking.cc.o.d"
+  "/root/repo/src/sstban/model.cc" "src/sstban/CMakeFiles/sstban_model.dir/model.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/model.cc.o.d"
+  "/root/repo/src/sstban/stba_block.cc" "src/sstban/CMakeFiles/sstban_model.dir/stba_block.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/stba_block.cc.o.d"
+  "/root/repo/src/sstban/ste.cc" "src/sstban/CMakeFiles/sstban_model.dir/ste.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/ste.cc.o.d"
+  "/root/repo/src/sstban/transform_attention.cc" "src/sstban/CMakeFiles/sstban_model.dir/transform_attention.cc.o" "gcc" "src/sstban/CMakeFiles/sstban_model.dir/transform_attention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sstban_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/sstban_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sstban_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sstban_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sstban_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sstban_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sstban_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstban_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_model.dir/bottleneck_attention.cc.o"
+  "CMakeFiles/sstban_model.dir/bottleneck_attention.cc.o.d"
+  "CMakeFiles/sstban_model.dir/config.cc.o"
+  "CMakeFiles/sstban_model.dir/config.cc.o.d"
+  "CMakeFiles/sstban_model.dir/decoders.cc.o"
+  "CMakeFiles/sstban_model.dir/decoders.cc.o.d"
+  "CMakeFiles/sstban_model.dir/encoder.cc.o"
+  "CMakeFiles/sstban_model.dir/encoder.cc.o.d"
+  "CMakeFiles/sstban_model.dir/masking.cc.o"
+  "CMakeFiles/sstban_model.dir/masking.cc.o.d"
+  "CMakeFiles/sstban_model.dir/model.cc.o"
+  "CMakeFiles/sstban_model.dir/model.cc.o.d"
+  "CMakeFiles/sstban_model.dir/stba_block.cc.o"
+  "CMakeFiles/sstban_model.dir/stba_block.cc.o.d"
+  "CMakeFiles/sstban_model.dir/ste.cc.o"
+  "CMakeFiles/sstban_model.dir/ste.cc.o.d"
+  "CMakeFiles/sstban_model.dir/transform_attention.cc.o"
+  "CMakeFiles/sstban_model.dir/transform_attention.cc.o.d"
+  "libsstban_model.a"
+  "libsstban_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_tensor.dir/linalg.cc.o"
+  "CMakeFiles/sstban_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/sstban_tensor.dir/matmul.cc.o"
+  "CMakeFiles/sstban_tensor.dir/matmul.cc.o.d"
+  "CMakeFiles/sstban_tensor.dir/ops.cc.o"
+  "CMakeFiles/sstban_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/sstban_tensor.dir/shape.cc.o"
+  "CMakeFiles/sstban_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/sstban_tensor.dir/tensor.cc.o"
+  "CMakeFiles/sstban_tensor.dir/tensor.cc.o.d"
+  "libsstban_tensor.a"
+  "libsstban_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

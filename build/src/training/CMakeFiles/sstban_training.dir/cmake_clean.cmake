@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_training.dir/forecast_service.cc.o"
+  "CMakeFiles/sstban_training.dir/forecast_service.cc.o.d"
+  "CMakeFiles/sstban_training.dir/metrics.cc.o"
+  "CMakeFiles/sstban_training.dir/metrics.cc.o.d"
+  "CMakeFiles/sstban_training.dir/model.cc.o"
+  "CMakeFiles/sstban_training.dir/model.cc.o.d"
+  "CMakeFiles/sstban_training.dir/trainer.cc.o"
+  "CMakeFiles/sstban_training.dir/trainer.cc.o.d"
+  "libsstban_training.a"
+  "libsstban_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

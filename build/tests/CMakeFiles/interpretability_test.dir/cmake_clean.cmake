@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretability_test.dir/interpretability_test.cc.o"
+  "CMakeFiles/interpretability_test.dir/interpretability_test.cc.o.d"
+  "interpretability_test"
+  "interpretability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_test.dir/sstban_test.cc.o"
+  "CMakeFiles/sstban_test.dir/sstban_test.cc.o.d"
+  "sstban_test"
+  "sstban_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

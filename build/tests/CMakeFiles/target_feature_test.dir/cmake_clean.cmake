@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_feature_test.dir/target_feature_test.cc.o"
+  "CMakeFiles/target_feature_test.dir/target_feature_test.cc.o.d"
+  "target_feature_test"
+  "target_feature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

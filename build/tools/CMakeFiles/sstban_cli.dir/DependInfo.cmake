@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/sstban_cli.cpp" "tools/CMakeFiles/sstban_cli.dir/sstban_cli.cpp.o" "gcc" "tools/CMakeFiles/sstban_cli.dir/sstban_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sstban/CMakeFiles/sstban_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/sstban_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sstban_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sstban_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/sstban_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sstban_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/sstban_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sstban_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sstban_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstban_cli.dir/sstban_cli.cpp.o"
+  "CMakeFiles/sstban_cli.dir/sstban_cli.cpp.o.d"
+  "sstban_cli"
+  "sstban_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstban_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
