@@ -1,0 +1,140 @@
+// Serving throughput sweep: drives the micro-batching ForecastServer with a
+// fixed burst of concurrent requests per iteration and sweeps the batcher's
+// max_batch over {1, 4, 8, 16}. Batching amortizes per-pass overhead (graph
+// setup, kernel launches, embedding reuse) across requests, so sustained
+// requests/sec should rise monotonically from max_batch=1 and flatten once
+// passes saturate the tensor thread pool — the serving-side analogue of the
+// paper's efficiency claim (bottleneck attention makes one pass cheap;
+// batching multiplies how many clients that pass serves). Built on
+// google-benchmark: `--benchmark_format=json` emits the standard JSON dump
+// with `requests_per_second` and end-to-end `p99_ms` counters per run.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "serving/forecast_server.h"
+#include "serving/model_registry.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+
+namespace {
+
+namespace data = ::sstban::data;
+namespace serving = ::sstban::serving;
+namespace tensor = ::sstban::tensor;
+namespace model_ns = ::sstban::sstban;
+
+constexpr int64_t kSteps = 12;       // P = Q
+constexpr int64_t kBurst = 64;       // concurrent requests per iteration
+
+struct World {
+  std::shared_ptr<data::TrafficDataset> dataset;
+  data::Normalizer normalizer;
+  model_ns::SstbanConfig config;
+  std::vector<serving::ForecastRequest> requests;  // precomputed windows
+};
+
+const World& SharedWorld() {
+  static World* world = [] {
+    auto* w = new World();
+    data::SyntheticWorldConfig world_config = data::Pems08LikeConfig();
+    world_config.num_nodes = 8;
+    world_config.num_days = 4;
+    world_config.seed = 7;
+    w->dataset = std::make_shared<data::TrafficDataset>(
+        data::GenerateSyntheticWorld(world_config));
+    w->normalizer = data::Normalizer::Fit(w->dataset->signals);
+
+    w->config.num_nodes = w->dataset->num_nodes();
+    w->config.num_features = w->dataset->num_features();
+    w->config.steps_per_day = w->dataset->steps_per_day;
+    w->config.input_len = w->config.output_len = kSteps;
+    w->config.hidden_dim = 8;
+    w->config.num_heads = 2;
+    w->config.encoder_blocks = 1;
+    w->config.decoder_blocks = 1;
+    w->config.patch_len = 4;
+
+    for (int64_t i = 0; i < kBurst; ++i) {
+      serving::ForecastRequest request;
+      int64_t start = (i * 37) % (w->dataset->num_steps() - 2 * kSteps);
+      request.recent = tensor::Slice(w->dataset->signals, 0, start, kSteps);
+      request.first_step = start;
+      w->requests.push_back(std::move(request));
+    }
+    return w;
+  }();
+  return *world;
+}
+
+void BM_ServingThroughput(benchmark::State& state) {
+  const World& world = SharedWorld();
+  // Untrained weights: throughput depends only on the compute graph shape.
+  serving::ModelRegistry registry(
+      [&world] { return std::make_unique<model_ns::SstbanModel>(world.config); },
+      world.normalizer);
+  registry.Install(std::make_unique<model_ns::SstbanModel>(world.config));
+
+  serving::ServerOptions options;
+  options.input_len = kSteps;
+  options.output_len = kSteps;
+  options.steps_per_day = world.dataset->steps_per_day;
+  options.num_nodes = world.dataset->num_nodes();
+  options.num_features = world.dataset->num_features();
+  options.max_batch = state.range(0);
+  options.max_wait = std::chrono::microseconds(500);
+  options.queue_capacity = 2 * kBurst;
+  serving::ForecastServer server(options, &registry);
+  if (auto status = server.Start(); !status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    std::vector<serving::ForecastFuture> futures;
+    futures.reserve(kBurst);
+    for (const serving::ForecastRequest& request : world.requests) {
+      auto submitted = server.Submit(request);
+      if (!submitted.ok()) {
+        state.SkipWithError(submitted.status().ToString().c_str());
+        return;
+      }
+      futures.push_back(std::move(submitted.value()));
+    }
+    for (serving::ForecastFuture& future : futures) {
+      serving::ForecastResult result = future.get();
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result.value().data());
+    }
+  }
+
+  serving::ServerStats::Snapshot snap = server.stats().TakeSnapshot();
+  state.counters["requests_per_second"] = benchmark::Counter(
+      static_cast<double>(kBurst), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["p99_ms"] = snap.end_to_end.p99 * 1e3;
+  state.counters["mean_batch"] =
+      snap.batches > 0
+          ? static_cast<double>(snap.completed) / static_cast<double>(snap.batches)
+          : 0.0;
+  server.Shutdown();
+}
+BENCHMARK(BM_ServingThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

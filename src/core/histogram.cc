@@ -1,0 +1,70 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sstban::core {
+
+Histogram::Histogram(double lowest, double growth, int num_buckets)
+    : lowest_(lowest), log_growth_(std::log(growth)), counts_(num_buckets, 0) {
+  SSTBAN_CHECK_GT(lowest, 0.0);
+  SSTBAN_CHECK_GT(growth, 1.0);
+  SSTBAN_CHECK_GT(num_buckets, 0);
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (value <= lowest_) return 0;
+  int index = static_cast<int>(std::log(value / lowest_) / log_growth_);
+  return std::min<int>(index, static_cast<int>(counts_.size()) - 1);
+}
+
+double Histogram::BucketLowerBound(int index) const {
+  return lowest_ * std::exp(log_growth_ * index);
+}
+
+void Histogram::Record(double value) {
+  value = std::max(value, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++counts_[BucketIndex(value)];
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  // The extremes are tracked exactly; only interior quantiles need buckets.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  double rank = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) >= rank) {
+      // Interpolate by position of the rank within this bucket.
+      double within = (rank - static_cast<double>(seen)) /
+                      static_cast<double>(counts_[i]);
+      double lo = BucketLowerBound(static_cast<int>(i));
+      double hi = BucketLowerBound(static_cast<int>(i) + 1);
+      return std::clamp(lo + within * (hi - lo), min_, max_);
+    }
+    seen += counts_[i];
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace sstban::core

@@ -1,0 +1,53 @@
+#ifndef SSTBAN_CORE_HISTOGRAM_H_
+#define SSTBAN_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sstban::core {
+
+// Fixed-size log-bucketed histogram for positive measurements (latencies,
+// sizes). Recording is O(1) and allocation-free, so it is cheap enough for
+// per-request hot paths; quantile extraction interpolates within the bucket
+// that crosses the requested rank. Not thread-safe — callers that record
+// from multiple threads wrap it in their own lock (see serving::ServerStats).
+class Histogram {
+ public:
+  // Buckets are log-spaced: bucket i covers [lowest * growth^i,
+  // lowest * growth^(i+1)). The defaults span ~1us to ~minutes when values
+  // are seconds. Values at or below `lowest` land in bucket 0; values beyond
+  // the top land in the last bucket (exact min/max are tracked separately).
+  explicit Histogram(double lowest = 1e-6, double growth = 1.3,
+                     int num_buckets = 80);
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Value at rank q*count (q in [0, 1]); 0 when empty. Interpolated within
+  // the crossing bucket and clamped to the exact observed [min, max].
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  int BucketIndex(double value) const;
+  double BucketLowerBound(int index) const;
+
+  double lowest_;
+  double log_growth_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_HISTOGRAM_H_

@@ -18,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -51,6 +53,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // The resource cannot accept work right now (e.g. a full request queue);
+  // the caller may retry with backoff.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  // The request's deadline passed before the work could be done.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

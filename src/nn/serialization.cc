@@ -98,10 +98,21 @@ core::Status LoadParameters(Module* module, const std::string& path) {
           " vs module " + named[i].second.shape().ToString());
     }
     tensor::Tensor value(shape);
-    in.read(reinterpret_cast<char*>(value.data()),
-            static_cast<std::streamsize>(value.size() * sizeof(float)));
-    if (!in) return core::Status::IoError("truncated parameter data");
+    std::streamsize want =
+        static_cast<std::streamsize>(value.size() * sizeof(float));
+    in.read(reinterpret_cast<char*>(value.data()), want);
+    if (!in || in.gcount() != want) {
+      return core::Status::IoError(
+          "truncated parameter data for '" + name + "' in " + path);
+    }
     staged[i] = value;
+  }
+  // A well-formed checkpoint ends exactly after the last parameter; anything
+  // else (a truncated write that happened to end on a record boundary, or a
+  // corrupted/concatenated file) must not be silently accepted — the serving
+  // model registry hot-swaps on the strength of this check.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return core::Status::IoError("trailing bytes after last parameter: " + path);
   }
   for (size_t i = 0; i < named.size(); ++i) {
     named[i].second.mutable_value().CopyFrom(staged[i]);

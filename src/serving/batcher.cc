@@ -1,0 +1,167 @@
+#include "serving/batcher.h"
+
+#include <utility>
+
+#include "core/check.h"
+#include "core/timer.h"
+#include "tensor/ops.h"
+#include "training/forecast_service.h"
+
+namespace sstban::serving {
+
+namespace {
+
+// Completes an expired request without spending any model compute on it.
+void RejectExpired(PendingRequest* req, ServerStats* stats) {
+  req->promise.set_value(core::Status::DeadlineExceeded(
+      "deadline passed while the request waited in the queue"));
+  stats->RecordRejectedDeadline();
+}
+
+}  // namespace
+
+Batcher::Batcher(BatcherOptions options, RequestQueue* queue,
+                 ModelRegistry* registry, ServerStats* stats)
+    : options_(options), queue_(queue), registry_(registry), stats_(stats) {
+  SSTBAN_CHECK(queue != nullptr);
+  SSTBAN_CHECK(registry != nullptr);
+  SSTBAN_CHECK(stats != nullptr);
+  SSTBAN_CHECK_GT(options.max_batch, 0);
+}
+
+Batcher::~Batcher() {
+  if (started_ && worker_.joinable()) {
+    queue_->Close();
+    worker_.join();
+  }
+}
+
+void Batcher::Start() {
+  SSTBAN_CHECK(!started_) << "Batcher started twice";
+  started_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Batcher::Join() {
+  if (started_ && worker_.joinable()) worker_.join();
+}
+
+void Batcher::WorkerLoop() {
+  for (;;) {
+    // Seed the next batch: prefer a held-over request, otherwise block for
+    // the first arrival. nullopt means the queue closed and drained — once
+    // the holdover is empty too, every promise has been fulfilled.
+    PendingRequest first;
+    if (!holdover_.empty()) {
+      first = std::move(holdover_.front());
+      holdover_.pop_front();
+    } else {
+      std::optional<PendingRequest> popped = queue_->PopBlocking();
+      if (!popped.has_value()) return;
+      first = std::move(*popped);
+    }
+    Clock::time_point seeded_at = Clock::now();
+    stats_->RecordQueueWait(
+        std::chrono::duration<double>(seeded_at - first.enqueued_at).count());
+    if (first.Expired(seeded_at)) {
+      RejectExpired(&first, stats_);
+      continue;
+    }
+
+    core::Timer assembly;
+    tensor::Shape key = first.request.recent.shape();
+    std::vector<PendingRequest> batch;
+    batch.push_back(std::move(first));
+
+    // Pull shape-compatible holdovers first — they have waited longest.
+    for (auto it = holdover_.begin();
+         it != holdover_.end() &&
+         static_cast<int64_t>(batch.size()) < options_.max_batch;) {
+      if (it->request.recent.shape() == key) {
+        batch.push_back(std::move(*it));
+        it = holdover_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Keep the batch open up to max_wait for more arrivals.
+    Clock::time_point flush_at = seeded_at + options_.max_wait;
+    while (static_cast<int64_t>(batch.size()) < options_.max_batch) {
+      std::optional<PendingRequest> popped = queue_->PopUntil(flush_at);
+      if (!popped.has_value()) break;
+      Clock::time_point now = Clock::now();
+      stats_->RecordQueueWait(
+          std::chrono::duration<double>(now - popped->enqueued_at).count());
+      if (popped->Expired(now)) {
+        RejectExpired(&*popped, stats_);
+        continue;
+      }
+      if (popped->request.recent.shape() == key) {
+        batch.push_back(std::move(*popped));
+      } else {
+        holdover_.push_back(std::move(*popped));
+      }
+    }
+    stats_->UpdateQueueDepth(queue_->depth());
+    RunBatch(std::move(batch), assembly.ElapsedSeconds());
+  }
+}
+
+void Batcher::RunBatch(std::vector<PendingRequest> batch,
+                       double assembly_seconds) {
+  stats_->RecordAssembly(assembly_seconds);
+  const int64_t b = static_cast<int64_t>(batch.size());
+  stats_->RecordBatch(b);
+
+  // Pin the served snapshot for the whole batch: a concurrent hot-swap
+  // publishes a new snapshot for *later* batches while this one finishes on
+  // the weights it started with.
+  std::shared_ptr<const ModelRegistry::Served> served = registry_->current();
+  if (served != nullptr) {
+    if (last_version_ != 0 && served->version != last_version_) {
+      stats_->RecordHotSwap();
+    }
+    last_version_ = served->version;
+  }
+  if (served == nullptr) {
+    for (PendingRequest& req : batch) {
+      req.promise.set_value(
+          core::Status::FailedPrecondition("no model version installed"));
+    }
+    return;
+  }
+
+  const int64_t p = options_.input_len;
+  const int64_t q = options_.output_len;
+  const int64_t n = batch[0].request.recent.dim(1);
+  const int64_t c = batch[0].request.recent.dim(2);
+
+  data::Batch model_batch;
+  std::vector<tensor::Tensor> parts;
+  parts.reserve(batch.size());
+  for (PendingRequest& req : batch) {
+    parts.push_back(req.request.recent.Reshape(tensor::Shape{1, p, n, c}));
+    training::AppendCalendarFeatures(req.request.first_step, p, q,
+                                     options_.steps_per_day, &model_batch);
+  }
+  model_batch.x = b == 1 ? parts[0] : tensor::Concat(parts, 0);
+  model_batch.y = tensor::Tensor::Zeros(tensor::Shape{b, q, n, c});
+
+  core::Timer forward;
+  tensor::Tensor denorm = training::RunBatchedInference(
+      served->model.get(), served->normalizer, model_batch);
+  stats_->RecordForward(forward.ElapsedSeconds());
+
+  Clock::time_point done = Clock::now();
+  for (int64_t i = 0; i < b; ++i) {
+    tensor::Tensor slice =
+        tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
+    batch[i].promise.set_value(std::move(slice));
+    stats_->RecordCompleted();
+    stats_->RecordEndToEnd(
+        std::chrono::duration<double>(done - batch[i].enqueued_at).count());
+  }
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,79 @@
+#ifndef SSTBAN_SERVING_BATCHER_H_
+#define SSTBAN_SERVING_BATCHER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "serving/model_registry.h"
+#include "serving/request.h"
+#include "serving/request_queue.h"
+#include "serving/server_stats.h"
+
+namespace sstban::serving {
+
+struct BatcherOptions {
+  // Upper bound on requests coalesced into one model pass.
+  int64_t max_batch = 8;
+  // How long the batcher holds an underfull batch open waiting for more
+  // requests before flushing what it has.
+  std::chrono::microseconds max_wait{2000};
+  // Window geometry shared by every request (calendar-feature derivation).
+  int64_t input_len = 24;
+  int64_t output_len = 24;
+  int64_t steps_per_day = 96;
+};
+
+// The micro-batching worker: drains the request queue, coalesces up to
+// `max_batch` requests sharing one [P, N, C] shape (or flushes after
+// `max_wait`), stacks them into a single [B, P, N, C] tensor, runs ONE
+// batched TrafficModel::Predict pass on the currently served model, and
+// fulfills each request's promise with its [Q, N, C] slice.
+//
+// The loop runs on a dedicated thread rather than a core::ThreadPool slot:
+// the global pool is the substrate the tensor kernels parallelize on via
+// ParallelFor, and parking a never-finishing loop there would deadlock any
+// Wait() on the pool. One batched forward runs at a time, so the model
+// needs no internal synchronization; hot-swap safety comes from pinning the
+// registry snapshot for the duration of each batch.
+class Batcher {
+ public:
+  Batcher(BatcherOptions options, RequestQueue* queue, ModelRegistry* registry,
+          ServerStats* stats);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  void Start();
+
+  // Returns once the queue is closed and fully drained (every queued
+  // request's promise fulfilled) and the worker thread has exited. The queue
+  // must already be closed or Join blocks indefinitely.
+  void Join();
+
+ private:
+  void WorkerLoop();
+  // Executes one assembled batch; `assembly_seconds` is how long the batch
+  // was held open.
+  void RunBatch(std::vector<PendingRequest> batch, double assembly_seconds);
+
+  BatcherOptions options_;
+  RequestQueue* queue_;
+  ModelRegistry* registry_;
+  ServerStats* stats_;
+  std::thread worker_;
+  bool started_ = false;
+  // Last served model version, to notice hot-swaps for the stats.
+  int64_t last_version_ = 0;
+  // Popped requests whose shape did not match the batch being assembled;
+  // they lead the next batch so nothing is ever dropped or reordered
+  // indefinitely.
+  std::deque<PendingRequest> holdover_;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_BATCHER_H_

@@ -1,0 +1,96 @@
+#include "serving/forecast_server.h"
+
+#include <utility>
+
+#include "core/string_util.h"
+
+namespace sstban::serving {
+
+namespace {
+
+BatcherOptions MakeBatcherOptions(const ServerOptions& options) {
+  BatcherOptions batcher;
+  batcher.max_batch = options.max_batch;
+  batcher.max_wait = options.max_wait;
+  batcher.input_len = options.input_len;
+  batcher.output_len = options.output_len;
+  batcher.steps_per_day = options.steps_per_day;
+  return batcher;
+}
+
+}  // namespace
+
+ForecastServer::ForecastServer(ServerOptions options, ModelRegistry* registry)
+    : options_(options),
+      registry_(registry),
+      queue_(options.queue_capacity),
+      batcher_(MakeBatcherOptions(options), &queue_, registry, &stats_) {}
+
+ForecastServer::~ForecastServer() { Shutdown(); }
+
+core::Status ForecastServer::Start() {
+  if (started_) {
+    return core::Status::FailedPrecondition("server already started");
+  }
+  if (registry_->current() == nullptr) {
+    return core::Status::FailedPrecondition(
+        "cannot start: the model registry has no version installed");
+  }
+  started_ = true;
+  running_.store(true);
+  batcher_.Start();
+  return core::Status::Ok();
+}
+
+core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
+  if (!running_.load()) {
+    return core::Status::Unavailable("server is not running");
+  }
+  const tensor::Tensor& recent = request.recent;
+  if (recent.rank() != 3 || recent.dim(0) != options_.input_len ||
+      (options_.num_nodes >= 0 && recent.dim(1) != options_.num_nodes) ||
+      (options_.num_features >= 0 &&
+       recent.dim(2) != options_.num_features)) {
+    stats_.RecordRejectedInvalid();
+    std::string nodes_str = options_.num_nodes >= 0
+                                ? std::to_string(options_.num_nodes)
+                                : std::string("*");
+    std::string feats_str = options_.num_features >= 0
+                                ? std::to_string(options_.num_features)
+                                : std::string("*");
+    return core::Status::InvalidArgument(core::StrFormat(
+        "expected a [%lld, %s, %s] window, got %s",
+        static_cast<long long>(options_.input_len), nodes_str.c_str(),
+        feats_str.c_str(), recent.shape().ToString().c_str()));
+  }
+  if (request.first_step < 0) {
+    stats_.RecordRejectedInvalid();
+    return core::Status::InvalidArgument("first_step must be >= 0");
+  }
+
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = Clock::now();
+  ForecastFuture future = pending.promise.get_future();
+  core::Status pushed = queue_.Push(&pending);
+  if (!pushed.ok()) {
+    if (pushed.code() == core::StatusCode::kDeadlineExceeded) {
+      stats_.RecordRejectedDeadline();
+    } else {
+      stats_.RecordRejectedFull();
+    }
+    return pushed;
+  }
+  stats_.RecordAccepted();
+  stats_.UpdateQueueDepth(queue_.depth());
+  return future;
+}
+
+void ForecastServer::Shutdown() {
+  if (!started_) return;
+  bool was_running = running_.exchange(false);
+  queue_.Close();
+  if (was_running) batcher_.Join();
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,78 @@
+#ifndef SSTBAN_SERVING_FORECAST_SERVER_H_
+#define SSTBAN_SERVING_FORECAST_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "core/status.h"
+#include "serving/batcher.h"
+#include "serving/model_registry.h"
+#include "serving/request.h"
+#include "serving/request_queue.h"
+#include "serving/server_stats.h"
+
+namespace sstban::serving {
+
+struct ServerOptions {
+  // Window geometry every request must match.
+  int64_t input_len = 24;
+  int64_t output_len = 24;
+  int64_t steps_per_day = 96;
+  // Expected node/feature counts; validated per request when >= 0.
+  int64_t num_nodes = -1;
+  int64_t num_features = -1;
+  // Micro-batching knobs (see BatcherOptions).
+  int64_t max_batch = 8;
+  std::chrono::microseconds max_wait{2000};
+  // Backpressure bound: Submit sheds load with Unavailable beyond this.
+  int64_t queue_capacity = 256;
+};
+
+// The multi-client inference facade: Submit validates and enqueues a
+// request and returns a future; the batcher coalesces queued requests into
+// single batched model passes against whatever version the ModelRegistry
+// currently serves. Submit is safe from any number of client threads.
+// Lifecycle: Start -> Submit... -> Shutdown (graceful: the queue stops
+// accepting, everything already queued is still executed, then the worker
+// joins). The registry is borrowed and may be hot-swapped concurrently.
+class ForecastServer {
+ public:
+  ForecastServer(ServerOptions options, ModelRegistry* registry);
+  ~ForecastServer();
+
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  // FailedPrecondition when the registry has no model installed yet.
+  core::Status Start();
+
+  // Validates the request and enqueues it. Errors:
+  //   InvalidArgument    - window shape mismatch or negative first_step
+  //   Unavailable        - server not running, shutting down, or queue full
+  //   DeadlineExceeded   - the deadline already passed
+  // On success the future later yields the [Q, N, C] forecast (or a
+  // DeadlineExceeded that struck while the request waited).
+  core::StatusOr<ForecastFuture> Submit(ForecastRequest request);
+
+  // Graceful shutdown: stops accepting, drains in-flight requests, joins
+  // the worker. Idempotent.
+  void Shutdown();
+
+  bool running() const { return running_.load(); }
+  const ServerOptions& options() const { return options_; }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  ServerOptions options_;
+  ModelRegistry* registry_;
+  ServerStats stats_;
+  RequestQueue queue_;
+  Batcher batcher_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_FORECAST_SERVER_H_

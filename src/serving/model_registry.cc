@@ -1,0 +1,55 @@
+#include "serving/model_registry.h"
+
+#include <utility>
+
+#include "core/check.h"
+#include "nn/serialization.h"
+
+namespace sstban::serving {
+
+ModelRegistry::ModelRegistry(ModelFactory factory, data::Normalizer normalizer)
+    : factory_(std::move(factory)), normalizer_(std::move(normalizer)) {
+  SSTBAN_CHECK(factory_ != nullptr);
+}
+
+core::Status ModelRegistry::LoadVersion(const std::string& path) {
+  std::unique_ptr<training::TrafficModel> fresh = factory_();
+  if (fresh == nullptr) {
+    return core::Status::Internal("model factory returned null");
+  }
+  // LoadParameters stages everything before touching the module, so a bad
+  // checkpoint leaves `fresh` untouched — and `fresh` is discarded anyway:
+  // the currently served version was never at risk.
+  SSTBAN_RETURN_IF_ERROR(nn::LoadParameters(fresh.get(), path));
+  Publish(std::move(fresh), path);
+  return core::Status::Ok();
+}
+
+void ModelRegistry::Install(std::unique_ptr<training::TrafficModel> model,
+                            std::string source) {
+  SSTBAN_CHECK(model != nullptr);
+  Publish(std::move(model), std::move(source));
+}
+
+void ModelRegistry::Publish(std::unique_ptr<training::TrafficModel> model,
+                            std::string source) {
+  auto served = std::make_shared<Served>();
+  served->model = std::move(model);
+  served->normalizer = normalizer_;
+  served->source = std::move(source);
+  std::unique_lock<std::mutex> lock(mutex_);
+  served->version = next_version_++;
+  current_ = std::move(served);
+}
+
+std::shared_ptr<const ModelRegistry::Served> ModelRegistry::current() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return current_;
+}
+
+int64_t ModelRegistry::current_version() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,71 @@
+#ifndef SSTBAN_SERVING_MODEL_REGISTRY_H_
+#define SSTBAN_SERVING_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+#include "data/normalizer.h"
+#include "training/model.h"
+
+namespace sstban::serving {
+
+// Versioned model store enabling zero-downtime hot-swap. The registry
+// publishes an immutable shared_ptr snapshot; the batcher pins one snapshot
+// per batch, so an in-flight batch finishes on the weights it started with
+// while the next batch picks up a freshly swapped version. A failed load
+// never unpublishes the current version (rollback-by-not-committing).
+class ModelRegistry {
+ public:
+  // Builds an architecture-compatible empty model for a checkpoint to load
+  // into. Called once per LoadVersion; must be thread-compatible.
+  using ModelFactory =
+      std::function<std::unique_ptr<training::TrafficModel>()>;
+
+  struct Served {
+    std::unique_ptr<training::TrafficModel> model;
+    data::Normalizer normalizer;
+    int64_t version = 0;
+    std::string source;  // checkpoint path or "<direct>"
+  };
+
+  // `normalizer` is fixed per registry: checkpoints carry weights only, and
+  // the training-time normalization statistics must travel with the model
+  // geometry the factory encodes.
+  ModelRegistry(ModelFactory factory, data::Normalizer normalizer);
+
+  // Constructs a fresh model via the factory, validates that `path` loads
+  // cleanly into it (LoadParameters is all-or-nothing), and atomically
+  // publishes it as the next version. On any failure the previously served
+  // version stays installed and the status reports why.
+  core::Status LoadVersion(const std::string& path);
+
+  // Publishes an already-built model (initial deployment, tests).
+  void Install(std::unique_ptr<training::TrafficModel> model,
+               std::string source = "<direct>");
+
+  // Snapshot of the currently served version; nullptr before the first
+  // Install/LoadVersion. Callers keep the shared_ptr alive for as long as
+  // they use the model — the registry never mutates a published snapshot.
+  std::shared_ptr<const Served> current() const;
+
+  // 0 before anything is served.
+  int64_t current_version() const;
+
+ private:
+  void Publish(std::unique_ptr<training::TrafficModel> model,
+               std::string source);
+
+  ModelFactory factory_;
+  data::Normalizer normalizer_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Served> current_;
+  int64_t next_version_ = 1;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_MODEL_REGISTRY_H_

@@ -1,0 +1,43 @@
+#ifndef SSTBAN_SERVING_REQUEST_H_
+#define SSTBAN_SERVING_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace sstban::serving {
+
+using Clock = std::chrono::steady_clock;
+
+// What a client hands to ForecastServer::Submit: one raw [P, N, C] recent
+// window, the absolute slice index of its first row (for calendar features),
+// and an optional deadline after which the client no longer wants the answer.
+struct ForecastRequest {
+  tensor::Tensor recent;  // [P, N, C] raw (denormalized) signals
+  int64_t first_step = 0;
+  std::optional<Clock::time_point> deadline;
+};
+
+// Every request resolves to a denormalized [Q, N, C] forecast or an error.
+using ForecastResult = core::StatusOr<tensor::Tensor>;
+using ForecastFuture = std::future<ForecastResult>;
+
+// A queued request: the client's payload plus the promise that delivers the
+// result back and the timestamp backing the queue-wait latency stat.
+struct PendingRequest {
+  ForecastRequest request;
+  std::promise<ForecastResult> promise;
+  Clock::time_point enqueued_at;
+
+  bool Expired(Clock::time_point now) const {
+    return request.deadline.has_value() && now > *request.deadline;
+  }
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_REQUEST_H_

@@ -1,0 +1,75 @@
+#include "serving/request_queue.h"
+
+#include "core/check.h"
+
+namespace sstban::serving {
+
+RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {
+  SSTBAN_CHECK_GT(capacity, 0);
+}
+
+core::Status RequestQueue::Push(PendingRequest* req) {
+  SSTBAN_CHECK(req != nullptr);
+  if (req->Expired(Clock::now())) {
+    return core::Status::DeadlineExceeded("deadline passed before enqueue");
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      return core::Status::Unavailable("request queue is shut down");
+    }
+    if (static_cast<int64_t>(items_.size()) >= capacity_) {
+      return core::Status::Unavailable("request queue is full");
+    }
+    items_.push_back(std::move(*req));
+  }
+  not_empty_.notify_one();
+  return core::Status::Ok();
+}
+
+std::optional<PendingRequest> RequestQueue::PopBlocking() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  PendingRequest req = std::move(items_.front());
+  items_.pop_front();
+  return req;
+}
+
+std::optional<PendingRequest> RequestQueue::TryPop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (items_.empty()) return std::nullopt;
+  PendingRequest req = std::move(items_.front());
+  items_.pop_front();
+  return req;
+}
+
+std::optional<PendingRequest> RequestQueue::PopUntil(Clock::time_point until) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_until(lock, until,
+                        [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;
+  PendingRequest req = std::move(items_.front());
+  items_.pop_front();
+  return req;
+}
+
+void RequestQueue::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int64_t RequestQueue::depth() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(items_.size());
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,57 @@
+#ifndef SSTBAN_SERVING_REQUEST_QUEUE_H_
+#define SSTBAN_SERVING_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/status.h"
+#include "serving/request.h"
+
+namespace sstban::serving {
+
+// Bounded MPMC queue of forecast requests with backpressure: when the queue
+// is full, Push returns Unavailable immediately instead of buffering without
+// bound — the client sheds load rather than the server. Producers never
+// block; the consumer (the batcher) blocks waiting for work.
+class RequestQueue {
+ public:
+  explicit RequestQueue(int64_t capacity);
+
+  // Enqueues `req`, or returns Unavailable when the queue is at capacity or
+  // has been closed. Expired requests are rejected with DeadlineExceeded
+  // before they occupy a slot. The promise inside `req` is untouched on
+  // failure so the caller can complete it with the returned status.
+  core::Status Push(PendingRequest* req);
+
+  // Blocks until an item is available or the queue is closed and drained;
+  // nullopt means closed-and-empty (the consumer should exit).
+  std::optional<PendingRequest> PopBlocking();
+
+  // Non-blocking pop; nullopt when currently empty.
+  std::optional<PendingRequest> TryPop();
+
+  // Waits until `until` for an item; nullopt on timeout (or closed+empty).
+  std::optional<PendingRequest> PopUntil(Clock::time_point until);
+
+  // After Close, Push fails with Unavailable; queued items remain poppable
+  // so a graceful shutdown can drain them.
+  void Close();
+  bool closed() const;
+
+  int64_t depth() const;
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_REQUEST_QUEUE_H_

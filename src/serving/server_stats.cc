@@ -1,0 +1,173 @@
+#include "serving/server_stats.h"
+
+#include "core/string_util.h"
+
+namespace sstban::serving {
+
+namespace {
+
+ServerStats::StageSummary Summarize(const core::Histogram& h) {
+  ServerStats::StageSummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.Quantile(0.50);
+  s.p90 = h.Quantile(0.90);
+  s.p99 = h.Quantile(0.99);
+  s.max = h.max();
+  return s;
+}
+
+void AppendStageRow(std::string* out, const char* name,
+                    const ServerStats::StageSummary& s) {
+  *out += core::StrFormat(
+      "  %-14s %8lld  %9.3f  %9.3f  %9.3f  %9.3f  %9.3f\n", name,
+      static_cast<long long>(s.count), s.mean * 1e3, s.p50 * 1e3, s.p90 * 1e3,
+      s.p99 * 1e3, s.max * 1e3);
+}
+
+void AppendStageJson(std::string* out, const char* name,
+                     const ServerStats::StageSummary& s, bool trailing_comma) {
+  *out += core::StrFormat(
+      "    \"%s\": {\"count\": %lld, \"mean_ms\": %.6f, \"p50_ms\": %.6f, "
+      "\"p90_ms\": %.6f, \"p99_ms\": %.6f, \"max_ms\": %.6f}%s\n",
+      name, static_cast<long long>(s.count), s.mean * 1e3, s.p50 * 1e3,
+      s.p90 * 1e3, s.p99 * 1e3, s.max * 1e3, trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+ServerStats::ServerStats() = default;
+
+void ServerStats::RecordQueueWait(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_wait_.Record(seconds);
+}
+
+void ServerStats::RecordAssembly(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  assembly_.Record(seconds);
+}
+
+void ServerStats::RecordForward(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  forward_.Record(seconds);
+}
+
+void ServerStats::RecordEndToEnd(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  end_to_end_.Record(seconds);
+}
+
+void ServerStats::RecordBatch(int64_t batch_size) {
+  batches_.fetch_add(1);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++batch_sizes_[batch_size];
+}
+
+void ServerStats::UpdateQueueDepth(int64_t depth) {
+  queue_depth_.store(depth);
+  int64_t peak = peak_queue_depth_.load();
+  while (depth > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, depth)) {
+  }
+}
+
+ServerStats::Snapshot ServerStats::TakeSnapshot() const {
+  Snapshot snap;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    snap.queue_wait = Summarize(queue_wait_);
+    snap.assembly = Summarize(assembly_);
+    snap.forward = Summarize(forward_);
+    snap.end_to_end = Summarize(end_to_end_);
+    snap.batch_sizes.assign(batch_sizes_.begin(), batch_sizes_.end());
+  }
+  snap.accepted = accepted_.load();
+  snap.completed = completed_.load();
+  snap.batches = batches_.load();
+  snap.rejected_full = rejected_full_.load();
+  snap.rejected_deadline = rejected_deadline_.load();
+  snap.rejected_invalid = rejected_invalid_.load();
+  snap.hot_swaps = hot_swaps_.load();
+  snap.queue_depth = queue_depth_.load();
+  snap.peak_queue_depth = peak_queue_depth_.load();
+  snap.elapsed_seconds = uptime_.ElapsedSeconds();
+  snap.requests_per_second =
+      snap.elapsed_seconds > 0.0
+          ? static_cast<double>(snap.completed) / snap.elapsed_seconds
+          : 0.0;
+  return snap;
+}
+
+std::string ServerStats::ReportTable() const {
+  Snapshot s = TakeSnapshot();
+  std::string out;
+  out += core::StrFormat(
+      "serving stats (%.2fs uptime)\n"
+      "  requests: accepted=%lld completed=%lld  throughput=%.1f req/s\n"
+      "  rejected: full=%lld deadline=%lld invalid=%lld\n"
+      "  queue:    depth=%lld peak=%lld   batches=%lld   hot-swaps=%lld\n",
+      s.elapsed_seconds, static_cast<long long>(s.accepted),
+      static_cast<long long>(s.completed), s.requests_per_second,
+      static_cast<long long>(s.rejected_full),
+      static_cast<long long>(s.rejected_deadline),
+      static_cast<long long>(s.rejected_invalid),
+      static_cast<long long>(s.queue_depth),
+      static_cast<long long>(s.peak_queue_depth),
+      static_cast<long long>(s.batches), static_cast<long long>(s.hot_swaps));
+  out += core::StrFormat("  %-14s %8s  %9s  %9s  %9s  %9s  %9s\n", "stage (ms)",
+                         "count", "mean", "p50", "p90", "p99", "max");
+  AppendStageRow(&out, "queue_wait", s.queue_wait);
+  AppendStageRow(&out, "assembly", s.assembly);
+  AppendStageRow(&out, "forward", s.forward);
+  AppendStageRow(&out, "end_to_end", s.end_to_end);
+  out += "  batch sizes: ";
+  for (size_t i = 0; i < s.batch_sizes.size(); ++i) {
+    out += core::StrFormat("%s%lldx%lld", i == 0 ? "" : " ",
+                           static_cast<long long>(s.batch_sizes[i].first),
+                           static_cast<long long>(s.batch_sizes[i].second));
+  }
+  out += "\n";
+  return out;
+}
+
+std::string ServerStats::ReportJson() const {
+  Snapshot s = TakeSnapshot();
+  std::string out = "{\n";
+  out += core::StrFormat(
+      "  \"elapsed_seconds\": %.6f,\n"
+      "  \"accepted\": %lld,\n"
+      "  \"completed\": %lld,\n"
+      "  \"requests_per_second\": %.3f,\n"
+      "  \"rejected_full\": %lld,\n"
+      "  \"rejected_deadline\": %lld,\n"
+      "  \"rejected_invalid\": %lld,\n"
+      "  \"queue_depth\": %lld,\n"
+      "  \"peak_queue_depth\": %lld,\n"
+      "  \"batches\": %lld,\n"
+      "  \"hot_swaps\": %lld,\n",
+      s.elapsed_seconds, static_cast<long long>(s.accepted),
+      static_cast<long long>(s.completed), s.requests_per_second,
+      static_cast<long long>(s.rejected_full),
+      static_cast<long long>(s.rejected_deadline),
+      static_cast<long long>(s.rejected_invalid),
+      static_cast<long long>(s.queue_depth),
+      static_cast<long long>(s.peak_queue_depth),
+      static_cast<long long>(s.batches), static_cast<long long>(s.hot_swaps));
+  out += "  \"stages\": {\n";
+  AppendStageJson(&out, "queue_wait", s.queue_wait, true);
+  AppendStageJson(&out, "assembly", s.assembly, true);
+  AppendStageJson(&out, "forward", s.forward, true);
+  AppendStageJson(&out, "end_to_end", s.end_to_end, false);
+  out += "  },\n";
+  out += "  \"batch_sizes\": {";
+  for (size_t i = 0; i < s.batch_sizes.size(); ++i) {
+    out += core::StrFormat("%s\"%lld\": %lld", i == 0 ? "" : ", ",
+                           static_cast<long long>(s.batch_sizes[i].first),
+                           static_cast<long long>(s.batch_sizes[i].second));
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace sstban::serving

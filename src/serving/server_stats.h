@@ -1,0 +1,85 @@
+#ifndef SSTBAN_SERVING_SERVER_STATS_H_
+#define SSTBAN_SERVING_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/timer.h"
+
+namespace sstban::serving {
+
+// Observability for the forecast server: per-stage latency histograms with
+// quantile extraction, throughput and rejection counters, queue-depth
+// gauges, and the batch-size distribution. Counters are atomics and the
+// histograms sit behind one short-lived mutex, so recording stays cheap on
+// the request path. All latencies are recorded in seconds.
+class ServerStats {
+ public:
+  ServerStats();
+
+  // -- Stage latencies -------------------------------------------------------
+  void RecordQueueWait(double seconds);   // submit -> popped by the batcher
+  void RecordAssembly(double seconds);    // first pop -> batch sealed
+  void RecordForward(double seconds);     // one batched model pass
+  void RecordEndToEnd(double seconds);    // submit -> promise fulfilled
+
+  // -- Counters --------------------------------------------------------------
+  void RecordAccepted() { accepted_.fetch_add(1); }
+  void RecordCompleted() { completed_.fetch_add(1); }
+  void RecordRejectedFull() { rejected_full_.fetch_add(1); }
+  void RecordRejectedDeadline() { rejected_deadline_.fetch_add(1); }
+  void RecordRejectedInvalid() { rejected_invalid_.fetch_add(1); }
+  void RecordHotSwap() { hot_swaps_.fetch_add(1); }
+
+  // One executed batch of the given size (also feeds the distribution).
+  void RecordBatch(int64_t batch_size);
+
+  // Gauge update; tracks the high-water mark as a side effect.
+  void UpdateQueueDepth(int64_t depth);
+
+  // -- Reporting -------------------------------------------------------------
+  struct StageSummary {
+    int64_t count = 0;
+    double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  };
+  struct Snapshot {
+    StageSummary queue_wait, assembly, forward, end_to_end;
+    int64_t accepted = 0, completed = 0, batches = 0;
+    int64_t rejected_full = 0, rejected_deadline = 0, rejected_invalid = 0;
+    int64_t hot_swaps = 0;
+    int64_t queue_depth = 0, peak_queue_depth = 0;
+    std::vector<std::pair<int64_t, int64_t>> batch_sizes;  // (size, count)
+    double elapsed_seconds = 0.0;
+    double requests_per_second = 0.0;  // completed / elapsed
+  };
+  Snapshot TakeSnapshot() const;
+
+  // Human-readable text table of the snapshot.
+  std::string ReportTable() const;
+
+  // The same snapshot as a single JSON object (machine-readable dump).
+  std::string ReportJson() const;
+
+ private:
+  core::Timer uptime_;
+
+  mutable std::mutex mutex_;  // guards the histograms and batch_sizes_
+  core::Histogram queue_wait_, assembly_, forward_, end_to_end_;
+  std::map<int64_t, int64_t> batch_sizes_;
+
+  std::atomic<int64_t> accepted_{0}, completed_{0}, batches_{0};
+  std::atomic<int64_t> rejected_full_{0}, rejected_deadline_{0},
+      rejected_invalid_{0};
+  std::atomic<int64_t> hot_swaps_{0};
+  std::atomic<int64_t> queue_depth_{0}, peak_queue_depth_{0};
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_SERVER_STATS_H_

@@ -6,14 +6,45 @@
 
 namespace sstban::training {
 
+void AppendCalendarFeatures(int64_t first_step, int64_t input_len,
+                            int64_t output_len, int64_t steps_per_day,
+                            data::Batch* batch) {
+  SSTBAN_CHECK_GT(steps_per_day, 0);
+  auto calendar = [&](int64_t step, std::vector<int64_t>* tod,
+                      std::vector<int64_t>* dow) {
+    tod->push_back(step % steps_per_day);
+    dow->push_back((step / steps_per_day) % 7);
+  };
+  for (int64_t p = 0; p < input_len; ++p) {
+    calendar(first_step + p, &batch->tod_in, &batch->dow_in);
+  }
+  for (int64_t q = 0; q < output_len; ++q) {
+    calendar(first_step + input_len + q, &batch->tod_out, &batch->dow_out);
+  }
+}
+
+tensor::Tensor RunBatchedInference(TrafficModel* model,
+                                   const data::Normalizer& normalizer,
+                                   const data::Batch& batch) {
+  SSTBAN_CHECK(model != nullptr);
+  model->SetTraining(false);
+  autograd::NoGradGuard no_grad;
+  tensor::Tensor x_norm = normalizer.Transform(batch.x);
+  autograd::Variable pred = model->Predict(x_norm, batch);
+  return normalizer.InverseTransform(pred.value());
+}
+
 ForecastService::ForecastService(TrafficModel* model, data::Normalizer normalizer,
                                  int64_t input_len, int64_t output_len,
-                                 int64_t steps_per_day)
+                                 int64_t steps_per_day, int64_t num_nodes,
+                                 int64_t num_features)
     : model_(model),
       normalizer_(std::move(normalizer)),
       input_len_(input_len),
       output_len_(output_len),
-      steps_per_day_(steps_per_day) {
+      steps_per_day_(steps_per_day),
+      num_nodes_(num_nodes),
+      num_features_(num_features) {
   SSTBAN_CHECK(model != nullptr);
   SSTBAN_CHECK_GT(input_len, 0);
   SSTBAN_CHECK_GT(output_len, 0);
@@ -27,6 +58,18 @@ core::StatusOr<tensor::Tensor> ForecastService::Forecast(
         "expected [%lld, N, C] recent window, got %s",
         static_cast<long long>(input_len_), recent.shape().ToString().c_str()));
   }
+  if ((num_nodes_ >= 0 && recent.dim(1) != num_nodes_) ||
+      (num_features_ >= 0 && recent.dim(2) != num_features_)) {
+    std::string nodes_str =
+        num_nodes_ >= 0 ? std::to_string(num_nodes_) : std::string("*");
+    std::string feats_str =
+        num_features_ >= 0 ? std::to_string(num_features_) : std::string("*");
+    return core::Status::InvalidArgument(core::StrFormat(
+        "window shape %s does not match the model's configured geometry "
+        "[%lld, %s, %s]",
+        recent.shape().ToString().c_str(), static_cast<long long>(input_len_),
+        nodes_str.c_str(), feats_str.c_str()));
+  }
   if (first_step < 0) {
     return core::Status::InvalidArgument("first_step must be >= 0");
   }
@@ -37,23 +80,10 @@ core::StatusOr<tensor::Tensor> ForecastService::Forecast(
   batch.x = recent.Reshape(tensor::Shape{1, input_len_, nodes, feats});
   batch.y = tensor::Tensor::Zeros(
       tensor::Shape{1, output_len_, nodes, feats});  // unused placeholder
-  auto calendar = [&](int64_t step, std::vector<int64_t>* tod,
-                      std::vector<int64_t>* dow) {
-    tod->push_back(step % steps_per_day_);
-    dow->push_back((step / steps_per_day_) % 7);
-  };
-  for (int64_t p = 0; p < input_len_; ++p) {
-    calendar(first_step + p, &batch.tod_in, &batch.dow_in);
-  }
-  for (int64_t q = 0; q < output_len_; ++q) {
-    calendar(first_step + input_len_ + q, &batch.tod_out, &batch.dow_out);
-  }
+  AppendCalendarFeatures(first_step, input_len_, output_len_, steps_per_day_,
+                         &batch);
 
-  model_->SetTraining(false);
-  autograd::NoGradGuard no_grad;
-  tensor::Tensor x_norm = normalizer_.Transform(batch.x);
-  autograd::Variable pred = model_->Predict(x_norm, batch);
-  tensor::Tensor denorm = normalizer_.InverseTransform(pred.value());
+  tensor::Tensor denorm = RunBatchedInference(model_, normalizer_, batch);
   return denorm.Reshape(tensor::Shape{output_len_, nodes, feats});
 }
 

@@ -4,10 +4,33 @@
 #include <cstdint>
 
 #include "core/status.h"
+#include "data/dataset.h"
 #include "data/normalizer.h"
 #include "training/model.h"
 
 namespace sstban::training {
+
+// -- Shared inference plumbing ------------------------------------------------
+// Both the single-request ForecastService below and the batching server in
+// src/serving/ must derive the same calendar features and apply the same
+// normalize -> Predict -> denormalize pipeline; these helpers are that logic,
+// hoisted so the two paths cannot drift.
+
+// Appends the time-of-day / day-of-week features for one window whose first
+// input slice sits at absolute index `first_step` (slices since a Monday
+// 00:00 origin). Appending once per window in batch order reproduces the
+// [B*P] / [B*Q] layout data::WindowDataset::MakeBatch emits.
+void AppendCalendarFeatures(int64_t first_step, int64_t input_len,
+                            int64_t output_len, int64_t steps_per_day,
+                            data::Batch* batch);
+
+// Runs one inference pass over a fully assembled batch (batch.x is
+// [B, P, N, C] raw signals with calendar features filled in): switches the
+// model to eval, disables autograd, normalizes, predicts, denormalizes.
+// Returns the raw-scale [B, Q, N, C] forecast.
+tensor::Tensor RunBatchedInference(TrafficModel* model,
+                                   const data::Normalizer& normalizer,
+                                   const data::Batch& batch);
 
 // Deployment-facing wrapper around a trained TrafficModel: accepts a raw
 // (denormalized) recent window plus the absolute time index of its first
@@ -17,9 +40,13 @@ namespace sstban::training {
 // origin, so time-of-day and day-of-week are self-consistent.
 class ForecastService {
  public:
-  // The service borrows `model` (must outlive the service).
+  // The service borrows `model` (must outlive the service). `num_nodes` /
+  // `num_features` are the geometry the model was configured with; when
+  // >= 0 every request's window is validated against them up front instead
+  // of failing deep inside attention with an opaque shape check.
   ForecastService(TrafficModel* model, data::Normalizer normalizer,
-                  int64_t input_len, int64_t output_len, int64_t steps_per_day);
+                  int64_t input_len, int64_t output_len, int64_t steps_per_day,
+                  int64_t num_nodes = -1, int64_t num_features = -1);
 
   // recent: [P, N, C] raw signals whose first slice is at absolute index
   // `first_step`. Returns [Q, N, C] raw forecasts for the following Q
@@ -36,6 +63,8 @@ class ForecastService {
   int64_t input_len_;
   int64_t output_len_;
   int64_t steps_per_day_;
+  int64_t num_nodes_;
+  int64_t num_features_;
 };
 
 }  // namespace sstban::training

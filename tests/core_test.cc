@@ -1,9 +1,11 @@
 #include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/histogram.h"
 #include "core/memory_tracker.h"
 #include "core/rng.h"
 #include "core/status.h"
@@ -35,6 +37,15 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, ServingErrorFactories) {
+  EXPECT_EQ(Status::Unavailable("full").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -156,6 +167,77 @@ TEST(ThreadPoolTest, ScheduleAndWait) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 32);
+}
+
+// The serving batcher runs on its own thread while tensor kernels fan work
+// out to the pool via ParallelFor, so Schedule/Wait must stay correct under
+// many concurrent producers issuing repeated rounds.
+TEST(ThreadPoolTest, StressManyScheduleWaitRoundsFromMultipleProducers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 50;
+  constexpr int kTasksPerRound = 8;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int task = 0; task < kTasksPerRound; ++task) {
+          pool.Schedule([&counter] { counter.fetch_add(1); });
+        }
+        pool.Wait();
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kRounds * kTasksPerRound);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  h.Record(0.010);
+  h.Record(0.020);
+  h.Record(0.030);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.sum(), 0.060, 1e-9);
+  EXPECT_NEAR(h.mean(), 0.020, 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max(), 0.030);
+}
+
+TEST(HistogramTest, QuantilesOrderedAndBracketed) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);  // 1ms .. 1s
+  double p50 = h.Quantile(0.50);
+  double p90 = h.Quantile(0.90);
+  double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Log-bucketed, so quantiles are approximate: within ~15% of the truth.
+  EXPECT_NEAR(p50, 0.500, 0.075);
+  EXPECT_NEAR(p90, 0.900, 0.135);
+  EXPECT_NEAR(p99, 0.990, 0.150);
+}
+
+TEST(HistogramTest, EmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+  h.Record(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, TinyAndHugeValuesClampToEdgeBuckets) {
+  Histogram h;
+  h.Record(1e-12);  // below the lowest bucket
+  h.Record(1e9);    // beyond the highest bucket
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1e-12);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1e9);
 }
 
 TEST(StringUtilTest, StrFormat) {

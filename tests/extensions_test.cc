@@ -274,6 +274,35 @@ TEST(ForecastServiceTest, RejectsBadShapes) {
   EXPECT_FALSE(result2.ok());
 }
 
+TEST(ForecastServiceTest, RejectsWrongNodeOrFeatureCount) {
+  sstban::SstbanConfig config;
+  config.num_nodes = 4;
+  config.input_len = 6;
+  config.output_len = 6;
+  config.num_features = 1;
+  config.steps_per_day = 12;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  sstban::SstbanModel model(config);
+  training::ForecastService service(&model, data::Normalizer(), 6, 6, 12,
+                                    /*num_nodes=*/4, /*num_features=*/1);
+  // Right rank and length, wrong node count: must name both shapes.
+  auto result = service.Forecast(t::Tensor::Zeros(t::Shape{6, 5, 1}), 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("[6, 5, 1]"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("[6, 4, 1]"), std::string::npos)
+      << result.status().message();
+  // Wrong feature count is caught the same way.
+  auto result2 = service.Forecast(t::Tensor::Zeros(t::Shape{6, 4, 2}), 0);
+  ASSERT_FALSE(result2.ok());
+  EXPECT_EQ(result2.status().code(), core::StatusCode::kInvalidArgument);
+}
+
 // -- SSTBAN extensions ------------------------------------------------------
 
 TEST(SstbanExtensionsTest, PredictWithMissingIgnoresMaskedPositions) {

@@ -197,7 +197,9 @@ int RunForecast(Flags& flags) {
   }
 
   training::ForecastService service(&model, normalizer, steps, steps,
-                                    dataset->steps_per_day);
+                                    dataset->steps_per_day,
+                                    dataset->num_nodes(),
+                                    dataset->num_features());
   sstban::tensor::Tensor recent =
       sstban::tensor::Slice(dataset->signals, 0, at, steps);
   auto forecast = service.Forecast(recent, at);

@@ -1,0 +1,312 @@
+// Serving front end: stands up the micro-batching inference server on a
+// synthetic world and drives it with a closed-loop multi-threaded load
+// generator, exercising the full production path — bounded queue, batcher,
+// versioned model registry (with one mid-run hot-swap), and latency stats.
+//
+//   sstban_serve [--preset pems08] [--steps 24] [--ckpt serve.sstb]
+//                [--epochs 2] [--days 8] [--nodes 16]
+//                [--clients 4] [--requests 32] [--deadline-ms 0]
+//                [--max-batch 8] [--max-wait-us 2000] [--queue-cap 256]
+//                [--swap 1] [--json 0]
+//
+// Trains a checkpoint if --ckpt does not exist yet (plus a second version
+// for the hot-swap), then serves it. `--requests` is per client; a deadline
+// of 0 means none. `--json 1` appends the machine-readable stats dump.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "nn/serialization.h"
+#include "serving/forecast_server.h"
+#include "serving/model_registry.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+#include "training/trainer.h"
+
+namespace {
+
+namespace data = ::sstban::data;
+namespace nn = ::sstban::nn;
+namespace serving = ::sstban::serving;
+namespace tensor = ::sstban::tensor;
+namespace training = ::sstban::training;
+namespace model_ns = ::sstban::sstban;
+
+// Minimal --key value parser; unknown keys are an error (mirrors sstban_cli).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key, const std::string& fallback) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    std::string v = GetString(key, std::to_string(fallback));
+    return std::atoll(v.c_str());
+  }
+  bool RejectUnknown() const {
+    bool ok = true;
+    for (const auto& [key, value] : values_) {
+      if (!used_.count(key)) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+data::SyntheticWorldConfig WorldFor(const std::string& preset, Flags& flags) {
+  data::SyntheticWorldConfig world;
+  if (preset == "seattle") {
+    world = data::SeattleLikeConfig();
+  } else if (preset == "pems04") {
+    world = data::Pems04LikeConfig();
+  } else if (preset == "pems08") {
+    world = data::Pems08LikeConfig();
+  } else {
+    std::fprintf(stderr, "unknown preset '%s' (use seattle|pems04|pems08)\n",
+                 preset.c_str());
+    std::exit(2);
+  }
+  world.num_days = flags.GetInt("days", 8);
+  world.num_nodes = flags.GetInt("nodes", 16);
+  return world;
+}
+
+model_ns::SstbanConfig ModelFor(const std::string& preset, int64_t steps,
+                                const data::TrafficDataset& dataset) {
+  model_ns::SstbanConfig config;
+  if (steps == 24 || steps == 36 || steps == 48) {
+    config = model_ns::TableIiiConfig(preset + "-" + std::to_string(steps));
+  } else {
+    config.input_len = config.output_len = steps;
+    config.patch_len = std::max<int64_t>(steps / 8, 1);
+  }
+  config.num_nodes = dataset.num_nodes();
+  config.num_features = dataset.num_features();
+  config.steps_per_day = dataset.steps_per_day;
+  return config;
+}
+
+// Trains `epochs`, saves v1, trains one more epoch, saves v2 — two genuinely
+// different weight sets so the hot-swap demonstrably changes the model.
+int TrainCheckpoints(const model_ns::SstbanConfig& config,
+                     const data::WindowDataset& windows,
+                     const data::SplitIndices& split,
+                     const data::Normalizer& normalizer, int epochs,
+                     const std::string& ckpt, const std::string& ckpt_v2) {
+  model_ns::SstbanModel model(config);
+  std::printf("training %s checkpoint (%lld params, %zu train windows)...\n",
+              model.name().c_str(),
+              static_cast<long long>(model.NumParameters()),
+              split.train.size());
+  training::TrainerConfig trainer_config;
+  trainer_config.max_epochs = epochs;
+  trainer_config.batch_size = 8;
+  trainer_config.verbose = true;
+  training::Trainer(trainer_config).Train(&model, windows, split, normalizer);
+  auto status = nn::SaveParameters(model, ckpt);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  trainer_config.max_epochs = 1;
+  training::Trainer(trainer_config).Train(&model, windows, split, normalizer);
+  status = nn::SaveParameters(model, ckpt_v2);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s and %s\n", ckpt.c_str(), ckpt_v2.c_str());
+  return 0;
+}
+
+struct LoadGenTotals {
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> deadline{0};
+  std::atomic<int64_t> unavailable{0};
+  std::atomic<int64_t> other{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  std::string preset = flags.GetString("preset", "pems08");
+  int64_t steps = flags.GetInt("steps", 24);
+  std::string ckpt = flags.GetString("ckpt", "serve.sstb");
+  std::string ckpt_v2 = ckpt + ".v2";
+  int epochs = static_cast<int>(flags.GetInt("epochs", 2));
+  int64_t clients = flags.GetInt("clients", 4);
+  int64_t requests_per_client = flags.GetInt("requests", 32);
+  int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  int64_t max_batch = flags.GetInt("max-batch", 8);
+  int64_t max_wait_us = flags.GetInt("max-wait-us", 2000);
+  int64_t queue_cap = flags.GetInt("queue-cap", 256);
+  bool do_swap = flags.GetInt("swap", 1) != 0;
+  bool emit_json = flags.GetInt("json", 0) != 0;
+
+  auto dataset = std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(WorldFor(preset, flags)));
+  if (!flags.RejectUnknown()) return 2;
+
+  data::WindowDataset windows(dataset, steps, steps);
+  data::SplitIndices split = data::ChronologicalSplit(windows);
+  data::Normalizer normalizer = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = ModelFor(preset, steps, *dataset);
+
+  if (!FileExists(ckpt)) {
+    int rc = TrainCheckpoints(config, windows, split, normalizer, epochs, ckpt,
+                              ckpt_v2);
+    if (rc != 0) return rc;
+  } else if (!FileExists(ckpt_v2)) {
+    ckpt_v2 = ckpt;  // pre-existing checkpoint: swap re-serves the same file
+  }
+
+  serving::ModelRegistry registry(
+      [config] { return std::make_unique<model_ns::SstbanModel>(config); },
+      normalizer);
+  auto status = registry.LoadVersion(ckpt);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  serving::ServerOptions options;
+  options.input_len = steps;
+  options.output_len = steps;
+  options.steps_per_day = dataset->steps_per_day;
+  options.num_nodes = dataset->num_nodes();
+  options.num_features = dataset->num_features();
+  options.max_batch = max_batch;
+  options.max_wait = std::chrono::microseconds(max_wait_us);
+  options.queue_capacity = queue_cap;
+  serving::ForecastServer server(options, &registry);
+  status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serving %s v%lld: %lld clients x %lld requests, max_batch=%lld, "
+      "max_wait=%lldus, deadline=%lldms\n",
+      ckpt.c_str(), static_cast<long long>(registry.current_version()),
+      static_cast<long long>(clients),
+      static_cast<long long>(requests_per_client),
+      static_cast<long long>(max_batch), static_cast<long long>(max_wait_us),
+      static_cast<long long>(deadline_ms));
+
+  // Closed-loop load generator: each client thread fires its next request as
+  // soon as the previous answer (or rejection) comes back.
+  const int64_t max_start = dataset->num_steps() - 2 * steps;
+  LoadGenTotals totals;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int64_t cidx = 0; cidx < clients; ++cidx) {
+    workers.emplace_back([&, cidx] {
+      sstban::core::Rng rng(1000 + static_cast<uint64_t>(cidx));
+      for (int64_t r = 0; r < requests_per_client; ++r) {
+        int64_t start = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint32_t>(max_start + 1)));
+        serving::ForecastRequest request;
+        request.recent = tensor::Slice(dataset->signals, 0, start, steps);
+        request.first_step = start;
+        if (deadline_ms > 0) {
+          request.deadline = serving::Clock::now() +
+                             std::chrono::milliseconds(deadline_ms);
+        }
+        auto submitted = server.Submit(std::move(request));
+        if (!submitted.ok()) {
+          switch (submitted.status().code()) {
+            case sstban::core::StatusCode::kUnavailable:
+              totals.unavailable.fetch_add(1);
+              break;
+            case sstban::core::StatusCode::kDeadlineExceeded:
+              totals.deadline.fetch_add(1);
+              break;
+            default:
+              totals.other.fetch_add(1);
+          }
+          continue;
+        }
+        serving::ForecastResult result = submitted.value().get();
+        if (result.ok()) {
+          totals.ok.fetch_add(1);
+        } else if (result.status().code() ==
+                   sstban::core::StatusCode::kDeadlineExceeded) {
+          totals.deadline.fetch_add(1);
+        } else {
+          totals.other.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  if (do_swap) {
+    // Swap roughly mid-run: wait until about half the total requests have
+    // completed, then publish the next version. In-flight batches finish on
+    // the old weights; nothing fails.
+    const int64_t half = clients * requests_per_client / 2;
+    while (totals.ok.load() + totals.deadline.load() + totals.other.load() +
+               totals.unavailable.load() <
+           half) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    auto swap_status = registry.LoadVersion(ckpt_v2);
+    if (swap_status.ok()) {
+      std::printf("hot-swapped to %s (now serving v%lld)\n", ckpt_v2.c_str(),
+                  static_cast<long long>(registry.current_version()));
+    } else {
+      std::fprintf(stderr, "hot-swap failed (still serving v%lld): %s\n",
+                   static_cast<long long>(registry.current_version()),
+                   swap_status.ToString().c_str());
+    }
+  }
+
+  for (std::thread& worker : workers) worker.join();
+  server.Shutdown();
+
+  std::printf(
+      "\nload generator: ok=%lld deadline=%lld unavailable=%lld other=%lld\n\n",
+      static_cast<long long>(totals.ok.load()),
+      static_cast<long long>(totals.deadline.load()),
+      static_cast<long long>(totals.unavailable.load()),
+      static_cast<long long>(totals.other.load()));
+  std::printf("%s", server.stats().ReportTable().c_str());
+  if (emit_json) std::printf("\n%s", server.stats().ReportJson().c_str());
+  return totals.other.load() == 0 ? 0 : 1;
+}
