@@ -1,0 +1,114 @@
+// Kernel microbenchmark: sequential vs pool-parallel tiled matmul/Bmm at
+// STBA-representative shapes. Sequential runs force the kernels inline via
+// the parallelism cap, so both paths execute the identical tiled code and
+// differ only in work partitioning — which also lets us assert the
+// bitwise-equality guarantee on every shape measured.
+//
+// Shapes mirror the hot paths of a PEMS-scale SSTBAN step (B=16, N=170,
+// d=64, h=8 => per-head dk=8, L=48): attention scores QK^T, context AV,
+// the batched projection GEMMs, and one square reference point.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+namespace t = ::sstban::tensor;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BenchCase {
+  std::string name;
+  std::function<t::Tensor()> run;
+  double madds;  // multiply-adds per invocation
+};
+
+// Times fn with an adaptive iteration count targeting ~0.3s of work.
+double TimePerCall(const std::function<t::Tensor()>& fn) {
+  fn();  // warm up (thread pool spin-up, pack-buffer allocation)
+  int iters = 1;
+  for (;;) {
+    double start = NowSeconds();
+    for (int i = 0; i < iters; ++i) fn();
+    double elapsed = NowSeconds() - start;
+    if (elapsed > 0.3 || iters >= 1 << 14) return elapsed / iters;
+    iters *= 4;
+  }
+}
+
+bool BitwiseEqual(const t::Tensor& a, const t::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  sstban::core::Rng rng(7);
+  const int64_t kDim = 64, kHeads = 8, kLen = 48;
+  const int64_t kDk = kDim / kHeads;  // per-head width
+  const int64_t kStreams = 512;      // B*h attention streams after head split
+  const int64_t kRows = 16320;       // B*L*N rows hitting each projection
+
+  t::Tensor qh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
+  t::Tensor kh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
+  t::Tensor probs = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kLen}, rng);
+  t::Tensor vh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
+  t::Tensor act = t::Tensor::RandomNormal(t::Shape{kRows, kDim}, rng);
+  t::Tensor weight = t::Tensor::RandomNormal(t::Shape{kDim, kDim}, rng);
+  t::Tensor sq_a = t::Tensor::RandomNormal(t::Shape{512, 512}, rng);
+  t::Tensor sq_b = t::Tensor::RandomNormal(t::Shape{512, 512}, rng);
+
+  std::vector<BenchCase> cases;
+  cases.push_back({"bmm scores  [512,48,8]x[512,48,8]^T",
+                   [&] { return t::Bmm(qh, kh, false, true); },
+                   static_cast<double>(kStreams * kLen * kDk * kLen)});
+  cases.push_back({"bmm context [512,48,48]x[512,48,8]",
+                   [&] { return t::Bmm(probs, vh, false, false); },
+                   static_cast<double>(kStreams * kLen * kLen * kDk)});
+  cases.push_back({"matmul linear [16320,64]x[64,64]",
+                   [&] { return t::Matmul(act, weight); },
+                   static_cast<double>(kRows * kDim * kDim)});
+  cases.push_back({"matmul square [512,512]x[512,512]",
+                   [&] { return t::Matmul(sq_a, sq_b); },
+                   512.0 * 512.0 * 512.0});
+
+  std::printf("pool threads: %d (SSTBAN_NUM_THREADS to override)\n\n",
+              sstban::core::EffectiveParallelism());
+  std::printf("%-44s %10s %10s %8s %9s %9s  %s\n", "case", "seq ms", "par ms",
+              "speedup", "seq GF/s", "par GF/s", "bitwise");
+
+  for (const BenchCase& bench : cases) {
+    sstban::core::SetParallelismCapForTesting(1);
+    t::Tensor seq_out = bench.run();
+    double seq_s = TimePerCall(bench.run);
+    sstban::core::SetParallelismCapForTesting(0);
+    t::Tensor par_out = bench.run();
+    double par_s = TimePerCall(bench.run);
+    bool equal = BitwiseEqual(seq_out, par_out);
+    double flops = 2.0 * bench.madds;
+    std::printf("%-44s %10.3f %10.3f %7.2fx %9.2f %9.2f  %s\n",
+                bench.name.c_str(), seq_s * 1e3, par_s * 1e3, seq_s / par_s,
+                flops / seq_s * 1e-9, flops / par_s * 1e-9,
+                equal ? "equal" : "DIFFER");
+    if (!equal) {
+      std::printf("FATAL: parallel result differs from sequential\n");
+      return 1;
+    }
+  }
+  return 0;
+}

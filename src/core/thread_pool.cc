@@ -1,11 +1,25 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <exception>
 
 #include "core/check.h"
 
 namespace sstban::core {
+
+namespace {
+
+std::atomic<int> g_parallelism_cap{0};
+
+// Pools whose tasks are on this thread's call stack, innermost last. Wait()
+// uses it to exclude the caller's own in-flight tasks; it tracks the owning
+// pool per frame so waiting on a *different* pool from inside a task still
+// waits for all of that pool's work.
+thread_local std::vector<const ThreadPool*> tl_task_stack;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
   if (num_threads_ > 1) {
@@ -21,7 +35,7 @@ ThreadPool::~ThreadPool() {
     std::unique_lock<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -35,31 +49,78 @@ void ThreadPool::Schedule(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++pending_;
   }
-  task_available_.notify_one();
+  cv_.notify_all();
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  if (tasks_.empty()) return false;
+  std::function<void()> task = std::move(tasks_.front());
+  tasks_.pop();
+  tl_task_stack.push_back(this);
+  lock.unlock();
+  task();
+  lock.lock();
+  tl_task_stack.pop_back();
+  --pending_;
+  cv_.notify_all();
+  return true;
 }
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
+  int64_t own = static_cast<int64_t>(
+      std::count(tl_task_stack.begin(), tl_task_stack.end(), this));
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  while (pending_ > own) {
+    if (!RunOneTask(lock)) cv_.wait(lock);
+  }
+}
+
+void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  // Stack-allocated: RunAndWait only returns once remaining hits zero, at
+  // which point no wrapped task touches the latch again.
+  struct Latch {
+    int64_t remaining;
+    std::exception_ptr error;
+  } latch{static_cast<int64_t>(tasks.size()), nullptr};
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto& task : tasks) {
+      tasks_.push([this, &latch, body = std::move(task)] {
+        std::exception_ptr error;
+        try {
+          body();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        {
+          std::unique_lock<std::mutex> g(mutex_);
+          if (error && !latch.error) latch.error = error;
+          --latch.remaining;
+        }
+      });
+      ++pending_;
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (latch.remaining > 0) {
+    if (!RunOneTask(lock)) cv_.wait(lock);
+  }
+  lock.unlock();
+  if (latch.error) std::rethrow_exception(latch.error);
 }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (shutdown_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --pending_;
-      if (pending_ == 0) all_done_.notify_all();
-    }
+    if (shutdown_ && tasks_.empty()) return;
+    if (!RunOneTask(lock)) cv_.wait(lock);
   }
 }
 
@@ -74,27 +135,40 @@ ThreadPool& ThreadPool::Global() {
   return *pool;
 }
 
+void SetParallelismCapForTesting(int cap) {
+  g_parallelism_cap.store(cap, std::memory_order_relaxed);
+}
+
+int EffectiveParallelism() {
+  int threads = ThreadPool::Global().num_threads();
+  int cap = g_parallelism_cap.load(std::memory_order_relaxed);
+  return cap > 0 ? std::min(threads, cap) : threads;
+}
+
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& body,
                  int64_t min_chunk) {
   SSTBAN_CHECK_LE(begin, end);
   int64_t total = end - begin;
   if (total == 0) return;
-  ThreadPool& pool = ThreadPool::Global();
-  int threads = pool.num_threads();
-  if (threads <= 1 || total <= min_chunk) {
+  if (min_chunk < 1) min_chunk = 1;
+  int parallelism = EffectiveParallelism();
+  if (parallelism <= 1 || total <= min_chunk) {
     body(begin, end);
     return;
   }
-  int64_t chunks = std::min<int64_t>(threads, (total + min_chunk - 1) / min_chunk);
+  int64_t chunks =
+      std::min<int64_t>(parallelism, (total + min_chunk - 1) / min_chunk);
   int64_t chunk_size = (total + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(chunks));
   for (int64_t c = 0; c < chunks; ++c) {
     int64_t lo = begin + c * chunk_size;
     int64_t hi = std::min(end, lo + chunk_size);
     if (lo >= hi) break;
-    pool.Schedule([&body, lo, hi] { body(lo, hi); });
+    tasks.push_back([&body, lo, hi] { body(lo, hi); });
   }
-  pool.Wait();
+  ThreadPool::Global().RunAndWait(std::move(tasks));
 }
 
 }  // namespace sstban::core

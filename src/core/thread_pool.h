@@ -14,6 +14,10 @@ namespace sstban::core {
 // A fixed-size worker pool. On single-core machines (num_threads <= 1) work
 // is run inline so the pool adds no overhead; the heavy tensor kernels call
 // ParallelFor below and transparently scale with available hardware.
+//
+// Any thread that blocks waiting on pool work (Wait, RunAndWait) helps
+// execute queued tasks while it waits, so pool tasks may themselves fan out
+// to the pool without deadlocking.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -24,11 +28,22 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  // Enqueues a task. Tasks must not throw.
+  // Enqueues a task. Tasks must not throw (use RunAndWait when the caller
+  // needs exceptions propagated).
   void Schedule(std::function<void()> task);
 
-  // Blocks until all scheduled tasks have completed.
+  // Blocks until every scheduled task has completed, except tasks on the
+  // calling thread's own stack (a worker waiting for its own in-flight task
+  // would never return). While blocked the caller executes queued tasks, so
+  // tasks scheduled from inside other tasks are drained, not missed.
   void Wait();
+
+  // Runs `tasks` on the pool and blocks until all of them have completed.
+  // The caller helps execute queued work while waiting, so RunAndWait may be
+  // called from inside a pool task (nested fan-out cannot deadlock). The
+  // first exception thrown by any task is rethrown here once all tasks have
+  // finished.
+  void RunAndWait(std::vector<std::function<void()>> tasks);
 
   // Process-wide pool sized from std::thread::hardware_concurrency() (or the
   // SSTBAN_NUM_THREADS environment variable when set).
@@ -36,20 +51,38 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  // Pops and runs one queued task; `lock` must hold mutex_ and is released
+  // around the task body. Returns false if the queue was empty.
+  bool RunOneTask(std::unique_lock<std::mutex>& lock);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  int64_t pending_ = 0;
+  // Signalled on task arrival, task completion, and shutdown. Workers and
+  // helping waiters share it; everyone re-checks their predicate on wake.
+  std::condition_variable cv_;
+  int64_t pending_ = 0;  // queued + currently executing tasks
   bool shutdown_ = false;
 };
 
-// Splits [begin, end) into chunks and runs `body(chunk_begin, chunk_end)` on
-// the global pool. Runs inline when the range is small or only one thread is
-// available. `body` must be safe to invoke concurrently on disjoint ranges.
+// Caps the fan-out ParallelFor uses: 1 forces every loop to run inline on
+// the calling thread, 0 removes the cap (use the pool size). Benchmarks use
+// this to measure sequential-vs-parallel on the same process, and tests use
+// it to verify that results do not depend on the degree of parallelism.
+void SetParallelismCapForTesting(int cap);
+
+// Max number of chunks ParallelFor will split a range into (the global pool
+// size unless capped by SetParallelismCapForTesting).
+int EffectiveParallelism();
+
+// Splits [begin, end) into contiguous chunks and runs `body(chunk_begin,
+// chunk_end)` on the global pool, blocking until all chunks finish. Runs
+// inline when the range is at most `min_chunk` or only one thread is
+// available. `body` must be safe to invoke concurrently on disjoint ranges;
+// exceptions thrown by `body` propagate to the caller. Safe to call from
+// inside pool tasks (nested calls help drain the queue instead of
+// deadlocking).
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& body,
                  int64_t min_chunk = 1024);

@@ -5,6 +5,7 @@
 #include "autograd/ops.h"
 #include "core/check.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace sstban::nn {
 
@@ -66,17 +67,16 @@ ag::Variable MultiHeadAttention::Forward(const ag::Variable& q,
     t::Tensor additive(t::Shape{batch * num_heads_, lq, lk});
     const float* pm = key_mask->data();
     float* pa = additive.data();
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t h = 0; h < num_heads_; ++h) {
-        for (int64_t i = 0; i < lq; ++i) {
-          float* row = pa + ((b * num_heads_ + h) * lq + i) * lk;
-          const float* mrow = pm + b * lk;
-          for (int64_t j = 0; j < lk; ++j) {
-            row[j] = mrow[j] > 0.5f ? 0.0f : -1e9f;
-          }
+    int64_t rows = batch * num_heads_ * lq;
+    t::ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r) {
+        float* row = pa + r * lk;
+        const float* mrow = pm + (r / (num_heads_ * lq)) * lk;
+        for (int64_t j = 0; j < lk; ++j) {
+          row[j] = mrow[j] > 0.5f ? 0.0f : -1e9f;
         }
       }
-    }
+    }, /*grain=*/256);
     attn = ag::SoftmaxWithMask(scores, additive);
   } else {
     attn = ag::Softmax(scores);

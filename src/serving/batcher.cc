@@ -5,6 +5,7 @@
 #include "core/check.h"
 #include "core/timer.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 #include "training/forecast_service.h"
 
 namespace sstban::serving {
@@ -153,11 +154,17 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
       served->model.get(), served->normalizer, model_batch);
   stats_->RecordForward(forward.ElapsedSeconds());
 
+  // Cutting the batched output back into per-request slices is one memcpy
+  // per request; fan it out and fulfil the promises in arrival order after.
+  std::vector<tensor::Tensor> slices(static_cast<size_t>(b));
+  tensor::ParallelForEachIndex(b, [&](int64_t i) {
+    slices[static_cast<size_t>(i)] =
+        tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
+  });
+
   Clock::time_point done = Clock::now();
   for (int64_t i = 0; i < b; ++i) {
-    tensor::Tensor slice =
-        tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
-    batch[i].promise.set_value(std::move(slice));
+    batch[i].promise.set_value(std::move(slices[static_cast<size_t>(i)]));
     stats_->RecordCompleted();
     stats_->RecordEndToEnd(
         std::chrono::duration<double>(done - batch[i].enqueued_at).count());

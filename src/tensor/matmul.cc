@@ -1,13 +1,48 @@
 #include "tensor/matmul.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "tensor/parallel.h"
 
 namespace sstban::tensor {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Shape thresholds and tile sizes.
+//
+// Every dispatch decision below depends only on the GEMM's shape, never on
+// the thread count or the partition, so a given problem always takes the
+// same arithmetic path. Combined with row-block partitioning (a C row is
+// computed start-to-finish by exactly one task, in ascending-k order), this
+// makes results bitwise identical run-to-run and across any number of
+// threads, including the inline sequential path.
+// ---------------------------------------------------------------------------
+
+// Rows of C per parallel task. Also the unit the tiled path packs A in, so
+// block boundaries are a pure function of M.
+constexpr int64_t kRowBlock = 64;
+// Packed-panel extents: one B panel (kKC x kNC floats = 256 KiB) plus the
+// kMR x kKC A strip stay resident in L2 while the micro-kernel streams C.
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 256;
+// Micro-kernel height: rows of C updated together per packed A strip.
+constexpr int64_t kMR = 4;
+// Below this many multiply-adds per GEMM the packed/tiled path loses to the
+// plain loops (packing cost dominates).
+constexpr int64_t kTiledMaddCutoff = 1 << 13;
+// Target multiply-adds per scheduled chunk; smaller problems run inline.
+constexpr int64_t kParallelMaddCutoff = 1 << 15;
+
+// ---------------------------------------------------------------------------
+// Small-shape kernels (the pre-tiling implementations). They remain the best
+// choice for the floods of tiny GEMMs attention produces (head_dim and
+// reference-point counts of 1-8) where packing overhead dominates.
+// ---------------------------------------------------------------------------
 
 // C[M,N] += A[M,K] * B[K,N], all row-major contiguous. i-k-j loop order:
 // the inner j-loop streams both B's row and C's row, which vectorizes well.
@@ -128,6 +163,178 @@ void GemmDispatch(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Tiled/packed path. Transposition is absorbed entirely by the packing step;
+// the micro-kernel only ever sees k-major packed panels.
+// ---------------------------------------------------------------------------
+
+// Packs the logical (post-transpose) panel B[p0:p0+kc, j0:j0+nc] into
+// dst[kc][nc] row-major. `ldb` is the row stride of the *stored* matrix
+// (n when !tb, k when tb).
+void PackB(const float* b, int64_t ldb, bool tb, int64_t p0, int64_t j0,
+           int64_t kc, int64_t nc, float* dst) {
+  if (!tb) {
+    for (int64_t p = 0; p < kc; ++p) {
+      std::memcpy(dst + p * nc, b + (p0 + p) * ldb + j0,
+                  static_cast<size_t>(nc) * sizeof(float));
+    }
+  } else {
+    // Stored B is [N, K]; logical B[p][j] = stored[j][p].
+    for (int64_t p = 0; p < kc; ++p) {
+      float* drow = dst + p * nc;
+      const float* src = b + j0 * ldb + (p0 + p);
+      for (int64_t j = 0; j < nc; ++j) drow[j] = src[j * ldb];
+    }
+  }
+}
+
+// Packs the logical A strip rows [i0, i0+mr) x cols [p0, p0+kc) k-major:
+// dst[p][r] = A[i0+r][p0+p], so the micro-kernel reads one contiguous group
+// of mr values per k step. `lda` is the stored row stride (k when !ta, m
+// when ta).
+void PackA(const float* a, int64_t lda, bool ta, int64_t i0, int64_t p0,
+           int64_t mr, int64_t kc, float* dst) {
+  if (!ta) {
+    for (int64_t p = 0; p < kc; ++p) {
+      float* drow = dst + p * mr;
+      const float* src = a + i0 * lda + (p0 + p);
+      for (int64_t r = 0; r < mr; ++r) drow[r] = src[r * lda];
+    }
+  } else {
+    // Stored A is [K, M]; the strip's k-slice is contiguous per row.
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* srow = a + (p0 + p) * lda + i0;
+      float* drow = dst + p * mr;
+      for (int64_t r = 0; r < mr; ++r) drow[r] = srow[r];
+    }
+  }
+}
+
+// C[r][j] += sum_p Ap[p][r] * Bp[p][j] for an MR x nc tile. Accumulates
+// directly into C in ascending-k order so results never depend on how rows
+// were assigned to threads or on panel boundaries.
+template <int MR>
+void MicroKernel(const float* ap, const float* bp, float* c, int64_t ldc,
+                 int64_t kc, int64_t nc) {
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * nc;
+    const float* av = ap + p * MR;
+    for (int r = 0; r < MR; ++r) {
+      float aval = av[r];
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nc; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+// Per-thread packing scratch, reused across GEMM calls.
+struct PackBuffers {
+  std::vector<float> a;
+  std::vector<float> b;
+};
+thread_local PackBuffers tl_pack;
+
+// Computes C rows [i0, i1) of the full GEMM via packed panels. The loop nest
+// is j-panel > k-panel > row-strip, so each C element accumulates its k
+// contributions strictly in ascending order.
+void TiledRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
+               bool ta, bool tb, int64_t lda, int64_t ldb, int64_t i0,
+               int64_t i1) {
+  std::vector<float>& apack = tl_pack.a;
+  std::vector<float>& bpack = tl_pack.b;
+  if (apack.size() < static_cast<size_t>(kMR * kKC)) apack.resize(kMR * kKC);
+  if (bpack.size() < static_cast<size_t>(kKC * kNC)) bpack.resize(kKC * kNC);
+  for (int64_t j0 = 0; j0 < n; j0 += kNC) {
+    int64_t nc = std::min(kNC, n - j0);
+    for (int64_t p0 = 0; p0 < k; p0 += kKC) {
+      int64_t kc = std::min(kKC, k - p0);
+      PackB(b, ldb, tb, p0, j0, kc, nc, bpack.data());
+      for (int64_t i = i0; i < i1; i += kMR) {
+        int64_t mr = std::min(kMR, i1 - i);
+        PackA(a, lda, ta, i, p0, mr, kc, apack.data());
+        float* ctile = c + i * n + j0;
+        switch (mr) {
+          case 4: MicroKernel<4>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
+          case 3: MicroKernel<3>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
+          case 2: MicroKernel<2>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
+          default: MicroKernel<1>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and parallel driver.
+// ---------------------------------------------------------------------------
+
+bool UseTiledPath(int64_t m, int64_t k, int64_t n, bool ta, bool tb) {
+  if (m * k * n < kTiledMaddCutoff) return false;
+  // The register-blocked fixed-size kernels still win on the degenerate
+  // inner dimensions attention produces; keep them for those shapes.
+  if (!ta && !tb && n <= 8) return false;
+  if (!ta && tb && k <= 8) return false;
+  return true;
+}
+
+// Number of row blocks a single GEMM of this shape is split into. The legacy
+// transposed-A kernels stride A by the full M, so they only run whole.
+int64_t RowBlocksFor(int64_t m, int64_t k, int64_t n, bool ta, bool tb) {
+  if (m == 0) return 1;
+  if (!UseTiledPath(m, k, n, ta, tb) && ta) return 1;
+  return (m + kRowBlock - 1) / kRowBlock;
+}
+
+// Computes C rows [i0, i1) for one GEMM, routing to the tiled or small-shape
+// kernel. The route depends only on the full (m, k, n, ta, tb) problem, not
+// on the row range, so every row takes the same code path regardless of how
+// the work was partitioned.
+void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n, bool ta, bool tb, int64_t i0, int64_t i1) {
+  if (i0 >= i1 || n == 0) return;
+  int64_t lda = ta ? m : k;
+  int64_t ldb = tb ? k : n;
+  if (UseTiledPath(m, k, n, ta, tb)) {
+    TiledRows(a, b, c, k, n, ta, tb, lda, ldb, i0, i1);
+    return;
+  }
+  if (!ta) {
+    // Row-major A: a row range is just a pointer offset.
+    GemmDispatch(a + i0 * k, b, c + i0 * n, i1 - i0, k, n, ta, tb);
+  } else {
+    SSTBAN_CHECK(i0 == 0 && i1 == m);
+    GemmDispatch(a, b, c, m, k, n, ta, tb);
+  }
+}
+
+// Shared driver for Matmul (batch == 1) and Bmm: partitions the batch x
+// row-block grid across the pool. Chunk granularity is derived from the
+// shape alone, so the inline-vs-pooled decision is deterministic too.
+void BatchedGemm(const float* pa, const float* pb, float* pc, int64_t batch,
+                 int64_t m, int64_t k, int64_t n, bool ta, bool tb,
+                 int64_t a_stride, int64_t b_stride) {
+  if (batch == 0 || m == 0 || n == 0) return;
+  int64_t row_blocks = RowBlocksFor(m, k, n, ta, tb);
+  int64_t items = batch * row_blocks;
+  int64_t o_stride = m * n;
+  int64_t madds_per_item = std::min(m, kRowBlock) * std::max<int64_t>(k, 1) * n;
+  int64_t min_chunk =
+      std::max<int64_t>(1, kParallelMaddCutoff / std::max<int64_t>(madds_per_item, 1));
+  ParallelFor(
+      0, items,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          int64_t bi = idx / row_blocks;
+          int64_t blk = idx % row_blocks;
+          int64_t i0 = blk * kRowBlock;
+          int64_t i1 = row_blocks == 1 ? m : std::min(m, i0 + kRowBlock);
+          GemmRows(pa + bi * a_stride, pb + bi * b_stride, pc + bi * o_stride,
+                   m, k, n, ta, tb, i0, i1);
+        }
+      },
+      min_chunk);
+}
+
 }  // namespace
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
@@ -138,16 +345,8 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
       << "matmul inner dims:" << a.shape().ToString() << "x" << b.shape().ToString();
   int64_t n = b.dim(1);
   Tensor out(Shape{m, n});
-  if (m >= 64) {
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    core::ParallelFor(0, m, [&](int64_t lo, int64_t hi) {
-      GemmNN(pa + lo * k, pb, po + lo * n, hi - lo, k, n);
-    }, /*min_chunk=*/16);
-  } else {
-    GemmNN(a.data(), b.data(), out.data(), m, k, n);
-  }
+  BatchedGemm(a.data(), b.data(), out.data(), /*batch=*/1, m, k, n,
+              /*ta=*/false, /*tb=*/false, 0, 0);
   return out;
 }
 
@@ -164,18 +363,8 @@ Tensor Bmm(const Tensor& a, const Tensor& b, bool transpose_a,
   SSTBAN_CHECK_EQ(k, kb) << "bmm inner dims:" << a.shape().ToString() << "x"
                          << b.shape().ToString();
   Tensor out(Shape{batch, m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  int64_t a_stride = a.dim(1) * a.dim(2);
-  int64_t b_stride = b.dim(1) * b.dim(2);
-  int64_t o_stride = m * n;
-  core::ParallelFor(0, batch, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      GemmDispatch(pa + i * a_stride, pb + i * b_stride, po + i * o_stride, m,
-                   k, n, transpose_a, transpose_b);
-    }
-  }, /*min_chunk=*/1);
+  BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n, transpose_a,
+              transpose_b, a.dim(1) * a.dim(2), b.dim(1) * b.dim(2));
   return out;
 }
 

@@ -6,7 +6,7 @@
 #include <limits>
 
 #include "core/check.h"
-#include "core/thread_pool.h"
+#include "tensor/parallel.h"
 
 namespace sstban::tensor {
 
@@ -33,7 +33,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
     const float* pb = b.data();
     float* po = out.data();
     int64_t n = out.size();
-    core::ParallelFor(0, n, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, n, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
     });
     return out;
@@ -93,7 +93,7 @@ Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = out.size();
-  core::ParallelFor(0, n, [&](int64_t lo, int64_t hi) {
+  ParallelFor(0, n, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
   });
   return out;
@@ -410,7 +410,7 @@ Tensor Softmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  core::ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
+  ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* row = pa + r * cols;
       float* orow = po + r * cols;

@@ -1,0 +1,42 @@
+#ifndef SSTBAN_TENSOR_PARALLEL_H_
+#define SSTBAN_TENSOR_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/thread_pool.h"
+
+namespace sstban::tensor {
+
+// Chunked parallel loop for tensor kernels: splits [begin, end) into
+// contiguous index ranges and runs `body(lo, hi)` across the global worker
+// pool. Thin veneer over core::ParallelFor with a grain default tuned for
+// elementwise/softmax-style loops; inherits its guarantees:
+//   - exceptions thrown by `body` propagate to the caller;
+//   - nested calls (a body that itself fans out) cannot deadlock;
+//   - which thread runs a chunk never affects the chunk's bounds or its
+//     arithmetic, so kernels that write disjoint ranges stay bitwise
+//     deterministic at any thread count.
+inline void ParallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& body,
+                        int64_t grain = 1024) {
+  core::ParallelFor(begin, end, body, grain);
+}
+
+// Per-item form for loops whose iterations are individually substantial
+// (per-request output slices, per-parameter snapshots): runs fn(i) for each
+// i in [0, n), `grain` items per scheduled chunk.
+inline void ParallelForEachIndex(int64_t n,
+                                 const std::function<void(int64_t)>& fn,
+                                 int64_t grain = 1) {
+  core::ParallelFor(
+      0, n,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace sstban::tensor
+
+#endif  // SSTBAN_TENSOR_PARALLEL_H_

@@ -9,26 +9,34 @@
 #include "core/timer.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace sstban::training {
 
 namespace {
 
-// Deep-copies current parameter values (for best-epoch restoration).
+// Deep-copies current parameter values (for best-epoch restoration). The
+// copies are independent per parameter, so fan them out across the pool —
+// best-epoch snapshots happen once per improving epoch on every model size.
 std::vector<tensor::Tensor> SnapshotParams(
     const std::vector<autograd::Variable>& params) {
-  std::vector<tensor::Tensor> snapshot;
-  snapshot.reserve(params.size());
-  for (const auto& p : params) snapshot.push_back(p.value().Clone());
+  std::vector<tensor::Tensor> snapshot(params.size());
+  tensor::ParallelForEachIndex(
+      static_cast<int64_t>(params.size()), [&](int64_t i) {
+        snapshot[static_cast<size_t>(i)] =
+            params[static_cast<size_t>(i)].value().Clone();
+      });
   return snapshot;
 }
 
 void RestoreParams(std::vector<autograd::Variable>& params,
                    const std::vector<tensor::Tensor>& snapshot) {
   SSTBAN_CHECK_EQ(params.size(), snapshot.size());
-  for (size_t i = 0; i < params.size(); ++i) {
-    params[i].mutable_value().CopyFrom(snapshot[i]);
-  }
+  tensor::ParallelForEachIndex(
+      static_cast<int64_t>(params.size()), [&](int64_t i) {
+        params[static_cast<size_t>(i)].mutable_value().CopyFrom(
+            snapshot[static_cast<size_t>(i)]);
+      });
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -192,6 +195,119 @@ TEST(ThreadPoolTest, StressManyScheduleWaitRoundsFromMultipleProducers) {
   for (auto& producer : producers) producer.join();
   pool.Wait();
   EXPECT_EQ(counter.load(), kProducers * kRounds * kTasksPerRound);
+}
+
+// Regression: tasks scheduled *from inside* running tasks used to be
+// invisible to a concurrent Wait(), which could return while the chain was
+// still growing. Wait() must observe the whole chain because each link is
+// enqueued before its parent finishes (and thus before pending can drain).
+TEST(ThreadPoolTest, WaitSeesTasksScheduledFromTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  constexpr int kDepth = 64;
+  std::function<void(int)> chain = [&](int remaining) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    counter.fetch_add(1);
+    if (remaining > 0) pool.Schedule([&chain, remaining] { chain(remaining - 1); });
+  };
+  pool.Schedule([&chain] { chain(kDepth - 1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kDepth);
+}
+
+// Regression: Wait() called from inside a pool task used to deadlock — the
+// caller's own in-flight task kept `pending` above zero forever. Now the
+// caller helps drain the queue and excludes its own stack from the wait.
+TEST(ThreadPoolTest, WaitFromInsideTaskDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> subtasks_done{0};
+  std::atomic<bool> inner_wait_returned{false};
+  pool.Schedule([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Schedule([&subtasks_done] { subtasks_done.fetch_add(1); });
+    }
+    pool.Wait();  // must not wait on the task this lambda runs inside
+    EXPECT_EQ(subtasks_done.load(), 8);
+    inner_wait_returned.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(inner_wait_returned.load());
+  EXPECT_EQ(subtasks_done.load(), 8);
+}
+
+// RunAndWait from inside RunAndWait tasks: every level must complete, with
+// blocked callers executing queued work instead of idling (otherwise a pool
+// whose threads are all blocked in nested waits would deadlock).
+TEST(ThreadPoolTest, NestedRunAndWaitCompletesAllLevels) {
+  ThreadPool pool(2);
+  constexpr int kOuter = 6, kInner = 5;
+  std::atomic<int> inner_done{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < kOuter; ++i) {
+    outer.push_back([&pool, &inner_done] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < kInner; ++j) {
+        inner.push_back([&inner_done] {
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+          inner_done.fetch_add(1);
+        });
+      }
+      pool.RunAndWait(std::move(inner));
+    });
+  }
+  pool.RunAndWait(std::move(outer));
+  EXPECT_EQ(inner_done.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, RunAndWaitPropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back([i, &completed] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.RunAndWait(std::move(tasks)), std::runtime_error);
+  // All non-throwing tasks still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 1000, [](int64_t lo, int64_t) {
+        if (lo == 0) throw std::runtime_error("body failed");
+      }, /*min_chunk=*/8),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCoversAllRanges) {
+  constexpr int64_t kOuter = 8, kInner = 500;
+  std::vector<std::atomic<int64_t>> sums(kOuter);
+  ParallelFor(0, kOuter, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ParallelFor(0, kInner, [&, i](int64_t jlo, int64_t jhi) {
+        int64_t local = 0;
+        for (int64_t j = jlo; j < jhi; ++j) local += j;
+        sums[i].fetch_add(local);
+      }, /*min_chunk=*/16);
+    }
+  }, /*min_chunk=*/1);
+  for (int64_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(sums[i].load(), kInner * (kInner - 1) / 2) << "outer " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelismCapForcesInlineExecution) {
+  SetParallelismCapForTesting(1);
+  std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  ParallelFor(0, 100000, [&](int64_t, int64_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  }, /*min_chunk=*/16);
+  SetParallelismCapForTesting(0);
+  EXPECT_TRUE(all_inline);
 }
 
 TEST(HistogramTest, CountSumMinMax) {

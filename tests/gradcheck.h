@@ -53,6 +53,53 @@ inline void ExpectGradientsMatch(
   }
 }
 
+// Verifies analytic *parameter* gradients against central finite differences
+// for a module whose forward is captured in `fn` (a scalar-valued closure over
+// the module's current parameter values). Unlike ExpectGradientsMatch, the
+// leaves here are the module's own registered parameters, so this exercises
+// gradient accumulation through shared weights (e.g. attention projections
+// reused across heads).
+//
+//   fn: rebuilds the scalar loss from the module's current parameter values.
+//   params: the module's parameters (perturbed in place, always restored).
+//   max_probes_per_param: large parameters are stride-sampled down to this
+//     many probes so whole-block checks stay fast; <=0 means probe everything.
+inline void ExpectParameterGradientsMatch(
+    const std::function<autograd::Variable()>& fn,
+    std::vector<autograd::Variable> params, float eps = 1e-2f,
+    float tol = 2e-2f, int64_t max_probes_per_param = 0) {
+  // One analytic backward pass against the live parameters.
+  for (auto& p : params) p.ZeroGrad();
+  autograd::Variable out = fn();
+  ASSERT_EQ(out.size(), 1) << "gradcheck needs a scalar output";
+  out.Backward();
+
+  for (size_t which = 0; which < params.size(); ++which) {
+    ASSERT_TRUE(params[which].has_grad()) << "no grad for parameter " << which;
+    tensor::Tensor analytic = params[which].grad().Clone();
+    float* values = params[which].mutable_value().data();
+    int64_t n = params[which].size();
+    int64_t stride = 1;
+    if (max_probes_per_param > 0 && n > max_probes_per_param) {
+      stride = (n + max_probes_per_param - 1) / max_probes_per_param;
+    }
+    for (int64_t i = 0; i < n; i += stride) {
+      float saved = values[i];
+      auto probe = [&](float delta) {
+        values[i] = saved + delta;
+        autograd::NoGradGuard no_grad;
+        return fn().item();
+      };
+      float numeric = (probe(eps) - probe(-eps)) / (2.0f * eps);
+      values[i] = saved;
+      float a = analytic.data()[i];
+      float scale = std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+      EXPECT_NEAR(a, numeric, tol * scale)
+          << "parameter " << which << " element " << i;
+    }
+  }
+}
+
 }  // namespace sstban::testing
 
 #endif  // SSTBAN_TESTS_GRADCHECK_H_

@@ -1,8 +1,10 @@
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -21,6 +23,24 @@ Tensor NaiveMatmul(const Tensor& a, const Tensor& b) {
       c.at({i, j}) = static_cast<float>(acc);
     }
   return c;
+}
+
+// Runs `fn` with ParallelFor capped to `cap` chunks (1 = fully sequential on
+// the calling thread), restoring the uncapped default after.
+Tensor WithParallelismCap(int cap, const std::function<Tensor()>& fn) {
+  core::SetParallelismCapForTesting(cap);
+  Tensor result = fn();
+  core::SetParallelismCapForTesting(0);
+  return result;
+}
+
+// Exact float equality, element by element (bitwise for all non-NaN data).
+void ExpectIdentical(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  std::vector<float> va = a.ToVector(), vb = b.ToVector();
+  for (size_t i = 0; i < va.size(); ++i) {
+    ASSERT_EQ(va[i], vb[i]) << what << " element " << i;
+  }
 }
 
 TEST(MatmulTest, SmallKnownResult) {
@@ -81,6 +101,164 @@ INSTANTIATE_TEST_SUITE_P(
     AllTransposeCombosAndKernelSizes, BmmTransposeTest,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(1, 2, 3, 4, 6, 8, 11)));
+
+// -- Parallel-vs-sequential equivalence ------------------------------------
+//
+// The parallel kernels partition work over row blocks and batch entries
+// only; each output element's arithmetic is identical whichever thread
+// computes it, so parallel results must equal the sequential path bit for
+// bit — checked with exact float equality, across odd/prime extents that
+// stress tile and micro-kernel remainders on both sides of the tiled-path
+// cutoff.
+
+TEST(MatmulTest, ParallelMatchesSequentialExactlyOnOddShapes) {
+  core::Rng rng(11);
+  const std::vector<int64_t> ms = {1, 2, 3, 5, 7, 13, 31, 64, 65, 97, 131};
+  const std::vector<int64_t> ks = {1, 2, 3, 7, 8, 17, 33, 64};
+  const std::vector<int64_t> ns = {1, 3, 5, 8, 17, 31, 65};
+  for (int64_t m : ms) {
+    for (int64_t k : ks) {
+      for (int64_t n : ns) {
+        Tensor a = Tensor::RandomNormal(Shape{m, k}, rng);
+        Tensor b = Tensor::RandomNormal(Shape{k, n}, rng);
+        Tensor seq = WithParallelismCap(1, [&] { return Matmul(a, b); });
+        Tensor par = WithParallelismCap(0, [&] { return Matmul(a, b); });
+        ExpectIdentical(par, seq,
+                        "matmul " + std::to_string(m) + "x" +
+                            std::to_string(k) + "x" + std::to_string(n));
+      }
+    }
+  }
+}
+
+TEST(MatmulTest, TiledPathMatchesNaiveOnLargeOddShapes) {
+  core::Rng rng(12);
+  for (auto [m, k, n] : std::vector<std::tuple<int, int, int>>{
+           {67, 31, 29}, {131, 65, 19}, {257, 17, 67}, {73, 259, 33}}) {
+    Tensor a = Tensor::RandomNormal(Shape{m, k}, rng);
+    Tensor b = Tensor::RandomNormal(Shape{k, n}, rng);
+    EXPECT_TRUE(AllClose(Matmul(a, b), NaiveMatmul(a, b), 1e-2f, 1e-3f))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+class BmmEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmEquivalenceTest, ParallelMatchesSequentialExactly) {
+  auto [ta, tb] = GetParam();
+  core::Rng rng(13 + 2 * ta + tb);
+  const std::vector<int64_t> batches = {1, 3};
+  const std::vector<int64_t> ms = {1, 3, 13, 64, 65};
+  const std::vector<int64_t> ks = {1, 5, 8, 37};
+  const std::vector<int64_t> ns = {1, 7, 31, 65};
+  for (int64_t batch : batches) {
+    for (int64_t m : ms) {
+      for (int64_t k : ks) {
+        for (int64_t n : ns) {
+          Shape a_shape = ta ? Shape{batch, k, m} : Shape{batch, m, k};
+          Shape b_shape = tb ? Shape{batch, n, k} : Shape{batch, k, n};
+          Tensor a = Tensor::RandomNormal(a_shape, rng);
+          Tensor b = Tensor::RandomNormal(b_shape, rng);
+          Tensor seq = WithParallelismCap(1, [&] { return Bmm(a, b, ta, tb); });
+          Tensor par = WithParallelismCap(0, [&] { return Bmm(a, b, ta, tb); });
+          ExpectIdentical(par, seq,
+                          "bmm b=" + std::to_string(batch) + " " +
+                              std::to_string(m) + "x" + std::to_string(k) +
+                              "x" + std::to_string(n) + " ta=" +
+                              std::to_string(ta) + " tb=" + std::to_string(tb));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BmmEquivalenceTest, LargeShapesMatchNaivePerBatch) {
+  auto [ta, tb] = GetParam();
+  core::Rng rng(17 + 2 * ta + tb);
+  const int64_t batch = 2, m = 97, k = 33, n = 41;
+  Shape a_shape = ta ? Shape{batch, k, m} : Shape{batch, m, k};
+  Shape b_shape = tb ? Shape{batch, n, k} : Shape{batch, k, n};
+  Tensor a = Tensor::RandomNormal(a_shape, rng);
+  Tensor b = Tensor::RandomNormal(b_shape, rng);
+  Tensor c = Bmm(a, b, ta, tb);
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    Tensor a2 = Slice(a, 0, bi, 1).Reshape(Shape{a_shape.dim(1), a_shape.dim(2)});
+    Tensor b2 = Slice(b, 0, bi, 1).Reshape(Shape{b_shape.dim(1), b_shape.dim(2)});
+    if (ta) a2 = Transpose(a2);
+    if (tb) b2 = Transpose(b2);
+    EXPECT_TRUE(AllClose(Slice(c, 0, bi, 1).Reshape(Shape{m, n}),
+                         NaiveMatmul(a2, b2), 1e-2f, 1e-3f))
+        << "batch " << bi << " ta=" << ta << " tb=" << tb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmEquivalenceTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// -- Edge shapes ------------------------------------------------------------
+
+TEST(MatmulTest, EmptyAndDegenerateShapes) {
+  core::Rng rng(19);
+  // Zero rows / zero columns: a well-formed empty result.
+  Tensor a0 = Tensor::Zeros(Shape{0, 5});
+  Tensor b = Tensor::RandomNormal(Shape{5, 3}, rng);
+  EXPECT_EQ(Matmul(a0, b).shape(), Shape({0, 3}));
+  Tensor a = Tensor::RandomNormal(Shape{4, 5}, rng);
+  Tensor bn0 = Tensor::Zeros(Shape{5, 0});
+  EXPECT_EQ(Matmul(a, bn0).shape(), Shape({4, 0}));
+  // Zero inner dimension: an all-zeros result (the empty sum).
+  Tensor ak0 = Tensor::Zeros(Shape{4, 0});
+  Tensor bk0 = Tensor::Zeros(Shape{0, 3});
+  Tensor ck0 = Matmul(ak0, bk0);
+  ASSERT_EQ(ck0.shape(), Shape({4, 3}));
+  for (float v : ck0.ToVector()) EXPECT_EQ(v, 0.0f);
+  // 1x1 everything.
+  Tensor one = Matmul(Tensor::Full(Shape{1, 1}, 3.0f),
+                      Tensor::Full(Shape{1, 1}, -2.0f));
+  EXPECT_FLOAT_EQ(one.at({0, 0}), -6.0f);
+}
+
+TEST(BmmTest, EmptyAndDegenerateShapes) {
+  // Zero batch.
+  Tensor c0 = Bmm(Tensor::Zeros(Shape{0, 3, 4}), Tensor::Zeros(Shape{0, 4, 5}));
+  EXPECT_EQ(c0.shape(), Shape({0, 3, 5}));
+  // Zero inner dim with transpose flags.
+  Tensor ck0 = Bmm(Tensor::Zeros(Shape{2, 0, 3}), Tensor::Zeros(Shape{2, 4, 0}),
+                   /*transpose_a=*/true, /*transpose_b=*/true);
+  ASSERT_EQ(ck0.shape(), Shape({2, 3, 4}));
+  for (float v : ck0.ToVector()) EXPECT_EQ(v, 0.0f);
+  // 1x1x1 batch entries.
+  Tensor c1 = Bmm(Tensor::Full(Shape{3, 1, 1}, 2.0f),
+                  Tensor::Full(Shape{3, 1, 1}, 5.0f));
+  ASSERT_EQ(c1.shape(), Shape({3, 1, 1}));
+  for (float v : c1.ToVector()) EXPECT_FLOAT_EQ(v, 10.0f);
+}
+
+// -- Threaded callers -------------------------------------------------------
+
+// Kernels are invoked from inside pool tasks throughout the codebase (the
+// serving batcher's forward pass, nested autograd ops). A kernel that fans
+// out to the pool from within a pool task must help drain the queue rather
+// than deadlock waiting on itself.
+TEST(MatmulTest, KernelsInvokedFromInsidePoolTasksDoNotDeadlock) {
+  core::Rng rng(23);
+  Tensor a = Tensor::RandomNormal(Shape{131, 65}, rng);
+  Tensor b = Tensor::RandomNormal(Shape{65, 67}, rng);
+  Tensor expected = Matmul(a, b);
+  constexpr int64_t kCallers = 8;
+  std::vector<Tensor> results(kCallers);
+  // Outer ParallelFor occupies pool threads; each body runs a full parallel
+  // matmul (which fans out again) from inside a pool task.
+  core::ParallelFor(0, kCallers, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) results[i] = Matmul(a, b);
+  }, /*min_chunk=*/1);
+  for (int64_t i = 0; i < kCallers; ++i) {
+    ExpectIdentical(results[i], expected,
+                    "threaded caller " + std::to_string(i));
+  }
+}
 
 TEST(BmmTest, BatchesAreIndependent) {
   core::Rng rng(9);

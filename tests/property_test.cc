@@ -3,14 +3,20 @@
 // TEST_P so each property runs across a grid of configurations.
 
 #include <cmath>
+#include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
+#include "data/dataset.h"
+#include "sstban/config.h"
 #include "sstban/masking.h"
+#include "sstban/model.h"
 #include "sstban/stba_block.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
@@ -218,6 +224,90 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, StbaShapeProperty,
     ::testing::Combine(::testing::Values(1, 3), ::testing::Values(2, 9),
                        ::testing::Values(1, 6)));
+
+// -- Thread-count determinism -------------------------------------------------
+
+struct TrainingRunResult {
+  float loss;
+  std::vector<std::pair<std::string, t::Tensor>> grads;
+};
+
+// One full SSTBAN forward + backward from a fresh model. Model init and the
+// masking RNG are functions of the config seed, so two runs differ only if
+// the kernels themselves are nondeterministic.
+TrainingRunResult RunTrainingStep(int parallelism_cap) {
+  core::SetParallelismCapForTesting(parallelism_cap);
+  sstban::SstbanConfig c;
+  c.num_nodes = 5;
+  c.input_len = 8;
+  c.output_len = 8;
+  c.num_features = 1;
+  c.steps_per_day = 12;
+  c.hidden_dim = 4;
+  c.num_heads = 2;
+  c.encoder_blocks = 1;
+  c.decoder_blocks = 1;
+  c.recon_blocks = 1;
+  c.temporal_refs = 2;
+  c.spatial_refs = 2;
+  c.patch_len = 2;
+  c.mask_rate = 0.3;
+  c.lambda = 0.2;
+  sstban::SstbanModel model(c);
+  data::Batch batch;
+  core::Rng rng(42);
+  batch.x = t::Tensor::RandomNormal(
+      t::Shape{2, c.input_len, c.num_nodes, c.num_features}, rng);
+  batch.y = t::Tensor::RandomNormal(
+      t::Shape{2, c.output_len, c.num_nodes, c.num_features}, rng);
+  for (int64_t i = 0; i < 2 * c.input_len; ++i) {
+    batch.tod_in.push_back(i % c.steps_per_day);
+    batch.dow_in.push_back((i / c.steps_per_day) % 7);
+  }
+  for (int64_t i = 0; i < 2 * c.output_len; ++i) {
+    batch.tod_out.push_back((i + 3) % c.steps_per_day);
+    batch.dow_out.push_back(((i + 3) / c.steps_per_day) % 7);
+  }
+  ag::Variable loss = model.TrainingLoss(batch.x, batch.y, batch);
+  model.ZeroGrad();
+  loss.Backward();
+  TrainingRunResult result;
+  result.loss = loss.item();
+  for (auto& [name, p] : model.NamedParameters()) {
+    result.grads.emplace_back(name, p.grad().Clone());
+  }
+  core::SetParallelismCapForTesting(0);
+  return result;
+}
+
+void ExpectBitwiseIdentical(const TrainingRunResult& a,
+                            const TrainingRunResult& b,
+                            const std::string& what) {
+  // Exact float equality: the kernels promise bitwise determinism, so any
+  // drift — even 1 ulp — is a partitioning bug, not acceptable noise.
+  EXPECT_EQ(a.loss, b.loss) << what;
+  ASSERT_EQ(a.grads.size(), b.grads.size()) << what;
+  for (size_t g = 0; g < a.grads.size(); ++g) {
+    ASSERT_EQ(a.grads[g].first, b.grads[g].first) << what;
+    const t::Tensor& ta = a.grads[g].second;
+    const t::Tensor& tb = b.grads[g].second;
+    ASSERT_EQ(ta.shape(), tb.shape()) << what << ": " << a.grads[g].first;
+    for (int64_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta.data()[i], tb.data()[i])
+          << what << ": grad " << a.grads[g].first << " element " << i;
+    }
+  }
+}
+
+TEST(DeterminismProperty, TrainingStepIsBitwiseIdenticalAcrossThreadCounts) {
+  TrainingRunResult sequential = RunTrainingStep(/*parallelism_cap=*/1);
+  TrainingRunResult parallel = RunTrainingStep(/*parallelism_cap=*/8);
+  TrainingRunResult parallel_again = RunTrainingStep(/*parallelism_cap=*/8);
+  EXPECT_GT(sequential.grads.size(), 0u);
+  EXPECT_TRUE(std::isfinite(sequential.loss));
+  ExpectBitwiseIdentical(sequential, parallel, "1 thread vs 8 threads");
+  ExpectBitwiseIdentical(parallel, parallel_again, "8 threads run-to-run");
+}
 
 }  // namespace
 }  // namespace sstban
