@@ -136,7 +136,7 @@ Variable Square(const Variable& a) {
 Variable Relu(const Variable& a) {
   NodePtr na = a.node();
   return MakeOp("relu", t::Relu(a.value()), {a}, [na](Node& n) {
-    t::Tensor gate(na->value.shape());
+    t::Tensor gate = t::Tensor::Empty(na->value.shape());
     const float* px = na->value.data();
     float* pg = gate.data();
     for (int64_t i = 0; i < gate.size(); ++i) pg[i] = px[i] > 0 ? 1.0f : 0.0f;
@@ -317,7 +317,7 @@ Variable Dropout(const Variable& a, float p, core::Rng& rng, bool training) {
   if (!training || p <= 0.0f) return a;
   SSTBAN_CHECK_LT(p, 1.0f);
   float scale = 1.0f / (1.0f - p);
-  t::Tensor mask(a.shape());
+  t::Tensor mask = t::Tensor::Empty(a.shape());
   float* pm = mask.data();
   for (int64_t i = 0; i < mask.size(); ++i) {
     pm[i] = rng.NextDouble() < p ? 0.0f : scale;
@@ -334,7 +334,7 @@ Variable EmbeddingLookup(const Variable& weight,
   int64_t vocab = weight.dim(0);
   int64_t dim = weight.dim(1);
   int64_t n = static_cast<int64_t>(indices.size());
-  t::Tensor out(t::Shape{n, dim});
+  t::Tensor out = t::Tensor::Empty(t::Shape{n, dim});
   const float* pw = weight.value().data();
   float* po = out.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -372,7 +372,9 @@ Variable Conv1dTime(const Variable& input, const Variable& weight,
     SSTBAN_CHECK_EQ(bias.rank(), 1);
     SSTBAN_CHECK_EQ(bias.dim(0), cout);
   }
-  t::Tensor out(t::Shape{batch, t_out, cout});
+  // Zeroed on purpose: rows accumulate across kernel taps (and start
+  // from zero when there is no bias).
+  t::Tensor out = t::Tensor::Zeros(t::Shape{batch, t_out, cout});
   const float* px = input.value().data();
   const float* pw = weight.value().data();
   float* po = out.data();
@@ -450,7 +452,7 @@ Variable Conv1dTime(const Variable& input, const Variable& weight,
 
 Variable Softplus(const Variable& a) {
   NodePtr na = a.node();
-  t::Tensor y(a.shape());
+  t::Tensor y = t::Tensor::Empty(a.shape());
   const float* px = a.value().data();
   float* py = y.data();
   int64_t n = y.size();
@@ -499,7 +501,7 @@ Variable HuberLoss(const Variable& pred, const Variable& target, float delta) {
 Variable MaskedMaeLoss(const Variable& pred, const Variable& target,
                        float threshold) {
   SSTBAN_CHECK(pred.shape() == target.shape());
-  t::Tensor mask(target.shape());
+  t::Tensor mask = t::Tensor::Empty(target.shape());
   const float* pt = target.value().data();
   float* pm = mask.data();
   int64_t n = mask.size();

@@ -32,8 +32,8 @@ void VarModel::Fit(const data::WindowDataset& windows,
   int64_t cols = lag_ * dim + 1;
 
   // Design matrix X [rows, cols]: lagged vectors newest-first, plus bias.
-  t::Tensor x(t::Shape{rows, cols});
-  t::Tensor y(t::Shape{rows, dim});
+  t::Tensor x = t::Tensor::Empty(t::Shape{rows, cols});
+  t::Tensor y = t::Tensor::Empty(t::Shape{rows, dim});
   const float* ps = series.data();
   float* px = x.data();
   float* py = y.data();
@@ -70,7 +70,7 @@ autograd::Variable VarModel::Predict(const tensor::Tensor& x_norm,
   SSTBAN_CHECK_GE(p, lag_);
   int64_t cols = lag_ * dim + 1;
 
-  t::Tensor pred(t::Shape{batch_size, q, n, c});
+  t::Tensor pred = t::Tensor::Empty(t::Shape{batch_size, q, n, c});
   const float* px = x_norm.data();
   const float* pw = coeffs_.data();
   float* pp = pred.data();

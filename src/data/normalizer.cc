@@ -35,7 +35,7 @@ Normalizer Normalizer::Fit(const tensor::Tensor& signals) {
 tensor::Tensor Normalizer::Transform(const tensor::Tensor& x) const {
   int64_t feats = num_features();
   SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), feats);
-  tensor::Tensor out(x.shape());
+  tensor::Tensor out = tensor::Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
   int64_t rows = x.size() / feats;
@@ -50,7 +50,7 @@ tensor::Tensor Normalizer::Transform(const tensor::Tensor& x) const {
 tensor::Tensor Normalizer::InverseTransform(const tensor::Tensor& x) const {
   int64_t feats = num_features();
   SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), feats);
-  tensor::Tensor out(x.shape());
+  tensor::Tensor out = tensor::Tensor::Empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
   int64_t rows = x.size() / feats;

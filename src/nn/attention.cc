@@ -64,7 +64,8 @@ ag::Variable MultiHeadAttention::Forward(const ag::Variable& q,
     SSTBAN_CHECK_EQ(key_mask->dim(0), batch);
     SSTBAN_CHECK_EQ(key_mask->dim(1), lk);
     // Expand [B, Lk] -> additive [B*h, Lq, Lk]: excluded keys get -1e9.
-    t::Tensor additive(t::Shape{batch * num_heads_, lq, lk});
+    t::Tensor additive =
+        t::Tensor::Empty(t::Shape{batch * num_heads_, lq, lk});
     const float* pm = key_mask->data();
     float* pa = additive.data();
     int64_t rows = batch * num_heads_ * lq;

@@ -1,5 +1,6 @@
 #include "serving/server_stats.h"
 
+#include "core/memory_tracker.h"
 #include "core/string_util.h"
 
 namespace sstban::serving {
@@ -96,6 +97,20 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
       snap.elapsed_seconds > 0.0
           ? static_cast<double>(snap.completed) / snap.elapsed_seconds
           : 0.0;
+  const core::MemoryTracker& mem = core::MemoryTracker::Global();
+  snap.memory.live_bytes = mem.live_bytes();
+  snap.memory.peak_bytes = mem.peak_bytes();
+  snap.memory.pool_hits = mem.pool_hits();
+  snap.memory.pool_misses = mem.pool_misses();
+  int64_t pool_requests = snap.memory.pool_hits + snap.memory.pool_misses;
+  snap.memory.pool_hit_rate =
+      pool_requests > 0
+          ? static_cast<double>(snap.memory.pool_hits) / pool_requests
+          : 0.0;
+  snap.memory.pool_recycled_bytes = mem.pool_recycled_bytes();
+  snap.memory.pool_resident_bytes = mem.pool_resident_bytes();
+  snap.memory.pool_peak_resident_bytes = mem.pool_peak_resident_bytes();
+  snap.memory.heap_allocs = mem.heap_allocs();
   return snap;
 }
 
@@ -128,6 +143,17 @@ std::string ServerStats::ReportTable() const {
                            static_cast<long long>(s.batch_sizes[i].second));
   }
   out += "\n";
+  const MemorySummary& m = s.memory;
+  out += core::StrFormat(
+      "  memory:   live=%.1fMB peak=%.1fMB heap-allocs=%lld\n"
+      "  pool:     hits=%lld misses=%lld (%.1f%% hit)  recycled=%.1fMB  "
+      "resident=%.1fMB peak=%.1fMB\n",
+      m.live_bytes / 1e6, m.peak_bytes / 1e6,
+      static_cast<long long>(m.heap_allocs),
+      static_cast<long long>(m.pool_hits),
+      static_cast<long long>(m.pool_misses), m.pool_hit_rate * 100.0,
+      m.pool_recycled_bytes / 1e6, m.pool_resident_bytes / 1e6,
+      m.pool_peak_resident_bytes / 1e6);
   return out;
 }
 
@@ -166,7 +192,22 @@ std::string ServerStats::ReportJson() const {
                            static_cast<long long>(s.batch_sizes[i].first),
                            static_cast<long long>(s.batch_sizes[i].second));
   }
-  out += "}\n}\n";
+  out += "},\n";
+  const MemorySummary& m = s.memory;
+  out += core::StrFormat(
+      "  \"memory\": {\"live_bytes\": %lld, \"peak_bytes\": %lld, "
+      "\"heap_allocs\": %lld, \"pool_hits\": %lld, \"pool_misses\": %lld, "
+      "\"pool_hit_rate\": %.4f, \"pool_recycled_bytes\": %lld, "
+      "\"pool_resident_bytes\": %lld, \"pool_peak_resident_bytes\": %lld}\n",
+      static_cast<long long>(m.live_bytes),
+      static_cast<long long>(m.peak_bytes),
+      static_cast<long long>(m.heap_allocs),
+      static_cast<long long>(m.pool_hits),
+      static_cast<long long>(m.pool_misses), m.pool_hit_rate,
+      static_cast<long long>(m.pool_recycled_bytes),
+      static_cast<long long>(m.pool_resident_bytes),
+      static_cast<long long>(m.pool_peak_resident_bytes));
+  out += "}\n";
   return out;
 }
 

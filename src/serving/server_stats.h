@@ -48,6 +48,18 @@ class ServerStats {
     int64_t count = 0;
     double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
   };
+  // Process-wide memory picture at snapshot time, read from the global
+  // MemoryTracker: live/peak tensor bytes plus the StoragePool's recycling
+  // counters (how much allocation work the pool absorbed for the serving
+  // hot path).
+  struct MemorySummary {
+    int64_t live_bytes = 0, peak_bytes = 0;
+    int64_t pool_hits = 0, pool_misses = 0;
+    double pool_hit_rate = 0.0;  // hits / (hits + misses)
+    int64_t pool_recycled_bytes = 0;
+    int64_t pool_resident_bytes = 0, pool_peak_resident_bytes = 0;
+    int64_t heap_allocs = 0;
+  };
   struct Snapshot {
     StageSummary queue_wait, assembly, forward, end_to_end;
     int64_t accepted = 0, completed = 0, batches = 0;
@@ -57,6 +69,7 @@ class ServerStats {
     std::vector<std::pair<int64_t, int64_t>> batch_sizes;  // (size, count)
     double elapsed_seconds = 0.0;
     double requests_per_second = 0.0;  // completed / elapsed
+    MemorySummary memory;
   };
   Snapshot TakeSnapshot() const;
 

@@ -77,7 +77,7 @@ SstbanModel::ForwardOutput SstbanModel::ForwardTwoBranch(
 
   // -- Self-supervised branch --------------------------------------------
   // Per-sample spacetime patch masks, concatenated to [B, P, N, C].
-  t::Tensor mask(t::Shape{batch_size, p, n, c});
+  t::Tensor mask = t::Tensor::Empty(t::Shape{batch_size, p, n, c});
   for (int64_t b = 0; b < batch_size; ++b) {
     t::Tensor sample =
         GenerateMask(p, n, c, config_.patch_len, config_.mask_rate,
@@ -87,8 +87,8 @@ SstbanModel::ForwardOutput SstbanModel::ForwardTwoBranch(
   }
   // Position-level keep masks: a position is observed if any of its
   // channels survived masking.
-  t::Tensor keep_pos(t::Shape{batch_size, p, n});
-  t::Tensor keep_latent(t::Shape{batch_size, p, n, 1});
+  t::Tensor keep_pos = t::Tensor::Empty(t::Shape{batch_size, p, n});
+  t::Tensor keep_latent = t::Tensor::Empty(t::Shape{batch_size, p, n, 1});
   {
     const float* pm = mask.data();
     float* pk = keep_pos.data();

@@ -344,7 +344,9 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   SSTBAN_CHECK_EQ(b.dim(0), k)
       << "matmul inner dims:" << a.shape().ToString() << "x" << b.shape().ToString();
   int64_t n = b.dim(1);
-  Tensor out(Shape{m, n});
+  // Zeroed on purpose (pool-side AllocateZeroed): every kernel below
+  // accumulates into C, so Tensor::Empty would read garbage.
+  Tensor out = Tensor::Zeros(Shape{m, n});
   BatchedGemm(a.data(), b.data(), out.data(), /*batch=*/1, m, k, n,
               /*ta=*/false, /*tb=*/false, 0, 0);
   return out;
@@ -362,7 +364,8 @@ Tensor Bmm(const Tensor& a, const Tensor& b, bool transpose_a,
   int64_t n = transpose_b ? b.dim(1) : b.dim(2);
   SSTBAN_CHECK_EQ(k, kb) << "bmm inner dims:" << a.shape().ToString() << "x"
                          << b.shape().ToString();
-  Tensor out(Shape{batch, m, n});
+  // Zeroed on purpose: the GEMM kernels accumulate into C.
+  Tensor out = Tensor::Zeros(Shape{batch, m, n});
   BatchedGemm(a.data(), b.data(), out.data(), batch, m, k, n, transpose_a,
               transpose_b, a.dim(1) * a.dim(2), b.dim(1) * b.dim(2));
   return out;

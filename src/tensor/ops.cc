@@ -28,7 +28,7 @@ template <typename BinaryFn>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -42,7 +42,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
   // equals a's shape, i.e. b does not carry extra leading axes.
   if (b.size() == 1 && b.rank() <= a.rank()) {
     float s = b.data()[0];
-    Tensor out(a.shape());
+    Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     float* po = out.data();
     int64_t n = out.size();
@@ -51,7 +51,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
   }
   if (a.size() == 1 && a.rank() <= b.rank()) {
     float s = a.data()[0];
-    Tensor out(b.shape());
+    Tensor out = Tensor::Empty(b.shape());
     const float* pb = b.data();
     float* po = out.data();
     int64_t n = out.size();
@@ -60,7 +60,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
   }
   // General broadcast path with odometer iteration.
   Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   std::vector<int64_t> sa = BroadcastStrides(a.shape(), out_shape);
   std::vector<int64_t> sb = BroadcastStrides(b.shape(), out_shape);
   int rank = out_shape.rank();
@@ -89,7 +89,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFn fn) {
 
 template <typename UnaryFn>
 Tensor UnaryOp(const Tensor& a, UnaryFn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   int64_t n = out.size();
@@ -216,7 +216,7 @@ Tensor Sum(const Tensor& a, int axis, bool keepdim) {
   axis = a.shape().CanonicalAxis(axis);
   int64_t outer, mid, inner;
   AxisGeometry(a.shape(), axis, &outer, &mid, &inner);
-  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  Tensor out = Tensor::Empty(ReducedShape(a.shape(), axis, keepdim));
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -242,7 +242,7 @@ Tensor Max(const Tensor& a, int axis, bool keepdim) {
   int64_t outer, mid, inner;
   AxisGeometry(a.shape(), axis, &outer, &mid, &inner);
   SSTBAN_CHECK_GT(mid, 0);
-  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  Tensor out = Tensor::Empty(ReducedShape(a.shape(), axis, keepdim));
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -291,7 +291,7 @@ Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
     seen[perm[i]] = true;
     new_dims[i] = a.shape().dims()[perm[i]];
   }
-  Tensor out{Shape(new_dims)};
+  Tensor out = Tensor::Empty(Shape(new_dims));
   std::vector<int64_t> in_strides = a.shape().Strides();
   // Stride in the input for a unit step along each output axis.
   std::vector<int64_t> step(rank);
@@ -357,7 +357,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   }
   std::vector<int64_t> out_dims = parts[0].shape().dims();
   out_dims[axis] = axis_total;
-  Tensor out{Shape(out_dims)};
+  Tensor out = Tensor::Empty(Shape(out_dims));
   int64_t outer, mid_unused, inner;
   AxisGeometry(out.shape(), axis, &outer, &mid_unused, &inner);
   float* po = out.data();
@@ -383,7 +383,7 @@ Tensor Slice(const Tensor& a, int axis, int64_t start, int64_t length) {
       << axis_size;
   std::vector<int64_t> out_dims = a.shape().dims();
   out_dims[axis] = length;
-  Tensor out{Shape(out_dims)};
+  Tensor out = Tensor::Empty(Shape(out_dims));
   int64_t outer, mid, inner;
   AxisGeometry(a.shape(), axis, &outer, &mid, &inner);
   const float* pa = a.data();
@@ -399,15 +399,30 @@ Tensor RepeatAxis(const Tensor& a, int axis, int64_t repeats) {
   axis = a.shape().CanonicalAxis(axis);
   SSTBAN_CHECK_EQ(a.shape().dims()[axis], 1)
       << "RepeatAxis requires size-1 axis";
-  std::vector<Tensor> parts(static_cast<size_t>(repeats), a);
-  return Concat(parts, axis);
+  SSTBAN_CHECK_GE(repeats, 1);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[axis] = repeats;
+  Tensor out = Tensor::Empty(Shape(std::move(out_dims)));
+  int64_t outer, mid, inner;
+  AxisGeometry(a.shape(), axis, &outer, &mid, &inner);
+  const float* pa = a.data();
+  float* po = out.data();
+  size_t run_bytes = static_cast<size_t>(inner) * sizeof(float);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pa + o * inner;
+    float* dst = po + o * repeats * inner;
+    for (int64_t r = 0; r < repeats; ++r) {
+      std::memcpy(dst + r * inner, src, run_bytes);
+    }
+  }
+  return out;
 }
 
 Tensor Softmax(const Tensor& a) {
   SSTBAN_CHECK_GE(a.rank(), 1);
   int64_t cols = a.shape().dims()[a.rank() - 1];
   int64_t rows = a.size() / cols;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {

@@ -1,22 +1,28 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
 #include "core/check.h"
 #include "core/memory_tracker.h"
+#include "core/storage_pool.h"
 
 namespace sstban::tensor {
 
 namespace internal {
 
-Storage::Storage(int64_t num_elements)
-    : data_(new float[num_elements]()), num_elements_(num_elements) {
+Storage::Storage(int64_t num_elements, Init init)
+    : num_elements_(num_elements) {
+  core::StoragePool& pool = core::StoragePool::Global();
+  data_ = init == Init::kZeroed ? pool.AllocateZeroed(num_elements, &capacity_)
+                                : pool.Allocate(num_elements, &capacity_);
   core::MemoryTracker::Global().OnAlloc(num_elements_ *
                                         static_cast<int64_t>(sizeof(float)));
 }
 
 Storage::~Storage() {
+  core::StoragePool::Global().Release(data_, capacity_);
   core::MemoryTracker::Global().OnFree(num_elements_ *
                                        static_cast<int64_t>(sizeof(float)));
 }
@@ -27,12 +33,19 @@ Tensor::Tensor(Shape shape)
     : storage_(std::make_shared<internal::Storage>(shape.NumElements())),
       shape_(std::move(shape)) {}
 
+Tensor Tensor::Empty(Shape shape) {
+  int64_t n = shape.NumElements();
+  return Tensor(std::make_shared<internal::Storage>(
+                    n, internal::Storage::Init::kUninitialized),
+                std::move(shape));
+}
+
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -41,20 +54,20 @@ Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
 
 Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   SSTBAN_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()));
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
   return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t(Shape{n});
+  Tensor t = Empty(Shape{n});
   float* out = t.data();
   for (int64_t i = 0; i < n; ++i) out[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::RandomUniform(Shape shape, core::Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* out = t.data();
   int64_t n = t.size();
   for (int64_t i = 0; i < n; ++i) out[i] = rng.NextUniform(lo, hi);
@@ -63,7 +76,7 @@ Tensor Tensor::RandomUniform(Shape shape, core::Rng& rng, float lo, float hi) {
 
 Tensor Tensor::RandomNormal(Shape shape, core::Rng& rng, float mean,
                             float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* out = t.data();
   int64_t n = t.size();
   for (int64_t i = 0; i < n; ++i) out[i] = rng.NextGaussian(mean, stddev);
@@ -113,7 +126,7 @@ Tensor Tensor::Reshape(Shape new_shape) const {
 
 Tensor Tensor::Clone() const {
   SSTBAN_CHECK(defined());
-  Tensor copy(shape_);
+  Tensor copy = Empty(shape_);
   std::memcpy(copy.data(), data(), size() * sizeof(float));
   return copy;
 }
@@ -125,11 +138,7 @@ void Tensor::CopyFrom(const Tensor& src) {
   std::memcpy(data(), src.data(), size() * sizeof(float));
 }
 
-void Tensor::Fill(float value) {
-  float* out = data();
-  int64_t n = size();
-  for (int64_t i = 0; i < n; ++i) out[i] = value;
-}
+void Tensor::Fill(float value) { std::fill_n(data(), size(), value); }
 
 std::vector<float> Tensor::ToVector() const {
   return std::vector<float>(data(), data() + size());

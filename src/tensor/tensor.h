@@ -13,23 +13,30 @@ namespace sstban::tensor {
 
 namespace internal {
 
-// Ref-counted float buffer. Allocation and deallocation are reported to the
-// global MemoryTracker so training-time memory footprints can be measured.
+// Ref-counted float buffer, allocated from (and recycled back to) the
+// global core::StoragePool. Logical allocation and deallocation are
+// reported to the MemoryTracker so training-time memory footprints can be
+// measured. kUninitialized skips the zero-fill for callers that fully
+// overwrite the buffer; kZeroed goes through the pool's AllocateZeroed so
+// accumulate-into-output kernels (GEMM, conv) still start from zeros.
 class Storage {
  public:
-  explicit Storage(int64_t num_elements);
+  enum class Init { kZeroed, kUninitialized };
+
+  explicit Storage(int64_t num_elements, Init init = Init::kZeroed);
   ~Storage();
 
   Storage(const Storage&) = delete;
   Storage& operator=(const Storage&) = delete;
 
-  float* data() { return data_.get(); }
-  const float* data() const { return data_.get(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
   int64_t num_elements() const { return num_elements_; }
 
  private:
-  std::unique_ptr<float[]> data_;
+  float* data_;
   int64_t num_elements_;
+  int64_t capacity_;  // size-class capacity owed back to the pool
 };
 
 }  // namespace internal
@@ -48,6 +55,12 @@ class Tensor {
   explicit Tensor(Shape shape);
 
   // -- Factories ------------------------------------------------------------
+  // Allocates storage with *unspecified* contents (no zero-fill, and the
+  // pool may hand back a recycled buffer with stale values). Only for
+  // callers that write every element before any read — see the memory
+  // model section of DESIGN.md. Ops that accumulate into their output must
+  // use Zeros instead.
+  static Tensor Empty(Shape shape);
   static Tensor Zeros(Shape shape);
   static Tensor Ones(Shape shape);
   static Tensor Full(Shape shape, float value);

@@ -12,6 +12,7 @@
 
 #include "autograd/ops.h"
 #include "core/rng.h"
+#include "core/storage_pool.h"
 #include "core/thread_pool.h"
 #include "data/dataset.h"
 #include "sstban/config.h"
@@ -307,6 +308,27 @@ TEST(DeterminismProperty, TrainingStepIsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(std::isfinite(sequential.loss));
   ExpectBitwiseIdentical(sequential, parallel, "1 thread vs 8 threads");
   ExpectBitwiseIdentical(parallel, parallel_again, "8 threads run-to-run");
+}
+
+// The storage pool must be transparent: recycled (uninitialized) buffers
+// are always fully overwritten before use, so a training step produces
+// bit-identical losses and gradients with the pool on or off — including a
+// warm pool whose buffers carry stale values from the previous run — and
+// independently of the thread count.
+TEST(DeterminismProperty, TrainingStepIsBitwiseIdenticalPoolOnVsOff) {
+  core::StoragePool& pool = core::StoragePool::Global();
+  pool.SetEnabledForTesting(true);
+  TrainingRunResult pooled_cold = RunTrainingStep(/*parallelism_cap=*/1);
+  TrainingRunResult pooled_warm = RunTrainingStep(/*parallelism_cap=*/1);
+  TrainingRunResult pooled_threads = RunTrainingStep(/*parallelism_cap=*/8);
+  pool.SetEnabledForTesting(false);
+  TrainingRunResult plain = RunTrainingStep(/*parallelism_cap=*/1);
+  pool.SetEnabledForTesting(true);
+  EXPECT_TRUE(std::isfinite(plain.loss));
+  ExpectBitwiseIdentical(plain, pooled_cold, "pool off vs cold pool");
+  ExpectBitwiseIdentical(plain, pooled_warm, "pool off vs warm pool");
+  ExpectBitwiseIdentical(plain, pooled_threads,
+                         "pool off vs warm pool, 8 threads");
 }
 
 }  // namespace
