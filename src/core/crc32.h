@@ -1,0 +1,18 @@
+#ifndef SSTBAN_CORE_CRC32_H_
+#define SSTBAN_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sstban::core {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// `seed` lets callers chain partial computations:
+//   Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+// Checkpoint files append this as a little-endian footer so a torn or
+// bit-flipped file is rejected before any of it is trusted.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_CRC32_H_

@@ -1,0 +1,206 @@
+#include "core/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/string_util.h"
+
+namespace sstban::core {
+
+namespace failpoint_internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace failpoint_internal
+
+namespace {
+
+enum class Action { kError, kCrash, kDelay };
+
+struct Armed {
+  Action action = Action::kError;
+  StatusCode code = StatusCode::kIoError;
+  int64_t delay_ms = 0;
+  int64_t nth = 0;  // 0 = every hit; N > 0 = exactly the Nth hit
+  int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Armed> armed;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool ParseStatusCode(const std::string& name, StatusCode* out) {
+  // Accepts the enumerator with or without the leading 'k'.
+  std::string n = name;
+  if (!n.empty() && n[0] == 'k') n = n.substr(1);
+  static const std::map<std::string, StatusCode> kCodes = {
+      {"InvalidArgument", StatusCode::kInvalidArgument},
+      {"NotFound", StatusCode::kNotFound},
+      {"IoError", StatusCode::kIoError},
+      {"FailedPrecondition", StatusCode::kFailedPrecondition},
+      {"OutOfRange", StatusCode::kOutOfRange},
+      {"Internal", StatusCode::kInternal},
+      {"Unavailable", StatusCode::kUnavailable},
+      {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
+  };
+  auto it = kCodes.find(n);
+  if (it == kCodes.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+Status ParseSpec(const std::string& spec, Armed* out) {
+  std::string body = spec;
+  size_t at = spec.rfind('@');
+  // '@' inside parentheses would belong to an argument; actions never take
+  // one, so a plain rfind is safe.
+  if (at != std::string::npos) {
+    char* end = nullptr;
+    std::string count = spec.substr(at + 1);
+    long long n = std::strtoll(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || n < 1) {
+      return Status::InvalidArgument("failpoint spec: bad hit count '" + spec +
+                                     "'");
+    }
+    out->nth = n;
+    body = spec.substr(0, at);
+  }
+  if (body == "crash") {
+    out->action = Action::kCrash;
+    return Status::Ok();
+  }
+  if (body.rfind("error(", 0) == 0 && body.back() == ')') {
+    out->action = Action::kError;
+    std::string code = body.substr(6, body.size() - 7);
+    if (!ParseStatusCode(code, &out->code)) {
+      return Status::InvalidArgument("failpoint spec: unknown status code '" +
+                                     code + "'");
+    }
+    return Status::Ok();
+  }
+  if (body.rfind("delay(", 0) == 0 && body.back() == ')') {
+    out->action = Action::kDelay;
+    std::string ms = body.substr(6, body.size() - 7);
+    char* end = nullptr;
+    long long n = std::strtoll(ms.c_str(), &end, 10);
+    if (ms.empty() || end == nullptr || *end != '\0' || n < 0) {
+      return Status::InvalidArgument("failpoint spec: bad delay '" + spec +
+                                     "'");
+    }
+    out->delay_ms = n;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("failpoint spec: unknown action '" + spec +
+                                 "'");
+}
+
+// Arms everything in SSTBAN_FAILPOINTS before main() runs. Static
+// initialization order across translation units is not a hazard here:
+// nothing in the library reaches a failpoint during static init, and
+// g_armed_count is constant-initialized.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("SSTBAN_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    Status status = FailPoint::SetFromList(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[failpoint] ignoring SSTBAN_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+Status FailPoint::Set(const std::string& name, const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name is empty");
+  }
+  Armed armed;
+  SSTBAN_RETURN_IF_ERROR(ParseSpec(spec, &armed));
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.armed.insert_or_assign(name, armed);
+  (void)it;
+  if (inserted) {
+    failpoint_internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Status FailPoint::SetFromList(const std::string& list) {
+  for (const std::string& raw : Split(list, ',')) {
+    std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint entry missing '=': " + entry);
+    }
+    SSTBAN_RETURN_IF_ERROR(Set(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::Ok();
+}
+
+void FailPoint::Clear(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.armed.erase(name) > 0) {
+    failpoint_internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::ClearAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  failpoint_internal::g_armed_count.fetch_sub(
+      static_cast<int>(registry.armed.size()), std::memory_order_relaxed);
+  registry.armed.clear();
+}
+
+int64_t FailPoint::HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(name);
+  return it == registry.armed.end() ? 0 : it->second.hits;
+}
+
+Status FailPoint::Hit(const char* name) {
+  Armed fire;
+  bool should_fire = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.armed.find(name);
+    if (it == registry.armed.end()) return Status::Ok();
+    Armed& armed = it->second;
+    ++armed.hits;
+    should_fire = armed.nth == 0 || armed.hits == armed.nth;
+    fire = armed;
+  }
+  if (!should_fire) return Status::Ok();
+  switch (fire.action) {
+    case Action::kCrash:
+      std::fprintf(stderr, "[failpoint] %s: crash (hit %lld)\n", name,
+                   static_cast<long long>(fire.hits));
+      std::abort();
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fire.delay_ms));
+      return Status::Ok();
+    case Action::kError:
+      return Status(fire.code,
+                    StrFormat("injected by failpoint '%s' (hit %lld)", name,
+                              static_cast<long long>(fire.hits)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sstban::core

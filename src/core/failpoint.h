@@ -1,0 +1,85 @@
+#ifndef SSTBAN_CORE_FAILPOINT_H_
+#define SSTBAN_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace sstban::core {
+
+// Deterministic fault injection for I/O and serving hot spots.
+//
+// Code declares named failpoints with SSTBAN_FAILPOINT("name") (or the
+// _NOTIFY variant in functions that cannot return a Status). Nothing
+// happens unless a failpoint is armed, either programmatically
+// (FailPoint::Set) or through the environment at process start:
+//
+//   SSTBAN_FAILPOINTS="ckpt_write_mid=error(kIoError)@2,ckpt_rename=crash"
+//
+// Spec grammar:   <action>[@N]
+//   error(<StatusCode name>)  return that status from the enclosing function
+//   crash                     abort the process (for subprocess-based tests)
+//   delay(<ms>)               sleep, then continue normally
+//   @N                        fire on the Nth time the failpoint is reached
+//                             (1-based), exactly once; without @N the action
+//                             fires on every hit.
+//
+// When nothing is armed the macro costs one relaxed atomic load and a
+// predictable branch — cheap enough to compile into every checkpoint write
+// and registry swap unconditionally.
+class FailPoint {
+ public:
+  // Arms `name` with `spec` (e.g. "error(kIoError)@2"); replaces any
+  // previous arming and resets its hit counter.
+  static Status Set(const std::string& name, const std::string& spec);
+
+  // Arms every entry of a comma-separated "name=spec,name=spec" list (the
+  // SSTBAN_FAILPOINTS format). Entries before a malformed one stay armed.
+  static Status SetFromList(const std::string& list);
+
+  static void Clear(const std::string& name);
+  static void ClearAll();
+
+  // Times the named failpoint was reached while armed (including hits where
+  // the action did not fire). 0 if never armed.
+  static int64_t HitCount(const std::string& name);
+
+  // Internal: reached-failpoint dispatch; returns the injected error for
+  // error actions, Ok otherwise. Called only when something is armed.
+  static Status Hit(const char* name);
+};
+
+namespace failpoint_internal {
+// Number of currently armed failpoints; inline fast-path guard.
+extern std::atomic<int> g_armed_count;
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+}  // namespace failpoint_internal
+
+}  // namespace sstban::core
+
+// Declares a failpoint in a function returning core::Status: an armed
+// error(...) action propagates to the caller as if the surrounding
+// operation had failed.
+#define SSTBAN_FAILPOINT(name)                                       \
+  do {                                                               \
+    if (::sstban::core::failpoint_internal::AnyArmed()) {            \
+      ::sstban::core::Status _sstban_fp_status =                     \
+          ::sstban::core::FailPoint::Hit(name);                      \
+      if (!_sstban_fp_status.ok()) return _sstban_fp_status;         \
+    }                                                                \
+  } while (false)
+
+// Variant for void/non-Status contexts: crash and delay actions still fire;
+// an armed error action is counted but has no effect.
+#define SSTBAN_FAILPOINT_NOTIFY(name)                                \
+  do {                                                               \
+    if (::sstban::core::failpoint_internal::AnyArmed()) {            \
+      (void)::sstban::core::FailPoint::Hit(name);                    \
+    }                                                                \
+  } while (false)
+
+#endif  // SSTBAN_CORE_FAILPOINT_H_

@@ -1,0 +1,120 @@
+#include "core/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/failpoint.h"
+#include "core/string_util.h"
+
+namespace sstban::core {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " failed for " + path + ": " +
+                         std::strerror(errno));
+}
+
+// Writes the full span, retrying short writes/EINTR.
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t written = 0;
+  while (written < n) {
+    ssize_t w = ::write(fd, data + written, n - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  SSTBAN_FAILPOINT("ckpt_read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  *out = std::move(buffer).str();
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  // Any early return after this point must not leave the temp file behind;
+  // a *crash* may (the stale temp is inert — readers never look at it).
+  auto fail = [&tmp](Status status, int fd) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  SSTBAN_FAILPOINT("ckpt_write_open");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+
+  // Split the payload so a mid-write fault lands between two real write(2)
+  // calls — the torn-temp-file case the rename protocol exists for.
+  size_t half = data.size() / 2;
+  Status status = WriteAll(fd, data.data(), half, tmp);
+  if (!status.ok()) return fail(status, fd);
+  {
+    auto mid = []() -> Status {
+      SSTBAN_FAILPOINT("ckpt_write_mid");
+      return Status::Ok();
+    }();
+    if (!mid.ok()) return fail(mid, fd);
+  }
+  status = WriteAll(fd, data.data() + half, data.size() - half, tmp);
+  if (!status.ok()) return fail(status, fd);
+
+  {
+    auto sync = []() -> Status {
+      SSTBAN_FAILPOINT("ckpt_write_fsync");
+      return Status::Ok();
+    }();
+    if (!sync.ok()) return fail(sync, fd);
+  }
+  if (::fsync(fd) != 0) return fail(Errno("fsync", tmp), fd);
+  if (::close(fd) != 0) return fail(Errno("close", tmp), -1);
+
+  {
+    auto ren = []() -> Status {
+      SSTBAN_FAILPOINT("ckpt_rename");
+      return Status::Ok();
+    }();
+    if (!ren.ok()) return fail(ren, -1);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(Errno("rename", path), -1);
+  }
+
+  // Make the rename itself durable: fsync the containing directory. Failure
+  // here is reported but the destination already holds a complete file.
+  int dir_fd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    int rc = ::fsync(dir_fd);
+    ::close(dir_fd);
+    if (rc != 0) return Errno("fsync directory", ParentDir(path));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sstban::core

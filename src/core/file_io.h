@@ -1,0 +1,73 @@
+#ifndef SSTBAN_CORE_FILE_IO_H_
+#define SSTBAN_CORE_FILE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace sstban::core {
+
+// Reads the whole file into *out. Failpoint: "ckpt_read".
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Crash-safe whole-file replacement: writes to a temp file in the same
+// directory, fsyncs it, rename(2)s it over `path`, then fsyncs the parent
+// directory. A crash or injected error at any point leaves either the old
+// bytes or no file at `path` — never a torn file. On error the temp file is
+// removed. Failpoints: "ckpt_write_open", "ckpt_write_mid" (between the two
+// halves of the payload), "ckpt_write_fsync", "ckpt_rename".
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Little-endian POD append/consume helpers for the checkpoint formats.
+// Writers build the whole record in memory so the CRC32 footer can cover
+// every preceding byte and the file can be committed in one atomic write.
+class BufferWriter {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&value, sizeof(T));
+  }
+  void Bytes(const void* data, size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked sequential reads; every accessor returns false (without
+// advancing) once the buffer is exhausted, so corrupt length fields cannot
+// walk past the end.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Bytes(value, sizeof(T));
+  }
+  bool Bytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sstban::core
+
+#endif  // SSTBAN_CORE_FILE_IO_H_

@@ -80,6 +80,17 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   return result;
 }
 
+Rng::State Rng::SaveState() const {
+  return State{state_, inc_, has_spare_, spare_};
+}
+
+void Rng::RestoreState(const State& s) {
+  state_ = s.state;
+  inc_ = s.inc;
+  has_spare_ = s.has_spare;
+  spare_ = s.spare;
+}
+
 Rng Rng::Fork() {
   uint64_t seed = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
   uint64_t stream = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();

@@ -43,6 +43,17 @@ class Rng {
   // subsystem its own stream from one experiment seed.
   Rng Fork();
 
+  // Complete serializable generator state, for checkpointing: restoring it
+  // replays the exact draw sequence (including the cached Box-Muller spare).
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_spare = false;
+    float spare = 0.0f;
+  };
+  State SaveState() const;
+  void RestoreState(const State& s);
+
  private:
   uint64_t state_;
   uint64_t inc_;

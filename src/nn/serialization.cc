@@ -2,9 +2,10 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <vector>
 
+#include "core/crc32.h"
+#include "core/failpoint.h"
 #include "core/string_util.h"
 
 namespace sstban::nn {
@@ -12,56 +13,78 @@ namespace sstban::nn {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'T', 'B'};
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
+constexpr uint32_t kVersion = 2;  // v2 = v1 body + CRC32 footer
+constexpr size_t kFooterBytes = sizeof(uint32_t);
 
 }  // namespace
 
-core::Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return core::Status::IoError("cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  auto named = module.NamedParameters();
-  WritePod(out, static_cast<uint64_t>(named.size()));
-  for (const auto& [name, param] : named) {
-    WritePod(out, static_cast<uint64_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const tensor::Tensor& value = param.value();
-    WritePod(out, static_cast<uint32_t>(value.rank()));
-    for (int64_t d : value.shape().dims()) WritePod(out, d);
-    out.write(reinterpret_cast<const char*>(value.data()),
-              static_cast<std::streamsize>(value.size() * sizeof(float)));
+void AppendTensor(core::BufferWriter& w, const tensor::Tensor& value) {
+  w.Pod(static_cast<uint32_t>(value.rank()));
+  for (int64_t d : value.shape().dims()) w.Pod(d);
+  w.Bytes(value.data(), static_cast<size_t>(value.size()) * sizeof(float));
+}
+
+core::Status ReadTensor(core::BufferReader& r, tensor::Tensor* out) {
+  uint32_t rank = 0;
+  if (!r.Pod(&rank) || rank > 16) {
+    return core::Status::IoError("corrupt tensor rank");
   }
-  if (!out) return core::Status::IoError("write failed: " + path);
+  std::vector<int64_t> dims(rank);
+  uint64_t numel = 1;
+  for (uint32_t d = 0; d < rank; ++d) {
+    if (!r.Pod(&dims[d]) || dims[d] < 0) {
+      return core::Status::IoError("corrupt tensor dims");
+    }
+    // Overflow-safe product bound: nothing bigger than the bytes still in
+    // the buffer can be legitimate.
+    uint64_t dim = static_cast<uint64_t>(dims[d]);
+    if (dim != 0 && numel > r.remaining() / dim + 1) {
+      return core::Status::IoError("tensor larger than remaining bytes");
+    }
+    numel *= dim;
+  }
+  if (numel * sizeof(float) > r.remaining()) {
+    return core::Status::IoError("truncated tensor data");
+  }
+  tensor::Tensor value{tensor::Shape(dims)};
+  if (!r.Bytes(value.data(), static_cast<size_t>(numel) * sizeof(float))) {
+    return core::Status::IoError("truncated tensor data");
+  }
+  *out = std::move(value);
   return core::Status::Ok();
 }
 
+core::Status SaveParameters(const Module& module, const std::string& path) {
+  core::BufferWriter w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.Pod(kVersion);
+  auto named = module.NamedParameters();
+  w.Pod(static_cast<uint64_t>(named.size()));
+  for (const auto& [name, param] : named) {
+    w.Pod(static_cast<uint64_t>(name.size()));
+    w.Bytes(name.data(), name.size());
+    AppendTensor(w, param.value());
+  }
+  w.Pod(core::Crc32(w.str().data(), w.str().size()));
+  return core::WriteFileAtomic(path, w.str());
+}
+
 core::Status LoadParameters(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return core::Status::IoError("cannot open for reading: " + path);
+  std::string blob;
+  SSTBAN_RETURN_IF_ERROR(core::ReadFileToString(path, &blob));
+  core::BufferReader r(blob);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return core::Status::InvalidArgument("not an SSTBAN checkpoint: " + path);
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!r.Pod(&version) || version < 1 || version > kVersion) {
     return core::Status::InvalidArgument(
         core::StrFormat("unsupported checkpoint version %u", version));
   }
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) return core::Status::IoError("truncated header");
+  if (!r.Pod(&count)) return core::Status::IoError("truncated header");
   auto named = module->NamedParameters();
   if (count != named.size()) {
     return core::Status::InvalidArgument(core::StrFormat(
@@ -72,47 +95,56 @@ core::Status LoadParameters(Module* module, const std::string& path) {
   std::vector<tensor::Tensor> staged(named.size());
   for (size_t i = 0; i < named.size(); ++i) {
     uint64_t name_len = 0;
-    if (!ReadPod(in, &name_len) || name_len > 4096) {
+    if (!r.Pod(&name_len) || name_len > 4096) {
       return core::Status::IoError("truncated or corrupt parameter name");
     }
     std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!in) return core::Status::IoError("truncated parameter name");
+    if (!r.Bytes(name.data(), name_len)) {
+      return core::Status::IoError("truncated parameter name");
+    }
     if (name != named[i].first) {
       return core::Status::InvalidArgument(
           "parameter name mismatch: file has '" + name + "', module expects '" +
           named[i].first + "'");
     }
-    uint32_t rank = 0;
-    if (!ReadPod(in, &rank) || rank > 16) {
-      return core::Status::IoError("corrupt parameter rank");
+    tensor::Tensor value;
+    core::Status read = ReadTensor(r, &value);
+    if (!read.ok()) {
+      return core::Status::IoError("truncated parameter data for '" + name +
+                                   "' in " + path + ": " + read.message());
     }
-    std::vector<int64_t> dims(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      if (!ReadPod(in, &dims[d])) return core::Status::IoError("truncated dims");
-    }
-    tensor::Shape shape(dims);
-    if (shape != named[i].second.shape()) {
+    if (value.shape() != named[i].second.shape()) {
       return core::Status::InvalidArgument(
-          "shape mismatch for '" + name + "': file " + shape.ToString() +
-          " vs module " + named[i].second.shape().ToString());
+          "shape mismatch for '" + name + "': file " +
+          value.shape().ToString() + " vs module " +
+          named[i].second.shape().ToString());
     }
-    tensor::Tensor value(shape);
-    std::streamsize want =
-        static_cast<std::streamsize>(value.size() * sizeof(float));
-    in.read(reinterpret_cast<char*>(value.data()), want);
-    if (!in || in.gcount() != want) {
-      return core::Status::IoError(
-          "truncated parameter data for '" + name + "' in " + path);
-    }
-    staged[i] = value;
+    staged[i] = std::move(value);
   }
-  // A well-formed checkpoint ends exactly after the last parameter; anything
-  // else (a truncated write that happened to end on a record boundary, or a
-  // corrupted/concatenated file) must not be silently accepted — the serving
-  // model registry hot-swaps on the strength of this check.
-  if (in.peek() != std::ifstream::traits_type::eof()) {
-    return core::Status::IoError("trailing bytes after last parameter: " + path);
+  // A well-formed checkpoint ends exactly after the last parameter (plus the
+  // CRC footer from version 2 on); anything else (a truncated write that
+  // happened to end on a record boundary, or a corrupted/concatenated file)
+  // must not be silently accepted — the serving model registry hot-swaps on
+  // the strength of this check.
+  if (version >= 2) {
+    if (r.remaining() < kFooterBytes) {
+      return core::Status::IoError("truncated checksum footer: " + path);
+    }
+    if (r.remaining() > kFooterBytes) {
+      return core::Status::IoError("trailing bytes after last parameter: " +
+                                   path);
+    }
+    uint32_t stored = 0;
+    r.Pod(&stored);
+    uint32_t actual = core::Crc32(blob.data(), blob.size() - kFooterBytes);
+    if (stored != actual) {
+      return core::Status::IoError(core::StrFormat(
+          "checksum mismatch (CRC32 %08x vs stored %08x): %s", actual, stored,
+          path.c_str()));
+    }
+  } else if (!r.AtEnd()) {
+    return core::Status::IoError("trailing bytes after last parameter: " +
+                                 path);
   }
   for (size_t i = 0; i < named.size(); ++i) {
     named[i].second.mutable_value().CopyFrom(staged[i]);

@@ -85,6 +85,18 @@ void Adam::Step() {
   }
 }
 
+void Adam::RestoreState(int64_t step, const std::vector<tensor::Tensor>& m,
+                        const std::vector<tensor::Tensor>& v) {
+  SSTBAN_CHECK_GE(step, 0);
+  SSTBAN_CHECK_EQ(m.size(), m_.size());
+  SSTBAN_CHECK_EQ(v.size(), v_.size());
+  step_ = step;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    m_[i].CopyFrom(m[i]);
+    v_[i].CopyFrom(v[i]);
+  }
+}
+
 float ClipGradNorm(const std::vector<autograd::Variable>& params, float max_norm) {
   double total_sq = 0.0;
   for (const auto& p : params) {
@@ -111,6 +123,13 @@ EarlyStopping::EarlyStopping(int patience, float min_delta)
     : patience_(patience),
       min_delta_(min_delta),
       best_(std::numeric_limits<float>::infinity()) {}
+
+void EarlyStopping::RestoreState(float best_metric, int epochs_since_best) {
+  SSTBAN_CHECK_GE(epochs_since_best, 0);
+  best_ = best_metric;
+  stale_ = epochs_since_best;
+  improved_ = false;
+}
 
 bool EarlyStopping::Update(float metric) {
   improved_ = metric < best_ - min_delta_;

@@ -54,6 +54,17 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  // Checkpointing hooks: Adam's full state is the step count plus the
+  // first/second moment estimates, in parameter order.
+  int64_t step_count() const { return step_; }
+  const std::vector<tensor::Tensor>& first_moments() const { return m_; }
+  const std::vector<tensor::Tensor>& second_moments() const { return v_; }
+
+  // Restores a state captured from an identically-constructed optimizer;
+  // moment counts and shapes must match the managed parameters.
+  void RestoreState(int64_t step, const std::vector<tensor::Tensor>& m,
+                    const std::vector<tensor::Tensor>& v);
+
  private:
   float beta1_, beta2_, eps_, weight_decay_;
   int64_t step_ = 0;
@@ -78,6 +89,11 @@ class EarlyStopping {
   bool improved_last_update() const { return improved_; }
   float best_metric() const { return best_; }
   int epochs_since_best() const { return stale_; }
+
+  // Checkpointing hook: reinstates (best metric, epochs since best) so a
+  // resumed run counts patience from exactly where the interrupted one
+  // stopped.
+  void RestoreState(float best_metric, int epochs_since_best);
 
  private:
   int patience_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "core/failpoint.h"
 #include "nn/serialization.h"
 
 namespace sstban::serving {
@@ -19,8 +20,18 @@ core::Status ModelRegistry::LoadVersion(const std::string& path) {
   }
   // LoadParameters stages everything before touching the module, so a bad
   // checkpoint leaves `fresh` untouched — and `fresh` is discarded anyway:
-  // the currently served version was never at risk.
-  SSTBAN_RETURN_IF_ERROR(nn::LoadParameters(fresh.get(), path));
+  // the currently served version was never at risk. Any validation failure
+  // (torn file, checksum mismatch, injected I/O fault) surfaces as
+  // kFailedPrecondition: the swap's precondition — a complete, verified
+  // checkpoint — did not hold, and the previous version keeps serving.
+  core::Status validated = [&]() -> core::Status {
+    SSTBAN_FAILPOINT("registry_swap_load");
+    return nn::LoadParameters(fresh.get(), path);
+  }();
+  if (!validated.ok()) {
+    return core::Status::FailedPrecondition(
+        "hot-swap rejected, keeping current version: " + validated.ToString());
+  }
   Publish(std::move(fresh), path);
   return core::Status::Ok();
 }

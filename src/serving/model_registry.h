@@ -38,9 +38,10 @@ class ModelRegistry {
   ModelRegistry(ModelFactory factory, data::Normalizer normalizer);
 
   // Constructs a fresh model via the factory, validates that `path` loads
-  // cleanly into it (LoadParameters is all-or-nothing), and atomically
-  // publishes it as the next version. On any failure the previously served
-  // version stays installed and the status reports why.
+  // cleanly into it (LoadParameters is all-or-nothing and CRC-verified),
+  // and atomically publishes it as the next version. A corrupt, truncated,
+  // or unreadable checkpoint returns kFailedPrecondition; the previously
+  // served version stays installed — a swap can never leave a torn model.
   core::Status LoadVersion(const std::string& path);
 
   // Publishes an already-built model (initial deployment, tests).

@@ -36,6 +36,10 @@ class SstbanModel : public training::TrafficModel {
     return config_.use_bottleneck ? "SSTBAN" : "SSTBAN-w/o-STBA";
   }
 
+  // The masking stream advances once per training step; checkpointing it is
+  // what makes a resumed run draw the same masks as an uninterrupted one.
+  core::Rng* TrainingRng() override { return &mask_rng_; }
+
   const SstbanConfig& config() const { return config_; }
 
   // Runtime adjustments for self-supervision scheduling experiments

@@ -2,6 +2,7 @@
 #define SSTBAN_TRAINING_MODEL_H_
 
 #include "autograd/variable.h"
+#include "core/rng.h"
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "nn/module.h"
@@ -34,6 +35,12 @@ class TrafficModel : public nn::Module {
   virtual void Fit(const data::WindowDataset& windows,
                    const std::vector<int64_t>& train_indices,
                    const data::Normalizer& normalizer);
+
+  // The stochastic stream the model draws from inside TrainingLoss (e.g.
+  // SSTBAN's per-step masking). The trainer checkpoints and restores it so
+  // a resumed run replays the identical draw sequence; nullptr (the
+  // default) when the training loss is deterministic.
+  virtual core::Rng* TrainingRng() { return nullptr; }
 
   // Short display name for result tables.
   virtual std::string name() const = 0;

@@ -1,15 +1,19 @@
 #include "training/trainer.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "autograd/ops.h"
 #include "core/check.h"
+#include "core/failpoint.h"
 #include "core/memory_tracker.h"
 #include "core/rng.h"
 #include "core/timer.h"
 #include "optim/optimizer.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
+#include "training/checkpoint.h"
 
 namespace sstban::training {
 
@@ -39,6 +43,29 @@ void RestoreParams(std::vector<autograd::Variable>& params,
       });
 }
 
+// A checkpoint is only resumable into a run with the identical model
+// architecture (names + shapes), the same train split, and the same
+// model-side stochastic setup. Anything else gets a fresh start.
+bool CheckpointMatchesRun(
+    const TrainCheckpoint& ckpt,
+    const std::vector<std::pair<std::string, autograd::Variable>>& named,
+    const std::vector<int64_t>& train_indices, bool model_has_rng) {
+  if (ckpt.has_model_rng != model_has_rng) return false;
+  if (ckpt.params.size() != named.size()) return false;
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (ckpt.params[i].first != named[i].first ||
+        ckpt.params[i].second.shape() != named[i].second.shape()) {
+      return false;
+    }
+  }
+  if (ckpt.order.size() != train_indices.size()) return false;
+  std::vector<int64_t> a = ckpt.order;
+  std::vector<int64_t> b = train_indices;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
 }  // namespace
 
 TrainStats Trainer::Train(TrafficModel* model, const data::WindowDataset& windows,
@@ -63,14 +90,104 @@ TrainStats Trainer::Train(TrafficModel* model, const data::WindowDataset& window
   }
 
   std::vector<autograd::Variable> params = model->Parameters();
+  auto named = model->NamedParameters();
   optim::Adam optimizer(params, config_.learning_rate);
   optim::EarlyStopping early(config_.patience);
   core::Rng rng(config_.seed);
   std::vector<tensor::Tensor> best_params = SnapshotParams(params);
   double best_val = 1e30;
-
   std::vector<int64_t> order = split.train;
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  int start_epoch = 0;
+
+  if (!config_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[checkpoint] cannot create %s: %s (continuing)\n",
+                   config_.checkpoint_dir.c_str(), ec.message().c_str());
+    }
+  }
+  if (!config_.checkpoint_dir.empty() && config_.resume) {
+    TrainCheckpoint ckpt;
+    std::string from;
+    core::Status status =
+        LoadNewestValidTrainCheckpoint(config_.checkpoint_dir, &ckpt, &from);
+    if (status.ok()) {
+      if (CheckpointMatchesRun(ckpt, named, split.train,
+                               model->TrainingRng() != nullptr)) {
+        for (size_t i = 0; i < named.size(); ++i) {
+          named[i].second.mutable_value().CopyFrom(ckpt.params[i].second);
+        }
+        optimizer.RestoreState(ckpt.adam_step, ckpt.adam_m, ckpt.adam_v);
+        early.RestoreState(ckpt.early_best, ckpt.early_stale);
+        rng.RestoreState(ckpt.shuffle_rng);
+        if (ckpt.has_model_rng) {
+          model->TrainingRng()->RestoreState(ckpt.model_rng);
+        }
+        best_params = std::move(ckpt.best_params);
+        best_val = ckpt.best_val;
+        order = std::move(ckpt.order);
+        stats.epoch_train_loss = std::move(ckpt.epoch_train_loss);
+        start_epoch = ckpt.next_epoch;
+        stats.epochs_run = start_epoch;
+        stats.start_epoch = start_epoch;
+        stats.resumed_from = from;
+        if (config_.verbose) {
+          std::printf("[%s] resumed from %s (next epoch %d)\n",
+                      model->name().c_str(), from.c_str(), start_epoch);
+        }
+        // The interrupted run may already have exhausted its patience (or
+        // its epoch budget); in that case the loop below must not run at
+        // all, exactly as it would not have continued uninterrupted.
+        if (early.epochs_since_best() >= config_.patience) {
+          start_epoch = config_.max_epochs;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "[checkpoint] %s is incompatible with this run "
+                     "(architecture or split changed); starting fresh\n",
+                     from.c_str());
+      }
+    } else if (status.code() != core::StatusCode::kNotFound) {
+      std::fprintf(stderr, "[checkpoint] resume scan failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+  auto write_checkpoint = [&](int next_epoch) {
+    TrainCheckpoint ckpt;
+    ckpt.next_epoch = next_epoch;
+    ckpt.global_step = optimizer.step_count();
+    ckpt.shuffle_rng = rng.SaveState();
+    if (core::Rng* model_rng = model->TrainingRng()) {
+      ckpt.has_model_rng = true;
+      ckpt.model_rng = model_rng->SaveState();
+    }
+    ckpt.best_val = best_val;
+    ckpt.early_best = early.best_metric();
+    ckpt.early_stale = early.epochs_since_best();
+    ckpt.epoch_train_loss = stats.epoch_train_loss;
+    ckpt.order = order;
+    ckpt.params.reserve(named.size());
+    for (const auto& [name, param] : named) {
+      ckpt.params.emplace_back(name, param.value());  // shares storage
+    }
+    ckpt.adam_step = optimizer.step_count();
+    ckpt.adam_m = optimizer.first_moments();
+    ckpt.adam_v = optimizer.second_moments();
+    ckpt.best_params = best_params;
+    std::string path = config_.checkpoint_dir + "/" +
+                       TrainCheckpointFileName(next_epoch);
+    core::Status status = SaveTrainCheckpoint(path, ckpt);
+    if (!status.ok()) {
+      // Checkpointing is a safety net, not a dependency: a full disk or an
+      // injected I/O fault must not kill a healthy training run.
+      std::fprintf(stderr, "[checkpoint] write failed (continuing): %s\n",
+                   status.ToString().c_str());
+    }
+  };
+
+  for (int epoch = start_epoch; epoch < config_.max_epochs; ++epoch) {
     model->SetTraining(true);
     if (config_.shuffle) rng.Shuffle(order);
     double epoch_loss = 0.0;
@@ -105,7 +222,23 @@ TrainStats Trainer::Train(TrafficModel* model, const data::WindowDataset& window
       best_val = val.overall.mae;
       best_params = SnapshotParams(params);
     }
-    if (early.Update(static_cast<float>(val.overall.mae))) break;
+    bool stop_early = early.Update(static_cast<float>(val.overall.mae));
+    bool stop_requested =
+        config_.stop_requested != nullptr && config_.stop_requested();
+    bool last_epoch = epoch + 1 >= config_.max_epochs;
+    if (!config_.checkpoint_dir.empty() &&
+        ((epoch + 1) % std::max(config_.checkpoint_every_epochs, 1) == 0 ||
+         stop_early || stop_requested || last_epoch)) {
+      // The cadence is in *absolute* epochs so a resumed run writes the
+      // same checkpoint files an uninterrupted one would.
+      write_checkpoint(epoch + 1);
+    }
+    SSTBAN_FAILPOINT_NOTIFY("train_epoch_end");
+    if (stop_requested) {
+      stats.stopped_by_request = true;
+      break;
+    }
+    if (stop_early) break;
   }
 
   RestoreParams(params, best_params);

@@ -2,6 +2,8 @@
 #define SSTBAN_TRAINING_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -24,6 +26,23 @@ struct TrainerConfig {
   // Seattle scenarios input (flow, speed, occupancy) but report *speed*
   // errors, i.e. target_feature = 1.
   int target_feature = -1;
+
+  // Crash-safe resumable training. When `checkpoint_dir` is non-empty,
+  // Train writes a TrainCheckpoint there every `checkpoint_every_epochs`
+  // epochs (atomic write, CRC footer) plus at the final epoch, and — unless
+  // `resume` is false — starts by restoring the newest *valid* checkpoint
+  // in the directory (corrupt ones are skipped with a warning). Resume is
+  // bitwise: the continued run produces parameters identical to an
+  // uninterrupted one. A failed checkpoint write is a warning, not a
+  // training failure.
+  std::string checkpoint_dir;
+  int checkpoint_every_epochs = 1;
+  bool resume = true;
+
+  // Cooperative shutdown hook, polled at each epoch boundary (e.g. wired to
+  // a SIGINT flag). When it returns true, Train checkpoints (if configured)
+  // and returns cleanly with best-epoch weights restored.
+  std::function<bool()> stop_requested;
 };
 
 // Timing / footprint record for the Table VII computation-cost comparison.
@@ -34,6 +53,14 @@ struct TrainStats {
   double best_val_mae = 0.0;
   int64_t peak_memory_bytes = 0;
   std::vector<double> epoch_train_loss;
+  // Resume diagnostics: the epoch this run started from (0 = fresh) and the
+  // checkpoint it restored, if any. Timing fields cover the current process
+  // only; epochs_run and epoch_train_loss span the whole logical run.
+  int start_epoch = 0;
+  std::string resumed_from;
+  // True when config.stop_requested interrupted the run at an epoch
+  // boundary before max_epochs / early stopping ended it.
+  bool stopped_by_request = false;
 };
 
 struct EvalResult {

@@ -1,0 +1,116 @@
+// Unit tests for the core::FailPoint fault-injection subsystem: spec
+// parsing, Nth-hit triggering, action semantics, and the inactive fast
+// path. The crash action is exercised end-to-end by checkpoint_crash_test
+// (it aborts the process, so it needs a subprocess harness).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/failpoint.h"
+#include "core/status.h"
+
+namespace sstban::core {
+namespace {
+
+// Every test leaves the registry clean so suites can run in any order and
+// an env-armed SSTBAN_FAILPOINTS run is not perturbed mid-flight.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoint::ClearAll(); }
+  void TearDown() override { FailPoint::ClearAll(); }
+};
+
+Status HitPoint(const char* name) {
+  SSTBAN_FAILPOINT(name);
+  return Status::Ok();
+}
+
+TEST_F(FailPointTest, InactiveIsNoop) {
+  EXPECT_FALSE(failpoint_internal::AnyArmed());
+  EXPECT_TRUE(HitPoint("never_armed").ok());
+  EXPECT_EQ(FailPoint::HitCount("never_armed"), 0);
+}
+
+TEST_F(FailPointTest, ErrorEveryHit) {
+  ASSERT_TRUE(FailPoint::Set("p", "error(kUnavailable)").ok());
+  EXPECT_TRUE(failpoint_internal::AnyArmed());
+  for (int i = 0; i < 3; ++i) {
+    Status status = HitPoint("p");
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(status.message().find("injected by failpoint 'p'"),
+              std::string::npos);
+  }
+  EXPECT_EQ(FailPoint::HitCount("p"), 3);
+}
+
+TEST_F(FailPointTest, ErrorOnNthHitOnly) {
+  ASSERT_TRUE(FailPoint::Set("p", "error(kIoError)@2").ok());
+  EXPECT_TRUE(HitPoint("p").ok());
+  EXPECT_EQ(HitPoint("p").code(), StatusCode::kIoError);
+  EXPECT_TRUE(HitPoint("p").ok());  // single-shot: hit 3 passes again
+  EXPECT_EQ(FailPoint::HitCount("p"), 3);
+}
+
+TEST_F(FailPointTest, StatusCodeAcceptsBareAndPrefixedNames) {
+  ASSERT_TRUE(FailPoint::Set("a", "error(kFailedPrecondition)").ok());
+  ASSERT_TRUE(FailPoint::Set("b", "error(FailedPrecondition)").ok());
+  EXPECT_EQ(HitPoint("a").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(HitPoint("b").code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FailPointTest, DelayActionSleepsAndSucceeds) {
+  ASSERT_TRUE(FailPoint::Set("p", "delay(20)@1").ok());
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(HitPoint("p").ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15);
+  // Second hit is past the single-shot trigger: no sleep, no error.
+  EXPECT_TRUE(HitPoint("p").ok());
+}
+
+TEST_F(FailPointTest, NotifyVariantSwallowsErrors) {
+  ASSERT_TRUE(FailPoint::Set("p", "error(kInternal)").ok());
+  SSTBAN_FAILPOINT_NOTIFY("p");  // must compile in a void context and not throw
+  EXPECT_EQ(FailPoint::HitCount("p"), 1);
+}
+
+TEST_F(FailPointTest, ClearDisarms) {
+  ASSERT_TRUE(FailPoint::Set("p", "error(kIoError)").ok());
+  FailPoint::Clear("p");
+  EXPECT_FALSE(failpoint_internal::AnyArmed());
+  EXPECT_TRUE(HitPoint("p").ok());
+}
+
+TEST_F(FailPointTest, SetReplacesAndResetsHitCount) {
+  ASSERT_TRUE(FailPoint::Set("p", "error(kIoError)").ok());
+  EXPECT_FALSE(HitPoint("p").ok());
+  ASSERT_TRUE(FailPoint::Set("p", "error(kIoError)@3").ok());
+  EXPECT_TRUE(HitPoint("p").ok());  // counter restarted: this is hit 1
+  EXPECT_EQ(FailPoint::HitCount("p"), 1);
+}
+
+TEST_F(FailPointTest, SetFromListArmsEveryEntry) {
+  ASSERT_TRUE(FailPoint::SetFromList(
+                  "one=error(kIoError)@1, two=delay(0), three=crash@99")
+                  .ok());
+  EXPECT_FALSE(HitPoint("one").ok());
+  EXPECT_TRUE(HitPoint("two").ok());
+  EXPECT_TRUE(HitPoint("three").ok());  // crash armed for hit 99 only
+}
+
+TEST_F(FailPointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(FailPoint::Set("p", "explode").ok());
+  EXPECT_FALSE(FailPoint::Set("p", "error(kNoSuchCode)").ok());
+  EXPECT_FALSE(FailPoint::Set("p", "error(kIoError)@0").ok());
+  EXPECT_FALSE(FailPoint::Set("p", "error(kIoError)@x").ok());
+  EXPECT_FALSE(FailPoint::Set("p", "delay(-5)").ok());
+  EXPECT_FALSE(FailPoint::Set("", "crash").ok());
+  EXPECT_FALSE(FailPoint::SetFromList("missing_equals").ok());
+  // Nothing half-armed by the rejects above.
+  EXPECT_FALSE(failpoint_internal::AnyArmed());
+}
+
+}  // namespace
+}  // namespace sstban::core

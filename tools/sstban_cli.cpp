@@ -4,13 +4,22 @@
 //   sstban_cli generate --preset pems08 --out signals.csv [--days 8] [--nodes 16]
 //   sstban_cli train    --preset pems08 --steps 24 --ckpt model.bin
 //                       [--epochs 6] [--days 8] [--nodes 16] [--lr 0.005]
+//                       [--checkpoint_dir DIR] [--checkpoint_every N]
+//                       [--resume 0|1]
 //   sstban_cli forecast --preset pems08 --steps 24 --ckpt model.bin
 //                       [--at <window start index>]
 //
 // The preset names the synthetic world (seattle / pems04 / pems08); train
 // and forecast regenerate the identical world from its seed, so a saved
 // checkpoint is self-consistent with the data it was trained on.
+//
+// With --checkpoint_dir set, train writes a crash-safe resume checkpoint at
+// every epoch boundary and auto-resumes from the newest valid one (disable
+// with --resume 0). SIGINT/SIGTERM request a clean checkpoint-then-exit at
+// the next epoch boundary instead of dying mid-step; the interrupted run
+// exits with status 130 and continues from where it stopped when rerun.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +41,10 @@
 #include "training/trainer.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
 
 namespace data = ::sstban::data;
 namespace nn = ::sstban::nn;
@@ -139,6 +152,9 @@ int RunTrain(Flags& flags) {
   std::string ckpt = flags.GetString("ckpt", "sstban.bin");
   int epochs = static_cast<int>(flags.GetInt("epochs", 6));
   float lr = static_cast<float>(flags.GetDouble("lr", 5e-3));
+  std::string checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  int checkpoint_every = static_cast<int>(flags.GetInt("checkpoint_every", 1));
+  bool resume = flags.GetInt("resume", 1) != 0;
   auto dataset = std::make_shared<data::TrafficDataset>(
       data::GenerateSyntheticWorld(WorldFor(preset, flags)));
   if (!flags.RejectUnknown()) return 2;
@@ -158,8 +174,26 @@ int RunTrain(Flags& flags) {
   trainer_config.learning_rate = lr;
   trainer_config.verbose = true;
   trainer_config.target_feature = preset == "seattle" ? 1 : -1;
+  trainer_config.checkpoint_dir = checkpoint_dir;
+  trainer_config.checkpoint_every_epochs = checkpoint_every;
+  trainer_config.resume = resume;
+  if (!checkpoint_dir.empty()) {
+    // Die at an epoch boundary with a fresh checkpoint on disk, not
+    // mid-step with nothing.
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    trainer_config.stop_requested = [] { return g_stop_requested != 0; };
+  }
   training::Trainer trainer(trainer_config);
-  trainer.Train(&model, windows, split, normalizer);
+  training::TrainStats train_stats =
+      trainer.Train(&model, windows, split, normalizer);
+  if (train_stats.stopped_by_request) {
+    std::printf(
+        "interrupted: checkpoint written to %s; rerun the same command to "
+        "resume from epoch %d\n",
+        checkpoint_dir.c_str(), train_stats.epochs_run);
+    return 130;
+  }
 
   training::EvalResult test = training::Evaluate(
       &model, windows, split.test, normalizer, 8, false,
@@ -229,6 +263,8 @@ void PrintUsage() {
                " [--days N] [--nodes N]\n"
                "  train    --preset P --steps 24|36|48 --ckpt FILE"
                " [--epochs N] [--lr R] [--days N] [--nodes N]\n"
+               "           [--checkpoint_dir DIR] [--checkpoint_every N]"
+               " [--resume 0|1]\n"
                "  forecast --preset P --steps S --ckpt FILE [--at INDEX]"
                " [--days N] [--nodes N]\n");
 }
