@@ -1,0 +1,226 @@
+// Resilience-layer overhead gate: proves the serving hot path pays nothing
+// for the machinery that only matters when things break. Measures, with a
+// counting global operator new (the tensor-layer MemoryTracker cannot see
+// std::function/string/vector allocations):
+//
+//   - a disarmed failpoint probe        (the guard every request crosses)
+//   - a failpoint probe while an UNRELATED failpoint is armed (slow guard)
+//   - CircuitBreaker Allow + RecordSuccess in the closed state, warm ring
+//   - InputSanitizer on a clean window  (the single read-only scan)
+//   - BatcherWatchdog tick/start/end/Wedged marks
+//
+// Exits nonzero when any warm hot path heap-allocates, or when the disarmed
+// failpoint stops being branch-cheap. Latency gates are deliberately loose —
+// CI boxes are noisy and often single-core — the hard gate is allocations,
+// which are deterministic. Emits one JSON object on stdout; pass a path as
+// argv[1] to also write it there.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "core/failpoint.h"
+#include "serving/circuit_breaker.h"
+#include "serving/health.h"
+#include "serving/sanitizer.h"
+#include "tensor/tensor.h"
+
+// -- Counting allocator ------------------------------------------------------
+// Counts every heap allocation made while g_counting is set. Kept trivially
+// simple (malloc/free pass-through) so the override itself cannot distort
+// the measurement.
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<long long> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+namespace core = ::sstban::core;
+namespace serving = ::sstban::serving;
+namespace t = ::sstban::tensor;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  long long allocs = 0;  // total across all iterations
+};
+
+// Runs `op` `iters` times with the allocation counter live and a volatile
+// sink so the loop cannot be elided.
+template <typename Op>
+Measurement Measure(long long iters, Op&& op) {
+  Measurement m;
+  g_allocs.store(0);
+  g_counting.store(true);
+  double start = NowSeconds();
+  for (long long i = 0; i < iters; ++i) op();
+  double elapsed = NowSeconds() - start;
+  g_counting.store(false);
+  m.ns_per_op = elapsed * 1e9 / static_cast<double>(iters);
+  m.allocs = g_allocs.load();
+  return m;
+}
+
+volatile long long g_sink = 0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr long long kFailpointIters = 2'000'000;
+  constexpr long long kBreakerIters = 200'000;
+  constexpr long long kSanitizerIters = 20'000;
+  constexpr long long kWatchdogIters = 1'000'000;
+
+  // 1. Disarmed failpoint: one relaxed load + a predictable branch.
+  core::FailPoint::ClearAll();
+  Measurement fp_disarmed = Measure(kFailpointIters, [] {
+    g_sink += core::FailPointStatus("bench_resilience_probe").ok() ? 1 : 0;
+  });
+
+  // 2. Same probe while an unrelated failpoint is armed: the guard opens and
+  //    every hit takes the registry lock. Reported, not gated — this is the
+  //    chaos-testing configuration, never production.
+  if (!core::FailPoint::Set("bench_resilience_other", "delay(0)").ok()) {
+    std::fprintf(stderr, "FAIL: could not arm bench_resilience_other\n");
+    return 1;
+  }
+  Measurement fp_armed_other = Measure(kFailpointIters / 10, [] {
+    g_sink += core::FailPointStatus("bench_resilience_probe").ok() ? 1 : 0;
+  });
+  core::FailPoint::ClearAll();
+
+  // 3. Closed-state circuit breaker, warm ring: Allow + RecordSuccess must
+  //    be allocation-free once the fixed-capacity window has filled.
+  serving::CircuitBreaker breaker((serving::CircuitBreakerOptions()));
+  for (int i = 0; i < 256; ++i) {  // fill the ring past its window
+    breaker.Allow();
+    breaker.RecordSuccess(0.001);
+  }
+  Measurement breaker_closed = Measure(kBreakerIters, [&breaker] {
+    g_sink += breaker.Allow() ? 1 : 0;
+    breaker.RecordSuccess(0.001);
+  });
+
+  // 4. Clean-window sanitizer scan: read-only, no clone, no mask.
+  serving::SanitizerOptions san_options;
+  san_options.degradable_channels = {0};
+  serving::InputSanitizer sanitizer(san_options);
+  t::Tensor window = t::Tensor::Ones(t::Shape{12, 32, 3});
+  {  // warm once outside the counter (first Status/StatusOr pages etc.)
+    auto r = sanitizer.Sanitize(&window);
+    if (!r.ok() || !r.value().clean()) {
+      std::fprintf(stderr, "FAIL: warmup sanitize was not clean\n");
+      return 1;
+    }
+  }
+  Measurement sanitize_clean = Measure(kSanitizerIters, [&] {
+    auto r = sanitizer.Sanitize(&window);
+    g_sink += r.ok() && r.value().clean() ? 1 : 0;
+  });
+
+  // 5. Watchdog marks: the per-iteration cost the worker loop pays.
+  serving::BatcherWatchdog watchdog;
+  auto now = serving::Clock::now();
+  Measurement watchdog_marks = Measure(kWatchdogIters, [&] {
+    watchdog.MarkLoopTick();
+    watchdog.MarkBatchStart(now);
+    g_sink += watchdog.Wedged(std::chrono::milliseconds(2000), now) ? 1 : 0;
+    watchdog.MarkBatchEnd();
+  });
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"resilience\",\n"
+      "  \"failpoint_disarmed\": {\"ns_per_op\": %.2f, \"allocs\": %lld},\n"
+      "  \"failpoint_armed_elsewhere\": {\"ns_per_op\": %.2f, \"allocs\": "
+      "%lld},\n"
+      "  \"breaker_closed\": {\"ns_per_op\": %.2f, \"allocs\": %lld},\n"
+      "  \"sanitize_clean_12x32x3\": {\"ns_per_op\": %.2f, \"allocs\": "
+      "%lld},\n"
+      "  \"watchdog_marks\": {\"ns_per_op\": %.2f, \"allocs\": %lld}\n"
+      "}\n",
+      fp_disarmed.ns_per_op, fp_disarmed.allocs, fp_armed_other.ns_per_op,
+      fp_armed_other.allocs, breaker_closed.ns_per_op, breaker_closed.allocs,
+      sanitize_clean.ns_per_op, sanitize_clean.allocs,
+      watchdog_marks.ns_per_op, watchdog_marks.allocs);
+  std::fputs(buf, stdout);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << buf;
+  }
+
+  bool failed = false;
+  auto gate_allocs = [&](const char* name, const Measurement& m) {
+    if (m.allocs != 0) {
+      std::fprintf(stderr, "FAIL: %s heap-allocated %lld times (want 0)\n",
+                   name, m.allocs);
+      failed = true;
+    }
+  };
+  gate_allocs("disarmed failpoint", fp_disarmed);
+  gate_allocs("closed breaker hot path", breaker_closed);
+  gate_allocs("clean sanitizer scan", sanitize_clean);
+  gate_allocs("watchdog marks", watchdog_marks);
+  // Branch-cheap means low double-digit ns even on a throttled CI core;
+  // 200ns would mean the guard grew a lock or an allocation.
+  if (fp_disarmed.ns_per_op > 200.0) {
+    std::fprintf(stderr, "FAIL: disarmed failpoint costs %.1fns (gate 200)\n",
+                 fp_disarmed.ns_per_op);
+    failed = true;
+  }
+  // The breaker holds a mutex briefly; anything near microseconds is a bug.
+  if (breaker_closed.ns_per_op > 5000.0) {
+    std::fprintf(stderr, "FAIL: closed breaker costs %.1fns (gate 5000)\n",
+                 breaker_closed.ns_per_op);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

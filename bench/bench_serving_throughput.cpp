@@ -113,7 +113,7 @@ void BM_ServingThroughput(benchmark::State& state) {
         state.SkipWithError(result.status().ToString().c_str());
         return;
       }
-      benchmark::DoNotOptimize(result.value().data());
+      benchmark::DoNotOptimize(result.value().forecast.data());
     }
   }
 

@@ -23,9 +23,14 @@ void VarModel::Fit(const data::WindowDataset& windows,
   const data::TrafficDataset& dataset = windows.dataset();
   // The training series covers every step any training window can touch.
   int64_t t_end = train_indices.back() + windows.input_len();
-  t::Tensor series = normalizer.Transform(
-      t::Slice(dataset.signals, 0, 0, t_end));  // [T_train, N, C]
-  int64_t dim = dataset.num_nodes() * dataset.num_features();
+  FitSeries(normalizer.Transform(
+      t::Slice(dataset.signals, 0, 0, t_end)));  // [T_train, N, C]
+}
+
+void VarModel::FitSeries(const t::Tensor& series_norm) {
+  SSTBAN_CHECK_EQ(series_norm.rank(), 3);
+  const t::Tensor& series = series_norm;
+  int64_t dim = series.dim(1) * series.dim(2);
   int64_t steps = series.dim(0);
   SSTBAN_CHECK_GT(steps, lag_);
   int64_t rows = steps - lag_;

@@ -20,6 +20,10 @@ class VarModel : public training::TrafficModel {
            const std::vector<int64_t>& train_indices,
            const data::Normalizer& normalizer) override;
 
+  // Fits directly on a normalized [T, N, C] series — what the serving
+  // fallback chain uses to train its VAR tier without a WindowDataset.
+  void FitSeries(const tensor::Tensor& series_norm);
+
   autograd::Variable Predict(const tensor::Tensor& x_norm,
                              const data::Batch& batch) override;
 
@@ -27,6 +31,7 @@ class VarModel : public training::TrafficModel {
   std::string name() const override { return "VAR"; }
 
   bool fitted() const { return coeffs_.defined(); }
+  int lag() const { return lag_; }
 
  private:
   int lag_;

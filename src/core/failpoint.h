@@ -59,6 +59,15 @@ inline bool AnyArmed() {
 }
 }  // namespace failpoint_internal
 
+// Expression form of SSTBAN_FAILPOINT for call sites that cannot simply
+// `return status` (the serving data plane maps an injected fault to a
+// degraded answer instead of propagating it). Disarmed cost is identical to
+// the macro: one relaxed atomic load and a predictable branch.
+inline Status FailPointStatus(const char* name) {
+  if (!failpoint_internal::AnyArmed()) return Status::Ok();
+  return FailPoint::Hit(name);
+}
+
 }  // namespace sstban::core
 
 // Declares a failpoint in a function returning core::Status: an armed

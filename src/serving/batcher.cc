@@ -1,8 +1,10 @@
 #include "serving/batcher.h"
 
+#include <exception>
 #include <utility>
 
 #include "core/check.h"
+#include "core/failpoint.h"
 #include "core/timer.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
@@ -22,11 +24,19 @@ void RejectExpired(PendingRequest* req, ServerStats* stats) {
 }  // namespace
 
 Batcher::Batcher(BatcherOptions options, RequestQueue* queue,
-                 ModelRegistry* registry, ServerStats* stats)
-    : options_(options), queue_(queue), registry_(registry), stats_(stats) {
+                 ModelRegistry* registry, ServerStats* stats,
+                 FallbackChain* fallback, BatcherWatchdog* watchdog)
+    : options_(options),
+      queue_(queue),
+      registry_(registry),
+      stats_(stats),
+      fallback_(fallback),
+      watchdog_(watchdog) {
   SSTBAN_CHECK(queue != nullptr);
   SSTBAN_CHECK(registry != nullptr);
   SSTBAN_CHECK(stats != nullptr);
+  SSTBAN_CHECK(fallback != nullptr);
+  SSTBAN_CHECK(watchdog != nullptr);
   SSTBAN_CHECK_GT(options.max_batch, 0);
 }
 
@@ -47,8 +57,29 @@ void Batcher::Join() {
   if (started_ && worker_.joinable()) worker_.join();
 }
 
+void Batcher::SweepExpired(Clock::time_point now) {
+  int64_t swept = queue_->SweepExpired(
+      now, [this](PendingRequest&& req) { RejectExpired(&req, stats_); });
+  for (auto it = holdover_.begin(); it != holdover_.end();) {
+    if (it->Expired(now)) {
+      RejectExpired(&*it, stats_);
+      it = holdover_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  if (swept > 0) stats_->RecordSweptExpired(swept);
+}
+
 void Batcher::WorkerLoop() {
   for (;;) {
+    watchdog_->MarkLoopTick();
+    // Expired requests never coalesce: anything whose deadline passed while
+    // a previous (possibly slow) batch held the worker is terminated with
+    // DeadlineExceeded before batch assembly even starts.
+    SweepExpired(Clock::now());
+
     // Seed the next batch: prefer a held-over request, otherwise block for
     // the first arrival. nullopt means the queue closed and drained — once
     // the holdover is empty too, every promise has been fulfilled.
@@ -109,27 +140,69 @@ void Batcher::WorkerLoop() {
   }
 }
 
+bool Batcher::RunPrimary(const ModelRegistry::Served& served,
+                         const data::Batch& model_batch,
+                         const tensor::Tensor& keep_pos,
+                         tensor::Tensor* denorm) {
+  core::Timer forward;
+  // Injected faults, a throwing model, and non-finite output are the same
+  // event from the caller's perspective: one failed primary pass, recorded
+  // against the breaker.
+  core::Status injected = core::FailPointStatus("serve_batch_run");
+  bool ok = injected.ok();
+  if (ok) {
+    try {
+      *denorm =
+          keep_pos.defined()
+              ? training::RunBatchedInferenceMasked(
+                    served.model.get(), served.normalizer, model_batch,
+                    keep_pos)
+              : training::RunBatchedInference(served.model.get(),
+                                              served.normalizer, model_batch);
+      ok = !tensor::HasNonFinite(*denorm);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (ok) {
+    stats_->RecordForward(forward.ElapsedSeconds());
+    fallback_->primary_breaker().RecordSuccess(forward.ElapsedSeconds());
+  } else {
+    fallback_->primary_breaker().RecordFailure();
+  }
+  return ok;
+}
+
 void Batcher::RunBatch(std::vector<PendingRequest> batch,
                        double assembly_seconds) {
   stats_->RecordAssembly(assembly_seconds);
   const int64_t b = static_cast<int64_t>(batch.size());
   stats_->RecordBatch(b);
 
+  watchdog_->MarkBatchStart(Clock::now());
+
   // Pin the served snapshot for the whole batch: a concurrent hot-swap
   // publishes a new snapshot for *later* batches while this one finishes on
-  // the weights it started with.
-  std::shared_ptr<const ModelRegistry::Served> served = registry_->current();
+  // the weights it started with. An injected registry fault serves the batch
+  // from the fallback tiers instead of the model.
+  std::shared_ptr<const ModelRegistry::Served> served;
+  if (core::FailPointStatus("registry_get").ok()) {
+    served = registry_->current();
+  }
   if (served != nullptr) {
     if (last_version_ != 0 && served->version != last_version_) {
       stats_->RecordHotSwap();
+      // A fresh model must not inherit the old version's failure window.
+      fallback_->primary_breaker().OnModelSwapped();
     }
     last_version_ = served->version;
   }
-  if (served == nullptr) {
+  if (served == nullptr && !fallback_->enabled()) {
     for (PendingRequest& req : batch) {
       req.promise.set_value(
           core::Status::FailedPrecondition("no model version installed"));
     }
+    watchdog_->MarkBatchEnd();
     return;
   }
 
@@ -141,34 +214,98 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
   data::Batch model_batch;
   std::vector<tensor::Tensor> parts;
   parts.reserve(batch.size());
+  bool any_masked = false;
   for (PendingRequest& req : batch) {
     parts.push_back(req.request.recent.Reshape(tensor::Shape{1, p, n, c}));
     training::AppendCalendarFeatures(req.request.first_step, p, q,
                                      options_.steps_per_day, &model_batch);
+    any_masked = any_masked || req.keep_pos.defined();
   }
   model_batch.x = b == 1 ? parts[0] : tensor::Concat(parts, 0);
   model_batch.y = tensor::Tensor::Zeros(tensor::Shape{b, q, n, c});
 
-  core::Timer forward;
-  tensor::Tensor denorm = training::RunBatchedInference(
-      served->model.get(), served->normalizer, model_batch);
-  stats_->RecordForward(forward.ElapsedSeconds());
+  // Batched keep mask: clean requests contribute an all-ones [P, N] plane so
+  // they can coalesce with degraded ones in a single pass.
+  tensor::Tensor keep_pos;
+  if (any_masked) {
+    std::vector<tensor::Tensor> keeps;
+    keeps.reserve(batch.size());
+    for (PendingRequest& req : batch) {
+      keeps.push_back(req.keep_pos.defined()
+                          ? req.keep_pos.Reshape(tensor::Shape{1, p, n})
+                          : tensor::Tensor::Ones(tensor::Shape{1, p, n}));
+    }
+    keep_pos = b == 1 ? keeps[0] : tensor::Concat(keeps, 0);
+  }
 
-  // Cutting the batched output back into per-request slices is one memcpy
-  // per request; fan it out and fulfil the promises in arrival order after.
+  // -- Tier 1: the primary model, behind its circuit breaker ------------------
+  tensor::Tensor denorm;
+  ServedBy served_by = ServedBy::kModel;
+  bool primary_ok = false;
+  if (served != nullptr) {
+    if (!fallback_->enabled() || fallback_->primary_breaker().Allow()) {
+      primary_ok = RunPrimary(*served, model_batch, keep_pos, &denorm);
+    }
+  }
+
   std::vector<tensor::Tensor> slices(static_cast<size_t>(b));
-  tensor::ParallelForEachIndex(b, [&](int64_t i) {
-    slices[static_cast<size_t>(i)] =
-        tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
-  });
+  if (primary_ok) {
+    // Cutting the batched output back into per-request slices is one memcpy
+    // per request; fan it out and fulfil the promises in arrival order after.
+    tensor::ParallelForEachIndex(b, [&](int64_t i) {
+      slices[static_cast<size_t>(i)] =
+          tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
+    });
+    fallback_->cache().Update(slices.back());
+  } else if (fallback_->enabled()) {
+    core::Status degraded = fallback_->Run(
+        model_batch, served != nullptr ? &served->normalizer : nullptr, q,
+        &slices, &served_by);
+    if (!degraded.ok()) {
+      // The chain itself faulted (serve_fallback injection): the one path
+      // where a request terminates Unavailable instead of degraded-Ok.
+      Clock::time_point done = Clock::now();
+      for (PendingRequest& req : batch) {
+        req.promise.set_value(core::Status::Unavailable(
+            "model pass failed and fallback chain errored: " +
+            degraded.message()));
+        stats_->RecordEndToEnd(
+            std::chrono::duration<double>(done - req.enqueued_at).count());
+      }
+      watchdog_->MarkBatchEnd();
+      return;
+    }
+  } else {
+    Clock::time_point done = Clock::now();
+    for (PendingRequest& req : batch) {
+      req.promise.set_value(
+          core::Status::Unavailable("model pass failed (fallback disabled)"));
+      stats_->RecordEndToEnd(
+          std::chrono::duration<double>(done - req.enqueued_at).count());
+    }
+    watchdog_->MarkBatchEnd();
+    return;
+  }
 
+  const int64_t version =
+      served_by == ServedBy::kModel && served != nullptr ? served->version : 0;
   Clock::time_point done = Clock::now();
   for (int64_t i = 0; i < b; ++i) {
-    batch[i].promise.set_value(std::move(slices[static_cast<size_t>(i)]));
+    PendingRequest& req = batch[static_cast<size_t>(i)];
+    ForecastResponse response;
+    response.forecast = std::move(slices[static_cast<size_t>(i)]);
+    response.degradation = req.degradation;
+    response.served_by = served_by;
+    response.masked_positions = req.masked_positions;
+    response.model_version = version;
+    req.promise.set_value(std::move(response));
     stats_->RecordCompleted();
+    stats_->RecordDegradation(req.degradation);
+    stats_->RecordServedBy(served_by);
     stats_->RecordEndToEnd(
-        std::chrono::duration<double>(done - batch[i].enqueued_at).count());
+        std::chrono::duration<double>(done - req.enqueued_at).count());
   }
+  watchdog_->MarkBatchEnd();
 }
 
 }  // namespace sstban::serving

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "serving/fallback.h"
+#include "serving/health.h"
 #include "serving/model_registry.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
@@ -30,7 +32,24 @@ struct BatcherOptions {
 // `max_batch` requests sharing one [P, N, C] shape (or flushes after
 // `max_wait`), stacks them into a single [B, P, N, C] tensor, runs ONE
 // batched TrafficModel::Predict pass on the currently served model, and
-// fulfills each request's promise with its [Q, N, C] slice.
+// fulfills each request's promise with its annotated [Q, N, C] slice.
+//
+// Resilience behavior layered on top of the happy path:
+//   - Every loop iteration sweeps expired requests out of the queue (and the
+//     holdover) with DeadlineExceeded before they can join a batch.
+//   - The primary model pass runs only when the fallback chain's primary
+//     circuit breaker admits it, inside a try/catch, and its output is
+//     checked for NaN/Inf — a throwing or poisoned model becomes a recorded
+//     breaker failure, never a dead worker.
+//   - Any primary-tier failure (breaker open, injected fault, exception,
+//     non-finite output, registry failure) routes the whole batch through
+//     FallbackChain::Run; only a fault injected into the fallback itself
+//     yields per-request Unavailable.
+//   - Requests carrying a sanitizer keep-mask run through the model's
+//     degraded-mode pathway (RunBatchedInferenceMasked) batched together
+//     with clean requests.
+//   - The watchdog is ticked every iteration and brackets each model pass so
+//     health probes can detect a wedged worker.
 //
 // The loop runs on a dedicated thread rather than a core::ThreadPool slot:
 // the global pool is the substrate the tensor kernels parallelize on via
@@ -41,7 +60,8 @@ struct BatcherOptions {
 class Batcher {
  public:
   Batcher(BatcherOptions options, RequestQueue* queue, ModelRegistry* registry,
-          ServerStats* stats);
+          ServerStats* stats, FallbackChain* fallback,
+          BatcherWatchdog* watchdog);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
@@ -56,17 +76,29 @@ class Batcher {
 
  private:
   void WorkerLoop();
+  // Rejects every expired request in the queue and the holdover deque.
+  void SweepExpired(Clock::time_point now);
   // Executes one assembled batch; `assembly_seconds` is how long the batch
   // was held open.
   void RunBatch(std::vector<PendingRequest> batch, double assembly_seconds);
+  // Runs the primary model pass for `model_batch` ([B, P, N, C] with
+  // calendar features; `keep_pos` is [B, P, N] or undefined when every
+  // request is clean). Returns false — after recording the breaker outcome —
+  // on injected fault, exception, or non-finite output.
+  bool RunPrimary(const ModelRegistry::Served& served,
+                  const data::Batch& model_batch,
+                  const tensor::Tensor& keep_pos, tensor::Tensor* denorm);
 
   BatcherOptions options_;
   RequestQueue* queue_;
   ModelRegistry* registry_;
   ServerStats* stats_;
+  FallbackChain* fallback_;
+  BatcherWatchdog* watchdog_;
   std::thread worker_;
   bool started_ = false;
-  // Last served model version, to notice hot-swaps for the stats.
+  // Last served model version, to notice hot-swaps for the stats and to
+  // reset the primary breaker (a fresh model deserves a clean window).
   int64_t last_version_ = 0;
   // Popped requests whose shape did not match the batch being assembled;
   // they lead the next batch so nothing is ever dropped or reordered

@@ -1,0 +1,177 @@
+#include "serving/circuit_breaker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace sstban::serving {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, NowFn now)
+    : options_(options), now_(std::move(now)) {
+  SSTBAN_CHECK_GT(options_.window, 0);
+  SSTBAN_CHECK_GT(options_.min_samples, 0);
+  SSTBAN_CHECK_LE(options_.min_samples, options_.window);
+  SSTBAN_CHECK_GT(options_.probe_successes_to_close, 0);
+  if (now_ == nullptr) now_ = [] { return Clock::now(); };
+  // Fixed-capacity ring + scratch, so the closed-state hot path never
+  // allocates after construction.
+  ring_.resize(static_cast<size_t>(options_.window), 0.0);
+  scratch_.reserve(static_cast<size_t>(options_.window));
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      if (now_() < open_until_) {
+        ++stats_.rejected;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      half_open_in_flight_ = 1;
+      half_open_successes_ = 0;
+      ++stats_.probes;
+      return true;
+    }
+    case State::kHalfOpen: {
+      if (half_open_in_flight_ >= options_.probe_successes_to_close) {
+        ++stats_.rejected;
+        return false;
+      }
+      ++half_open_in_flight_;
+      ++stats_.probes;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    half_open_in_flight_ = std::max<int64_t>(half_open_in_flight_ - 1, 0);
+    if (++half_open_successes_ >= options_.probe_successes_to_close) {
+      state_ = State::kClosed;
+      ring_count_ = 0;
+      ring_head_ = 0;
+      window_failures_ = 0;
+      stats_.consecutive_trips = 0;
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;  // stale in-flight from before a trip
+  PushOutcomeLocked(std::max(latency_seconds, 0.0));
+  MaybeTripLocked(now_());
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    half_open_in_flight_ = std::max<int64_t>(half_open_in_flight_ - 1, 0);
+    OpenLocked(now_());  // a failed probe re-opens with doubled cooldown
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  PushOutcomeLocked(kFailureMark);
+  MaybeTripLocked(now_());
+}
+
+void CircuitBreaker::OnModelSwapped() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  ring_count_ = 0;
+  ring_head_ = 0;
+  window_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+  stats_.consecutive_trips = 0;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const char* CircuitBreaker::StateName() const {
+  switch (state()) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CircuitBreaker::PushOutcomeLocked(double outcome) {
+  const int64_t capacity = options_.window;
+  if (ring_count_ == capacity) {
+    if (ring_[static_cast<size_t>(ring_head_)] == kFailureMark) {
+      --window_failures_;
+    }
+  } else {
+    ++ring_count_;
+  }
+  ring_[static_cast<size_t>(ring_head_)] = outcome;
+  ring_head_ = (ring_head_ + 1) % capacity;
+  if (outcome == kFailureMark) ++window_failures_;
+}
+
+void CircuitBreaker::MaybeTripLocked(Clock::time_point now) {
+  if (ring_count_ < options_.min_samples) return;
+  const double error_rate =
+      static_cast<double>(window_failures_) / static_cast<double>(ring_count_);
+  if (error_rate >= options_.error_rate_threshold) {
+    OpenLocked(now);
+    return;
+  }
+  if (options_.latency_threshold_seconds > 0.0 &&
+      WindowQuantileLocked(options_.latency_quantile) >
+          options_.latency_threshold_seconds) {
+    OpenLocked(now);
+  }
+}
+
+double CircuitBreaker::WindowQuantileLocked(double q) const {
+  scratch_.clear();
+  for (int64_t i = 0; i < ring_count_; ++i) {
+    double v = ring_[static_cast<size_t>(i)];
+    if (v != kFailureMark) scratch_.push_back(v);
+  }
+  if (scratch_.empty()) return 0.0;
+  std::sort(scratch_.begin(), scratch_.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(scratch_.size()));
+  rank = std::min(rank, scratch_.size() - 1);
+  return scratch_[rank];
+}
+
+void CircuitBreaker::OpenLocked(Clock::time_point now) {
+  state_ = State::kOpen;
+  ++stats_.trips;
+  ++stats_.consecutive_trips;
+  // Exponential probe backoff, capped: cooldown * 2^(consecutive - 1).
+  auto cooldown = options_.cooldown;
+  for (int64_t i = 1; i < stats_.consecutive_trips &&
+                      cooldown < options_.max_cooldown;
+       ++i) {
+    cooldown *= 2;
+  }
+  cooldown = std::min(cooldown, options_.max_cooldown);
+  open_until_ = now + cooldown;
+  ring_count_ = 0;
+  ring_head_ = 0;
+  window_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,120 @@
+#include "serving/fallback.h"
+
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "core/check.h"
+#include "core/failpoint.h"
+#include "core/timer.h"
+#include "tensor/ops.h"
+#include "training/forecast_service.h"
+
+namespace sstban::serving {
+
+namespace t = ::sstban::tensor;
+
+void LastGoodCache::Update(const t::Tensor& forecast) {
+  SSTBAN_CHECK_EQ(forecast.rank(), 3);
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_ = forecast;
+}
+
+t::Tensor LastGoodCache::Assemble(const t::Tensor& recent,
+                                  int64_t output_len) const {
+  SSTBAN_CHECK_EQ(recent.rank(), 3);
+  const int64_t p = recent.dim(0), n = recent.dim(1), c = recent.dim(2);
+  t::Tensor cached;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached = last_;  // shares storage; published tensors are never mutated
+  }
+  const bool usable = cached.defined() && cached.dim(0) == output_len &&
+                      cached.dim(1) == n && cached.dim(2) == c;
+  if (usable) return cached;
+
+  // Persistence: each sensor's most recent finite observation, held flat
+  // across the horizon. A sensor with no finite reading at all forecasts 0.
+  t::Tensor out = t::Tensor::Empty(t::Shape{output_len, n, c});
+  const float* in = recent.data();
+  float* dst = out.data();
+  for (int64_t j = 0; j < n * c; ++j) {
+    float value = 0.0f;
+    for (int64_t step = p - 1; step >= 0; --step) {
+      float v = in[step * n * c + j];
+      if (std::isfinite(v)) {
+        value = v;
+        break;
+      }
+    }
+    for (int64_t q = 0; q < output_len; ++q) dst[q * n * c + j] = value;
+  }
+  return out;
+}
+
+int64_t LastGoodCache::cached_sensors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_.defined() ? last_.dim(1) : 0;
+}
+
+FallbackChain::FallbackChain(FallbackOptions options)
+    : options_(options),
+      primary_breaker_(options.primary_breaker),
+      var_breaker_(options.var_breaker) {}
+
+void FallbackChain::SetVarBaseline(std::unique_ptr<baselines::VarModel> var) {
+  SSTBAN_CHECK(var == nullptr || var->fitted())
+      << "fallback VAR baseline must be fitted (VarModel::FitSeries)";
+  var_ = std::move(var);
+}
+
+core::Status FallbackChain::Run(const data::Batch& batch,
+                                const data::Normalizer* normalizer,
+                                int64_t output_len,
+                                std::vector<t::Tensor>* slices,
+                                ServedBy* served_by) {
+  SSTBAN_CHECK(slices != nullptr && served_by != nullptr);
+  SSTBAN_FAILPOINT("serve_fallback");
+  const int64_t b = batch.x.dim(0);
+  const int64_t n = batch.x.dim(2), c = batch.x.dim(3);
+  slices->assign(static_cast<size_t>(b), t::Tensor());
+
+  // -- Tier 2: VAR baseline ---------------------------------------------------
+  // Cheap (closed-form linear), batched, and immune to whatever corrupted
+  // the primary: its coefficients never hot-swap.
+  if (var_ != nullptr && normalizer != nullptr &&
+      batch.x.dim(1) >= var_->lag() && var_breaker_.Allow()) {
+    core::Timer timer;
+    bool ok = true;
+    t::Tensor denorm;
+    try {
+      denorm = training::RunBatchedInference(var_.get(), *normalizer, batch);
+      ok = !t::HasNonFinite(denorm);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok) {
+      var_breaker_.RecordSuccess(timer.ElapsedSeconds());
+      for (int64_t i = 0; i < b; ++i) {
+        (*slices)[static_cast<size_t>(i)] =
+            t::Slice(denorm, 0, i, 1).Reshape(t::Shape{output_len, n, c});
+      }
+      *served_by = ServedBy::kVarBaseline;
+      return core::Status::Ok();
+    }
+    var_breaker_.RecordFailure();
+  }
+
+  // -- Tier 3: last-known-good cache / persistence (infallible) ---------------
+  const int64_t p = batch.x.dim(1);
+  for (int64_t i = 0; i < b; ++i) {
+    t::Tensor recent =
+        t::Slice(batch.x, 0, i, 1).Reshape(t::Shape{p, n, c});
+    (*slices)[static_cast<size_t>(i)] = cache_.Assemble(recent, output_len);
+  }
+  *served_by = ServedBy::kCache;
+  return core::Status::Ok();
+}
+
+}  // namespace sstban::serving

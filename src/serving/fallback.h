@@ -1,0 +1,93 @@
+#ifndef SSTBAN_SERVING_FALLBACK_H_
+#define SSTBAN_SERVING_FALLBACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/var_model.h"
+#include "core/status.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "serving/circuit_breaker.h"
+#include "serving/request.h"
+
+namespace sstban::serving {
+
+// Last-known-good forecast per sensor: every successful batch refreshes each
+// sensor's most recent [Q, C] forecast column; the terminal fallback tier
+// re-serves those columns. Sensors never forecast successfully (or after a
+// geometry change) degrade further to persistence — the sensor's last
+// observed reading repeated across the horizon — so assembly is infallible.
+class LastGoodCache {
+ public:
+  // Records a successful [Q, N, C] raw-scale forecast.
+  void Update(const tensor::Tensor& forecast);
+
+  // Builds a [Q, N, C] forecast for a request whose raw [P, N, C] window is
+  // `recent`: the cached column where one exists, persistence otherwise.
+  tensor::Tensor Assemble(const tensor::Tensor& recent, int64_t output_len) const;
+
+  int64_t cached_sensors() const;
+
+ private:
+  mutable std::mutex mutex_;
+  tensor::Tensor last_;  // [Q, N, C]; undefined before the first Update
+};
+
+struct FallbackOptions {
+  // Disabling the chain turns every model-tier fault into Unavailable (the
+  // pre-resilience behavior, kept for A/B benchmarks).
+  bool enabled = true;
+  CircuitBreakerOptions primary_breaker;
+  CircuitBreakerOptions var_breaker;
+};
+
+// The degraded tiers behind the primary model: SSTBAN -> VAR baseline ->
+// last-known-good cache. The batcher consults primary_breaker() before the
+// model pass; when the pass fails (fault, exception, non-finite output) or
+// the breaker is open, Run executes the remaining tiers for the whole batch.
+// Each tier has its own circuit breaker; the cache tier has none because it
+// cannot fail. Thread-compatible: Run is only called from the batcher
+// thread, the cache and breakers are internally locked for probes/stats.
+class FallbackChain {
+ public:
+  explicit FallbackChain(FallbackOptions options);
+
+  // Installs a *fitted* VAR baseline (see VarModel::FitSeries). Without one
+  // the VAR tier is skipped. Must be called before the server starts.
+  void SetVarBaseline(std::unique_ptr<baselines::VarModel> var);
+
+  // Runs the chain for one assembled batch (batch.x is the scrubbed raw
+  // [B, P, N, C] with calendar features). On success fills one [Q, N, C]
+  // slice per request and reports which tier answered. `normalizer` may be
+  // nullptr when no model snapshot could be pinned (registry fault before
+  // the first install) — the VAR tier needs the serving normalization stats,
+  // so it is skipped and the cache tier answers. Fails only when the
+  // serve_fallback failpoint injects an error — the chaos tests' hook for
+  // "the fallback itself broke".
+  core::Status Run(const data::Batch& batch, const data::Normalizer* normalizer,
+                   int64_t output_len, std::vector<tensor::Tensor>* slices,
+                   ServedBy* served_by);
+
+  bool enabled() const { return options_.enabled; }
+  bool has_var_baseline() const { return var_ != nullptr; }
+  CircuitBreaker& primary_breaker() { return primary_breaker_; }
+  const CircuitBreaker& primary_breaker() const { return primary_breaker_; }
+  CircuitBreaker& var_breaker() { return var_breaker_; }
+  const CircuitBreaker& var_breaker() const { return var_breaker_; }
+  LastGoodCache& cache() { return cache_; }
+  const LastGoodCache& cache() const { return cache_; }
+
+ private:
+  FallbackOptions options_;
+  CircuitBreaker primary_breaker_;
+  CircuitBreaker var_breaker_;
+  std::unique_ptr<baselines::VarModel> var_;
+  LastGoodCache cache_;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_FALLBACK_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/string_util.h"
 
 namespace sstban::serving {
@@ -23,8 +24,33 @@ BatcherOptions MakeBatcherOptions(const ServerOptions& options) {
 ForecastServer::ForecastServer(ServerOptions options, ModelRegistry* registry)
     : options_(options),
       registry_(registry),
+      sanitizer_(options.sanitizer),
+      fallback_(options.fallback),
       queue_(options.queue_capacity),
-      batcher_(MakeBatcherOptions(options), &queue_, registry, &stats_) {}
+      batcher_(MakeBatcherOptions(options), &queue_, registry, &stats_,
+               &fallback_, &watchdog_) {
+  // Breaker and cache counters live in the fallback chain; hand the stats
+  // sink a closure so /stats snapshots can fold them in.
+  stats_.SetResilienceProvider([this] {
+    ServerStats::ResilienceSummary summary;
+    summary.fallback_enabled = fallback_.enabled();
+    summary.var_available = fallback_.has_var_baseline();
+    const CircuitBreaker& primary = fallback_.primary_breaker();
+    summary.primary_breaker_state = primary.StateName();
+    CircuitBreaker::Stats ps = primary.stats();
+    summary.primary_trips = ps.trips;
+    summary.primary_probes = ps.probes;
+    summary.primary_rejected = ps.rejected;
+    const CircuitBreaker& var = fallback_.var_breaker();
+    summary.var_breaker_state = var.StateName();
+    CircuitBreaker::Stats vs = var.stats();
+    summary.var_trips = vs.trips;
+    summary.var_probes = vs.probes;
+    summary.var_rejected = vs.rejected;
+    summary.cached_sensors = fallback_.cache().cached_sensors();
+    return summary;
+  });
+}
 
 ForecastServer::~ForecastServer() { Shutdown(); }
 
@@ -42,9 +68,22 @@ core::Status ForecastServer::Start() {
   return core::Status::Ok();
 }
 
+void ForecastServer::SetVarBaseline(std::unique_ptr<baselines::VarModel> var) {
+  fallback_.SetVarBaseline(std::move(var));
+}
+
 core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
   if (!running_.load()) {
     return core::Status::Unavailable("server is not running");
+  }
+  // Fail fast rather than queue behind a worker that will never drain: a
+  // wedged batcher turns every accepted request into a client-side timeout.
+  if (watchdog_.Wedged(options_.stall_budget)) {
+    stats_.RecordRejectedWedged();
+    return core::Status::Unavailable(core::StrFormat(
+        "batcher wedged: current batch in flight for %.3fs (budget %.3fs)",
+        watchdog_.InFlightSeconds(),
+        std::chrono::duration<double>(options_.stall_budget).count()));
   }
   const tensor::Tensor& recent = request.recent;
   if (recent.rank() != 3 || recent.dim(0) != options_.input_len ||
@@ -70,6 +109,33 @@ core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
 
   PendingRequest pending;
   pending.request = std::move(request);
+
+  // Input boundary: NaN/Inf/sentinel readings either reject the request
+  // (strict channel) or become a keep mask + scrubbed window copy for
+  // degraded-mode inference.
+  core::StatusOr<SanitizeResult> sanitized =
+      sanitizer_.Sanitize(&pending.request.recent);
+  if (!sanitized.ok()) {
+    stats_.RecordRejectedNonFinite();
+    return sanitized.status();
+  }
+  if (!sanitized.value().clean()) {
+    pending.keep_pos = std::move(sanitized.value().keep_pos);
+    pending.masked_positions = sanitized.value().masked_positions;
+    const double fraction =
+        static_cast<double>(sanitized.value().masked_positions) /
+        static_cast<double>(sanitized.value().total_positions);
+    pending.degradation = fraction > options_.sanitizer.heavy_fraction
+                              ? DegradationLevel::kHeavy
+                              : DegradationLevel::kPartial;
+  }
+
+  core::Status injected = core::FailPointStatus("serve_enqueue");
+  if (!injected.ok()) {
+    stats_.RecordRejectedFull();
+    return injected;
+  }
+
   pending.enqueued_at = Clock::now();
   ForecastFuture future = pending.promise.get_future();
   core::Status pushed = queue_.Push(&pending);
@@ -84,6 +150,22 @@ core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
   stats_.RecordAccepted();
   stats_.UpdateQueueDepth(queue_.depth());
   return future;
+}
+
+HealthReport ForecastServer::CheckHealth() const {
+  HealthReport report;
+  report.live = started_ && running_.load();
+  report.wedged = watchdog_.Wedged(options_.stall_budget);
+  report.accepting =
+      report.live && !queue_.closed() && queue_.depth() < queue_.capacity();
+  report.model_version = registry_->current_version();
+  report.queue_depth = queue_.depth();
+  report.batch_in_flight_seconds = watchdog_.InFlightSeconds();
+  report.primary_breaker = fallback_.primary_breaker().StateName();
+  report.var_breaker = fallback_.var_breaker().StateName();
+  report.ready = report.live && report.accepting && !report.wedged &&
+                 report.model_version > 0;
+  return report;
 }
 
 void ForecastServer::Shutdown() {

@@ -4,12 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
+#include "baselines/var_model.h"
 #include "core/status.h"
 #include "serving/batcher.h"
+#include "serving/fallback.h"
+#include "serving/health.h"
 #include "serving/model_registry.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
+#include "serving/sanitizer.h"
 #include "serving/server_stats.h"
 
 namespace sstban::serving {
@@ -27,12 +32,22 @@ struct ServerOptions {
   std::chrono::microseconds max_wait{2000};
   // Backpressure bound: Submit sheds load with Unavailable beyond this.
   int64_t queue_capacity = 256;
+  // Input-boundary policy for NaN/Inf/sentinel readings (strict everywhere
+  // by default; list degradable channels to enable masked inference).
+  SanitizerOptions sanitizer;
+  // Degraded tiers + circuit breakers behind the primary model.
+  FallbackOptions fallback;
+  // A batch in flight longer than this means the worker is wedged: the
+  // readiness probe goes false and Submit fails fast with Unavailable.
+  std::chrono::milliseconds stall_budget{2000};
 };
 
-// The multi-client inference facade: Submit validates and enqueues a
-// request and returns a future; the batcher coalesces queued requests into
-// single batched model passes against whatever version the ModelRegistry
-// currently serves. Submit is safe from any number of client threads.
+// The multi-client inference facade: Submit validates, sanitizes, and
+// enqueues a request and returns a future; the batcher coalesces queued
+// requests into single batched model passes against whatever version the
+// ModelRegistry currently serves, falling back to the VAR baseline or the
+// last-known-good cache when the primary tier is broken (see FallbackChain).
+// Submit is safe from any number of client threads.
 // Lifecycle: Start -> Submit... -> Shutdown (graceful: the queue stops
 // accepting, everything already queued is still executed, then the worker
 // joins). The registry is borrowed and may be hot-swapped concurrently.
@@ -47,13 +62,22 @@ class ForecastServer {
   // FailedPrecondition when the registry has no model installed yet.
   core::Status Start();
 
-  // Validates the request and enqueues it. Errors:
-  //   InvalidArgument    - window shape mismatch or negative first_step
-  //   Unavailable        - server not running, shutting down, or queue full
+  // Installs a fitted VAR baseline as the tier-2 fallback (see
+  // FallbackChain::SetVarBaseline). Must be called before Start.
+  void SetVarBaseline(std::unique_ptr<baselines::VarModel> var);
+
+  // Validates and sanitizes the request and enqueues it. Errors:
+  //   InvalidArgument    - window shape mismatch, negative first_step, or a
+  //                        NaN/Inf/sentinel reading on a strict channel
+  //   Unavailable        - server not running, shutting down, queue full,
+  //                        or the batcher watchdog reports a wedged worker
   //   DeadlineExceeded   - the deadline already passed
-  // On success the future later yields the [Q, N, C] forecast (or a
-  // DeadlineExceeded that struck while the request waited).
+  // On success the future later yields an annotated ForecastResponse (or a
+  // terminal error that struck while the request waited).
   core::StatusOr<ForecastFuture> Submit(ForecastRequest request);
+
+  // One readiness/liveness evaluation (cheap; safe from any thread).
+  HealthReport CheckHealth() const;
 
   // Graceful shutdown: stops accepting, drains in-flight requests, joins
   // the worker. Idempotent.
@@ -62,11 +86,17 @@ class ForecastServer {
   bool running() const { return running_.load(); }
   const ServerOptions& options() const { return options_; }
   const ServerStats& stats() const { return stats_; }
+  const FallbackChain& fallback() const { return fallback_; }
+  FallbackChain& fallback() { return fallback_; }
+  const BatcherWatchdog& watchdog() const { return watchdog_; }
 
  private:
   ServerOptions options_;
   ModelRegistry* registry_;
   ServerStats stats_;
+  InputSanitizer sanitizer_;
+  FallbackChain fallback_;
+  BatcherWatchdog watchdog_;
   RequestQueue queue_;
   Batcher batcher_;
   std::atomic<bool> running_{false};

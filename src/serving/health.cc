@@ -1,0 +1,46 @@
+#include "serving/health.h"
+
+#include "core/string_util.h"
+
+namespace sstban::serving {
+
+bool BatcherWatchdog::Wedged(std::chrono::milliseconds stall_budget,
+                             Clock::time_point now) const {
+  const int64_t started = batch_started_ns_.load(std::memory_order_acquire);
+  if (started == 0) return false;
+  return ToNs(now) - started >
+         std::chrono::duration_cast<std::chrono::nanoseconds>(stall_budget)
+             .count();
+}
+
+double BatcherWatchdog::InFlightSeconds(Clock::time_point now) const {
+  const int64_t started = batch_started_ns_.load(std::memory_order_acquire);
+  if (started == 0) return 0.0;
+  return static_cast<double>(ToNs(now) - started) * 1e-9;
+}
+
+std::string HealthReport::ToString() const {
+  return core::StrFormat(
+      "%s: live=%d ready=%d wedged=%d accepting=%d version=%lld depth=%lld "
+      "in_flight=%.3fs breakers=%s/%s",
+      ready ? "READY" : (live ? "DEGRADED" : "DOWN"), live ? 1 : 0,
+      ready ? 1 : 0, wedged ? 1 : 0, accepting ? 1 : 0,
+      static_cast<long long>(model_version),
+      static_cast<long long>(queue_depth), batch_in_flight_seconds,
+      primary_breaker.c_str(), var_breaker.c_str());
+}
+
+std::string HealthReport::ToJson() const {
+  return core::StrFormat(
+      "{\"live\": %s, \"ready\": %s, \"wedged\": %s, \"accepting\": %s, "
+      "\"model_version\": %lld, \"queue_depth\": %lld, "
+      "\"batch_in_flight_seconds\": %.6f, \"primary_breaker\": \"%s\", "
+      "\"var_breaker\": \"%s\"}",
+      live ? "true" : "false", ready ? "true" : "false",
+      wedged ? "true" : "false", accepting ? "true" : "false",
+      static_cast<long long>(model_version),
+      static_cast<long long>(queue_depth), batch_in_flight_seconds,
+      primary_breaker.c_str(), var_breaker.c_str());
+}
+
+}  // namespace sstban::serving

@@ -54,6 +54,27 @@ std::optional<PendingRequest> RequestQueue::PopUntil(Clock::time_point until) {
   return req;
 }
 
+int64_t RequestQueue::SweepExpired(
+    Clock::time_point now,
+    const std::function<void(PendingRequest&&)>& reject) {
+  // Collect under the lock, complete promises outside it: a promise's
+  // continuation must never run while the queue mutex is held.
+  std::vector<PendingRequest> expired;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (it->Expired(now)) {
+        expired.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (PendingRequest& req : expired) reject(std::move(req));
+  return static_cast<int64_t>(expired.size());
+}
+
 void RequestQueue::Close() {
   {
     std::unique_lock<std::mutex> lock(mutex_);

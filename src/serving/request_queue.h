@@ -4,8 +4,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/status.h"
 #include "serving/request.h"
@@ -35,6 +37,14 @@ class RequestQueue {
 
   // Waits until `until` for an item; nullopt on timeout (or closed+empty).
   std::optional<PendingRequest> PopUntil(Clock::time_point until);
+
+  // Removes every request whose deadline has passed as of `now` and hands it
+  // to `reject` for terminal completion, without letting it reach a batch.
+  // The batcher runs this right before assembling each batch, so a request
+  // that expired while an earlier (slow) batch held the worker never wastes
+  // a slot in a model pass. Returns the number of requests swept.
+  int64_t SweepExpired(Clock::time_point now,
+                       const std::function<void(PendingRequest&&)>& reject);
 
   // After Close, Push fails with Unavailable; queued items remain poppable
   // so a graceful shutdown can drain them.

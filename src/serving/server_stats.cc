@@ -59,6 +59,38 @@ void ServerStats::RecordEndToEnd(double seconds) {
   end_to_end_.Record(seconds);
 }
 
+void ServerStats::RecordDegradation(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNone:
+      degraded_none_.fetch_add(1);
+      break;
+    case DegradationLevel::kPartial:
+      degraded_partial_.fetch_add(1);
+      break;
+    case DegradationLevel::kHeavy:
+      degraded_heavy_.fetch_add(1);
+      break;
+  }
+}
+
+void ServerStats::RecordServedBy(ServedBy tier) {
+  switch (tier) {
+    case ServedBy::kModel:
+      served_model_.fetch_add(1);
+      break;
+    case ServedBy::kVarBaseline:
+      served_var_.fetch_add(1);
+      break;
+    case ServedBy::kCache:
+      served_cache_.fetch_add(1);
+      break;
+  }
+}
+
+void ServerStats::SetResilienceProvider(ResilienceProvider provider) {
+  resilience_provider_ = std::move(provider);
+}
+
 void ServerStats::RecordBatch(int64_t batch_size) {
   batches_.fetch_add(1);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -92,6 +124,16 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
   snap.hot_swaps = hot_swaps_.load();
   snap.queue_depth = queue_depth_.load();
   snap.peak_queue_depth = peak_queue_depth_.load();
+  snap.degraded_none = degraded_none_.load();
+  snap.degraded_partial = degraded_partial_.load();
+  snap.degraded_heavy = degraded_heavy_.load();
+  snap.served_model = served_model_.load();
+  snap.served_var = served_var_.load();
+  snap.served_cache = served_cache_.load();
+  snap.rejected_nonfinite = rejected_nonfinite_.load();
+  snap.rejected_wedged = rejected_wedged_.load();
+  snap.swept_expired = swept_expired_.load();
+  if (resilience_provider_) snap.resilience = resilience_provider_();
   snap.elapsed_seconds = uptime_.ElapsedSeconds();
   snap.requests_per_second =
       snap.elapsed_seconds > 0.0
@@ -143,6 +185,29 @@ std::string ServerStats::ReportTable() const {
                            static_cast<long long>(s.batch_sizes[i].second));
   }
   out += "\n";
+  const ResilienceSummary& r = s.resilience;
+  out += core::StrFormat(
+      "  degraded: none=%lld partial=%lld heavy=%lld   served: model=%lld "
+      "var=%lld cache=%lld\n"
+      "  resilience: fallback=%s var=%s swept_expired=%lld "
+      "rejected_nonfinite=%lld rejected_wedged=%lld cached_sensors=%lld\n"
+      "  breaker primary: state=%s trips=%lld probes=%lld rejected=%lld\n"
+      "  breaker var:     state=%s trips=%lld probes=%lld rejected=%lld\n",
+      static_cast<long long>(s.degraded_none),
+      static_cast<long long>(s.degraded_partial),
+      static_cast<long long>(s.degraded_heavy),
+      static_cast<long long>(s.served_model),
+      static_cast<long long>(s.served_var),
+      static_cast<long long>(s.served_cache), r.fallback_enabled ? "on" : "off",
+      r.var_available ? "on" : "off", static_cast<long long>(s.swept_expired),
+      static_cast<long long>(s.rejected_nonfinite),
+      static_cast<long long>(s.rejected_wedged),
+      static_cast<long long>(r.cached_sensors), r.primary_breaker_state.c_str(),
+      static_cast<long long>(r.primary_trips),
+      static_cast<long long>(r.primary_probes),
+      static_cast<long long>(r.primary_rejected), r.var_breaker_state.c_str(),
+      static_cast<long long>(r.var_trips), static_cast<long long>(r.var_probes),
+      static_cast<long long>(r.var_rejected));
   const MemorySummary& m = s.memory;
   out += core::StrFormat(
       "  memory:   live=%.1fMB peak=%.1fMB heap-allocs=%lld\n"
@@ -193,6 +258,34 @@ std::string ServerStats::ReportJson() const {
                            static_cast<long long>(s.batch_sizes[i].second));
   }
   out += "},\n";
+  const ResilienceSummary& r = s.resilience;
+  out += core::StrFormat(
+      "  \"degraded\": {\"none\": %lld, \"partial\": %lld, \"heavy\": %lld},\n"
+      "  \"served_by\": {\"model\": %lld, \"var\": %lld, \"cache\": %lld},\n"
+      "  \"resilience\": {\"fallback_enabled\": %s, \"var_available\": %s, "
+      "\"swept_expired\": %lld, \"rejected_nonfinite\": %lld, "
+      "\"rejected_wedged\": %lld, \"cached_sensors\": %lld, "
+      "\"primary_breaker\": {\"state\": \"%s\", \"trips\": %lld, "
+      "\"probes\": %lld, \"rejected\": %lld}, "
+      "\"var_breaker\": {\"state\": \"%s\", \"trips\": %lld, "
+      "\"probes\": %lld, \"rejected\": %lld}},\n",
+      static_cast<long long>(s.degraded_none),
+      static_cast<long long>(s.degraded_partial),
+      static_cast<long long>(s.degraded_heavy),
+      static_cast<long long>(s.served_model),
+      static_cast<long long>(s.served_var),
+      static_cast<long long>(s.served_cache),
+      r.fallback_enabled ? "true" : "false",
+      r.var_available ? "true" : "false",
+      static_cast<long long>(s.swept_expired),
+      static_cast<long long>(s.rejected_nonfinite),
+      static_cast<long long>(s.rejected_wedged),
+      static_cast<long long>(r.cached_sensors), r.primary_breaker_state.c_str(),
+      static_cast<long long>(r.primary_trips),
+      static_cast<long long>(r.primary_probes),
+      static_cast<long long>(r.primary_rejected), r.var_breaker_state.c_str(),
+      static_cast<long long>(r.var_trips), static_cast<long long>(r.var_probes),
+      static_cast<long long>(r.var_rejected));
   const MemorySummary& m = s.memory;
   out += core::StrFormat(
       "  \"memory\": {\"live_bytes\": %lld, \"peak_bytes\": %lld, "

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "core/histogram.h"
 #include "core/timer.h"
+#include "serving/request.h"
 
 namespace sstban::serving {
 
@@ -37,6 +39,21 @@ class ServerStats {
   void RecordRejectedInvalid() { rejected_invalid_.fetch_add(1); }
   void RecordHotSwap() { hot_swaps_.fetch_add(1); }
 
+  // -- Resilience counters ---------------------------------------------------
+  // Strict-mode sanitizer rejection (NaN/Inf on a non-degradable channel).
+  void RecordRejectedNonFinite() {
+    rejected_invalid_.fetch_add(1);
+    rejected_nonfinite_.fetch_add(1);
+  }
+  // Submit failed fast because the batcher watchdog reported a wedged worker.
+  void RecordRejectedWedged() { rejected_wedged_.fetch_add(1); }
+  // Expired requests removed by the pre-batch queue sweep.
+  void RecordSweptExpired(int64_t n) { swept_expired_.fetch_add(n); }
+  // One completed request, bucketed by input degradation level.
+  void RecordDegradation(DegradationLevel level);
+  // One completed request, bucketed by the tier that answered.
+  void RecordServedBy(ServedBy tier);
+
   // One executed batch of the given size (also feeds the distribution).
   void RecordBatch(int64_t batch_size);
 
@@ -60,6 +77,20 @@ class ServerStats {
     int64_t pool_resident_bytes = 0, pool_peak_resident_bytes = 0;
     int64_t heap_allocs = 0;
   };
+  // Circuit-breaker / fallback-chain picture, filled in at snapshot time by
+  // the provider the ForecastServer registers (the breakers live in the
+  // FallbackChain, not here).
+  struct ResilienceSummary {
+    bool fallback_enabled = false, var_available = false;
+    std::string primary_breaker_state = "closed";
+    std::string var_breaker_state = "closed";
+    int64_t primary_trips = 0, primary_probes = 0, primary_rejected = 0;
+    int64_t var_trips = 0, var_probes = 0, var_rejected = 0;
+    int64_t cached_sensors = 0;
+  };
+  using ResilienceProvider = std::function<ResilienceSummary()>;
+  void SetResilienceProvider(ResilienceProvider provider);
+
   struct Snapshot {
     StageSummary queue_wait, assembly, forward, end_to_end;
     int64_t accepted = 0, completed = 0, batches = 0;
@@ -69,6 +100,12 @@ class ServerStats {
     std::vector<std::pair<int64_t, int64_t>> batch_sizes;  // (size, count)
     double elapsed_seconds = 0.0;
     double requests_per_second = 0.0;  // completed / elapsed
+    // Degraded-request histogram (completed requests per degradation level)
+    // and per-tier serve counts.
+    int64_t degraded_none = 0, degraded_partial = 0, degraded_heavy = 0;
+    int64_t served_model = 0, served_var = 0, served_cache = 0;
+    int64_t rejected_nonfinite = 0, rejected_wedged = 0, swept_expired = 0;
+    ResilienceSummary resilience;
     MemorySummary memory;
   };
   Snapshot TakeSnapshot() const;
@@ -91,6 +128,12 @@ class ServerStats {
       rejected_invalid_{0};
   std::atomic<int64_t> hot_swaps_{0};
   std::atomic<int64_t> queue_depth_{0}, peak_queue_depth_{0};
+  std::atomic<int64_t> degraded_none_{0}, degraded_partial_{0},
+      degraded_heavy_{0};
+  std::atomic<int64_t> served_model_{0}, served_var_{0}, served_cache_{0};
+  std::atomic<int64_t> rejected_nonfinite_{0}, rejected_wedged_{0},
+      swept_expired_{0};
+  ResilienceProvider resilience_provider_;  // set before Start, then read-only
 };
 
 }  // namespace sstban::serving

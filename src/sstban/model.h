@@ -58,6 +58,15 @@ class SstbanModel : public training::TrafficModel {
                                         const tensor::Tensor& keep_pos,
                                         const data::Batch& batch);
 
+  // Serving-facing mask entry point (TrafficModel interface): degraded-mode
+  // inference is PredictWithMissing, i.e. exactly the encoder pathway the
+  // self-supervised branch trained.
+  autograd::Variable PredictMasked(const tensor::Tensor& x_norm,
+                                   const tensor::Tensor& keep_pos,
+                                   const data::Batch& batch) override {
+    return PredictWithMissing(x_norm, keep_pos, batch);
+  }
+
   // Exposed pieces of one training forward pass, for tests and ablations.
   struct ForwardOutput {
     autograd::Variable prediction;      // [B, Q, N, C]

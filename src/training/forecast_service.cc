@@ -3,6 +3,7 @@
 #include "autograd/variable.h"
 #include "core/check.h"
 #include "core/string_util.h"
+#include "tensor/ops.h"
 
 namespace sstban::training {
 
@@ -31,6 +32,18 @@ tensor::Tensor RunBatchedInference(TrafficModel* model,
   autograd::NoGradGuard no_grad;
   tensor::Tensor x_norm = normalizer.Transform(batch.x);
   autograd::Variable pred = model->Predict(x_norm, batch);
+  return normalizer.InverseTransform(pred.value());
+}
+
+tensor::Tensor RunBatchedInferenceMasked(TrafficModel* model,
+                                         const data::Normalizer& normalizer,
+                                         const data::Batch& batch,
+                                         const tensor::Tensor& keep_pos) {
+  SSTBAN_CHECK(model != nullptr);
+  model->SetTraining(false);
+  autograd::NoGradGuard no_grad;
+  tensor::Tensor x_norm = normalizer.Transform(batch.x);
+  autograd::Variable pred = model->PredictMasked(x_norm, keep_pos, batch);
   return normalizer.InverseTransform(pred.value());
 }
 
@@ -72,6 +85,15 @@ core::StatusOr<tensor::Tensor> ForecastService::Forecast(
   }
   if (first_step < 0) {
     return core::Status::InvalidArgument("first_step must be >= 0");
+  }
+  // Strict finiteness: a single NaN/Inf reading would silently poison the
+  // whole forward pass (and, on the batched path, everyone coalesced with
+  // it). Degraded-mode inference for flagged-missing sensors lives in the
+  // serving sanitizer; this single-request service always rejects.
+  if (tensor::HasNonFinite(recent)) {
+    return core::Status::InvalidArgument(
+        "recent window contains NaN/Inf readings; clean the feed or use the "
+        "serving path's degraded-mode inference");
   }
   int64_t nodes = recent.dim(1);
   int64_t feats = recent.dim(2);

@@ -32,6 +32,15 @@ tensor::Tensor RunBatchedInference(TrafficModel* model,
                                    const data::Normalizer& normalizer,
                                    const data::Batch& batch);
 
+// Mask-aware variant: `keep_pos` is [B, P, N] with 1 where the position was
+// observed; masked positions are routed through the model's degraded-mode
+// pathway (TrafficModel::PredictMasked). batch.x may hold arbitrary finite
+// values at masked positions — they are structurally excluded, never read.
+tensor::Tensor RunBatchedInferenceMasked(TrafficModel* model,
+                                         const data::Normalizer& normalizer,
+                                         const data::Batch& batch,
+                                         const tensor::Tensor& keep_pos);
+
 // Deployment-facing wrapper around a trained TrafficModel: accepts a raw
 // (denormalized) recent window plus the absolute time index of its first
 // slice, derives calendar features, normalizes, runs the model, and returns

@@ -1,8 +1,24 @@
 #include "training/model.h"
 
 #include "autograd/ops.h"
+#include "core/check.h"
 
 namespace sstban::training {
+
+autograd::Variable TrafficModel::PredictMasked(const tensor::Tensor& x_norm,
+                                               const tensor::Tensor& keep_pos,
+                                               const data::Batch& batch) {
+  SSTBAN_CHECK_EQ(x_norm.rank(), 4);
+  SSTBAN_CHECK(keep_pos.shape() == (tensor::Shape{x_norm.dim(0), x_norm.dim(1),
+                                                  x_norm.dim(2)}))
+      << "keep_pos " << keep_pos.shape().ToString() << " for input "
+      << x_norm.shape().ToString();
+  tensor::Tensor channel_mask = keep_pos.Reshape(
+      tensor::Shape{x_norm.dim(0), x_norm.dim(1), x_norm.dim(2), 1});
+  autograd::Variable masked = autograd::Mul(
+      autograd::Variable(x_norm), autograd::Variable(channel_mask));
+  return Predict(masked.value(), batch);
+}
 
 autograd::Variable TrafficModel::TrainingLoss(const tensor::Tensor& x_norm,
                                               const tensor::Tensor& y_norm,

@@ -21,6 +21,17 @@ class TrafficModel : public nn::Module {
   virtual autograd::Variable Predict(const tensor::Tensor& x_norm,
                                      const data::Batch& batch) = 0;
 
+  // Degraded-mode inference from a partially observed window: `keep_pos` is
+  // [B, P, N] with 1 where the position was actually observed. The default
+  // zeroes unobserved positions and runs the plain forecasting pass; models
+  // trained to handle missing inputs (SSTBAN's masked-autoencoder branch)
+  // override this to exclude masked positions structurally (mask tokens,
+  // -inf attention keys) — the serving sanitizer routes flagged-missing
+  // sensors through here instead of rejecting the request.
+  virtual autograd::Variable PredictMasked(const tensor::Tensor& x_norm,
+                                           const tensor::Tensor& keep_pos,
+                                           const data::Batch& batch);
+
   // Training objective. The default is the paper's forecasting loss, mean
   // absolute error in normalized space; models with auxiliary objectives
   // (SSTBAN's self-supervised branch) override this.

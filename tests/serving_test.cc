@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/failpoint.h"
 #include "data/synthetic_world.h"
 #include "nn/serialization.h"
 #include "serving/forecast_server.h"
@@ -308,8 +309,12 @@ TEST(ForecastServerTest, BatchedMatchesSequentialForecastService) {
     auto sequential = service.Forecast(
         t::Slice(dataset->signals, 0, starts[i], kSteps), starts[i]);
     ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
-    EXPECT_TRUE(t::AllClose(batched.value(), sequential.value(), 1e-5f, 1e-5f))
+    EXPECT_TRUE(t::AllClose(batched.value().forecast, sequential.value(), 1e-5f,
+                            1e-5f))
         << "request " << i << " diverged between batched and sequential paths";
+    EXPECT_FALSE(batched.value().degraded());
+    EXPECT_EQ(batched.value().served_by, ServedBy::kModel);
+    EXPECT_EQ(batched.value().model_version, 1);
   }
   server.Shutdown();
   // The six requests really were coalesced (fewer passes than requests).
@@ -378,7 +383,7 @@ TEST(ForecastServerTest, HotSwapUnderConcurrentLoadLosesNothing) {
           continue;
         }
         ForecastResult result = submitted.value().get();
-        if (result.ok() && !t::HasNonFinite(result.value())) {
+        if (result.ok() && !t::HasNonFinite(result.value().forecast)) {
           successes.fetch_add(1);
         } else {
           failures.fetch_add(1);
@@ -399,6 +404,97 @@ TEST(ForecastServerTest, HotSwapUnderConcurrentLoadLosesNothing) {
   EXPECT_EQ(registry.current_version(), 4);  // initial load + three swaps
   std::remove(ckpt_v1.c_str());
   std::remove(ckpt_v2.c_str());
+}
+
+// A hot-swap racing an in-flight batched Predict: the batch that was already
+// running when Install(v2) landed must be served (and labeled) by v1 — the
+// registry pin taken at batch start keeps the old version alive — while the
+// next batch picks up v2. The CI TSan job runs this under ThreadSanitizer.
+TEST(ForecastServerTest, HotSwapRacesInFlightBatchedPredict) {
+  GateModel* gate_v1 = nullptr;
+  std::unique_ptr<ModelRegistry> registry = GateRegistry(&gate_v1);
+  ServerOptions options = TinyServerOptions();
+  options.max_batch = 1;
+  options.max_wait = std::chrono::microseconds(0);
+  ForecastServer server(options, registry.get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin v1 for the whole test: after the swap the batcher thread drops its
+  // own v1 pin, and gate_v1 must stay valid for the Release() below.
+  std::shared_ptr<const ModelRegistry::Served> v1_pin = registry->current();
+
+  ForecastRequest in_flight;
+  in_flight.recent = t::Tensor::Ones(t::Shape{kSteps, kNodes, kFeatures});
+  auto first = server.Submit(std::move(in_flight));
+  ASSERT_TRUE(first.ok());
+  gate_v1->WaitEntered(1);  // v1's forward pass is running right now
+
+  // Swap mid-flight. v2 must not block later passes, so pre-release it.
+  auto v2 = std::make_unique<GateModel>();
+  v2->Release();
+  registry->Install(std::move(v2));
+  ASSERT_EQ(registry->current_version(), 2);
+
+  gate_v1->Release();
+  ForecastResult first_result = first.value().get();
+  ASSERT_TRUE(first_result.ok()) << first_result.status().ToString();
+  EXPECT_EQ(first_result.value().model_version, 1);  // old version finished it
+
+  ForecastRequest after_swap;
+  after_swap.recent = t::Tensor::Ones(t::Shape{kSteps, kNodes, kFeatures});
+  auto second = server.Submit(std::move(after_swap));
+  ASSERT_TRUE(second.ok());
+  ForecastResult second_result = second.value().get();
+  ASSERT_TRUE(second_result.ok()) << second_result.status().ToString();
+  EXPECT_EQ(second_result.value().model_version, 2);
+
+  server.Shutdown();
+  EXPECT_EQ(server.stats().TakeSnapshot().hot_swaps, 1);
+}
+
+// -- Deadline sweep ordering -------------------------------------------------
+
+// Expired requests must be swept (DeadlineExceeded) BEFORE coalescing, not
+// spend a model pass: a delay failpoint holds batch A in flight past B's
+// deadline, so B can only terminate via the pre-batch sweep.
+TEST(ForecastServerTest, ExpiredRequestIsSweptBeforeCoalescing) {
+  struct ClearFailpoints {
+    ~ClearFailpoints() { core::FailPoint::ClearAll(); }
+  } guard;
+  ASSERT_TRUE(core::FailPoint::Set("serve_batch_run", "delay(150)").ok());
+
+  auto dataset = TinyWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = TinyConfig();
+  ModelRegistry registry(
+      [config] { return std::make_unique<model_ns::SstbanModel>(config); },
+      norm);
+  registry.Install(std::make_unique<model_ns::SstbanModel>(config));
+  ServerOptions options = TinyServerOptions();
+  options.max_batch = 1;  // B can never ride along in A's batch
+  options.max_wait = std::chrono::microseconds(0);
+  ForecastServer server(options, &registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto a = server.Submit(RequestAt(*dataset, 0));
+  ASSERT_TRUE(a.ok());
+  ForecastRequest doomed = RequestAt(*dataset, 3);
+  doomed.deadline = Clock::now() + std::chrono::milliseconds(30);
+  auto b = server.Submit(std::move(doomed));
+  ASSERT_TRUE(b.ok());
+
+  // A's (delayed) pass outlives B's deadline; the sweep then rejects B
+  // without ever popping it into a batch.
+  ForecastResult a_result = a.value().get();
+  EXPECT_TRUE(a_result.ok()) << a_result.status().ToString();
+  ForecastResult b_result = b.value().get();
+  ASSERT_FALSE(b_result.ok());
+  EXPECT_EQ(b_result.status().code(), core::StatusCode::kDeadlineExceeded);
+
+  server.Shutdown();
+  ServerStats::Snapshot snap = server.stats().TakeSnapshot();
+  EXPECT_GE(snap.swept_expired, 1);  // rejected by the sweep, not pop-path
+  EXPECT_EQ(snap.completed, 1);
 }
 
 // -- Graceful shutdown -------------------------------------------------------

@@ -7,11 +7,20 @@
 //                [--epochs 2] [--days 8] [--nodes 16]
 //                [--clients 4] [--requests 32] [--deadline-ms 0]
 //                [--max-batch 8] [--max-wait-us 2000] [--queue-cap 256]
-//                [--swap 1] [--json 0]
+//                [--swap 1] [--json 0] [--degrade-pct 0] [--fallback 1]
+//                [--var-lag 3] [--stall-ms 2000]
 //
 // Trains a checkpoint if --ckpt does not exist yet (plus a second version
 // for the hot-swap), then serves it. `--requests` is per client; a deadline
 // of 0 means none. `--json 1` appends the machine-readable stats dump.
+//
+// Resilience knobs: `--degrade-pct N` corrupts channel 0 of N% of requests
+// with NaN readings, exercising mask-aware degraded inference;
+// `--fallback 0` disables the VAR/cache fallback chain; `--var-lag 0` skips
+// fitting the VAR tier; `--stall-ms` is the batcher watchdog budget. The
+// health probe line is printed after the run. SSTBAN_FAILPOINTS (see
+// src/core/failpoint.h) injects serving faults: serve_enqueue,
+// serve_batch_run, serve_fallback, registry_get.
 
 #include <atomic>
 #include <cstdio>
@@ -19,6 +28,7 @@
 #include <cstring>
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -26,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/var_model.h"
 #include "core/rng.h"
 #include "data/dataset.h"
 #include "data/normalizer.h"
@@ -157,8 +168,10 @@ int TrainCheckpoints(const model_ns::SstbanConfig& config,
 
 struct LoadGenTotals {
   std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> degraded{0};  // subset of ok answered in degraded mode
   std::atomic<int64_t> deadline{0};
   std::atomic<int64_t> unavailable{0};
+  std::atomic<int64_t> invalid{0};
   std::atomic<int64_t> other{0};
 };
 
@@ -179,6 +192,10 @@ int main(int argc, char** argv) {
   int64_t queue_cap = flags.GetInt("queue-cap", 256);
   bool do_swap = flags.GetInt("swap", 1) != 0;
   bool emit_json = flags.GetInt("json", 0) != 0;
+  int64_t degrade_pct = flags.GetInt("degrade-pct", 0);
+  bool fallback_enabled = flags.GetInt("fallback", 1) != 0;
+  int64_t var_lag = flags.GetInt("var-lag", 3);
+  int64_t stall_ms = flags.GetInt("stall-ms", 2000);
 
   auto dataset = std::make_shared<data::TrafficDataset>(
       data::GenerateSyntheticWorld(WorldFor(preset, flags)));
@@ -215,7 +232,20 @@ int main(int argc, char** argv) {
   options.max_batch = max_batch;
   options.max_wait = std::chrono::microseconds(max_wait_us);
   options.queue_capacity = queue_cap;
+  if (degrade_pct > 0) {
+    options.sanitizer.degradable_channels = {0};
+  }
+  options.fallback.enabled = fallback_enabled;
+  options.stall_budget = std::chrono::milliseconds(stall_ms);
   serving::ForecastServer server(options, &registry);
+  if (fallback_enabled && var_lag > 0) {
+    auto var = std::make_unique<sstban::baselines::VarModel>(
+        static_cast<int>(var_lag));
+    var->FitSeries(normalizer.Transform(dataset->signals));
+    server.SetVarBaseline(std::move(var));
+    std::printf("fallback chain: VAR(lag=%lld) + last-known-good cache\n",
+                static_cast<long long>(var_lag));
+  }
   status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -245,6 +275,20 @@ int main(int argc, char** argv) {
         serving::ForecastRequest request;
         request.recent = tensor::Slice(dataset->signals, 0, start, steps);
         request.first_step = start;
+        if (degrade_pct > 0 &&
+            rng.NextBelow(100) < static_cast<uint32_t>(degrade_pct)) {
+          // Simulate a few dead sensors: NaN out channel 0 of three random
+          // (step, sensor) positions; the sanitizer masks them.
+          request.recent = request.recent.Clone();
+          float* data = request.recent.data();
+          const int64_t nodes = request.recent.dim(1);
+          const int64_t feats = request.recent.dim(2);
+          for (int k = 0; k < 3; ++k) {
+            int64_t pos = static_cast<int64_t>(
+                rng.NextBelow(static_cast<uint32_t>(steps * nodes)));
+            data[pos * feats] = std::numeric_limits<float>::quiet_NaN();
+          }
+        }
         if (deadline_ms > 0) {
           request.deadline = serving::Clock::now() +
                              std::chrono::milliseconds(deadline_ms);
@@ -258,6 +302,9 @@ int main(int argc, char** argv) {
             case sstban::core::StatusCode::kDeadlineExceeded:
               totals.deadline.fetch_add(1);
               break;
+            case sstban::core::StatusCode::kInvalidArgument:
+              totals.invalid.fetch_add(1);
+              break;
             default:
               totals.other.fetch_add(1);
           }
@@ -266,9 +313,13 @@ int main(int argc, char** argv) {
         serving::ForecastResult result = submitted.value().get();
         if (result.ok()) {
           totals.ok.fetch_add(1);
+          if (result.value().degraded()) totals.degraded.fetch_add(1);
         } else if (result.status().code() ==
                    sstban::core::StatusCode::kDeadlineExceeded) {
           totals.deadline.fetch_add(1);
+        } else if (result.status().code() ==
+                   sstban::core::StatusCode::kUnavailable) {
+          totals.unavailable.fetch_add(1);
         } else {
           totals.other.fetch_add(1);
         }
@@ -298,14 +349,19 @@ int main(int argc, char** argv) {
   }
 
   for (std::thread& worker : workers) worker.join();
+  serving::HealthReport health = server.CheckHealth();
   server.Shutdown();
 
   std::printf(
-      "\nload generator: ok=%lld deadline=%lld unavailable=%lld other=%lld\n\n",
+      "\nload generator: ok=%lld (degraded=%lld) deadline=%lld "
+      "unavailable=%lld invalid=%lld other=%lld\n",
       static_cast<long long>(totals.ok.load()),
+      static_cast<long long>(totals.degraded.load()),
       static_cast<long long>(totals.deadline.load()),
       static_cast<long long>(totals.unavailable.load()),
+      static_cast<long long>(totals.invalid.load()),
       static_cast<long long>(totals.other.load()));
+  std::printf("health: %s\n\n", health.ToString().c_str());
   std::printf("%s", server.stats().ReportTable().c_str());
   if (emit_json) std::printf("\n%s", server.stats().ReportJson().c_str());
   return totals.other.load() == 0 ? 0 : 1;
