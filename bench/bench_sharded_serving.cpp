@@ -1,0 +1,142 @@
+// Open-loop load sweep over the sharded serving fleet. For each offered
+// rate, a seeded Poisson arrival process with Pareto-tailed request widths
+// drives the K-shard router and we record the end-to-end latency
+// distribution (measured from the *scheduled* arrival, so dispatcher lag
+// under overload is charged — no coordinated omission) plus the terminal
+// mix. The saturation knee is the highest offered rate the fleet still
+// absorbs: achieved >= 90% of offered and p99 under budget.
+//
+// Emits one JSON object on stdout; pass a path as argv[1] to also write it
+// there (CI snapshots it as bench/BENCH_sharded_serving.json).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "sharding/fleet.h"
+#include "sharding/loadgen.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+
+namespace {
+
+namespace t = ::sstban::tensor;
+namespace sharding = ::sstban::sharding;
+namespace data = ::sstban::data;
+
+constexpr int64_t kSteps = 12;
+constexpr int64_t kNodes = 24;
+constexpr int64_t kFeatures = 1;
+constexpr int64_t kStepsPerDay = 24;
+constexpr int64_t kShards = 4;
+constexpr double kP99BudgetSeconds = 0.25;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  data::SyntheticWorldConfig world_config;
+  world_config.num_nodes = kNodes;
+  world_config.num_corridors = 3;
+  world_config.steps_per_day = kStepsPerDay;
+  world_config.num_days = 4;
+  world_config.seed = 17;
+  data::TrafficDataset dataset = data::GenerateSyntheticWorld(world_config);
+  data::Normalizer norm = data::Normalizer::Fit(dataset.signals);
+
+  sstban::sstban::SstbanConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kSteps;
+  config.output_len = kSteps;
+  config.num_features = kFeatures;
+  config.steps_per_day = kStepsPerDay;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 3;
+  config.spatial_mixing = false;  // node-local => exact sharded serving
+  config.seed = 9;
+  sstban::sstban::SstbanModel full_model(config);
+
+  sharding::FleetOptions fleet_options;
+  fleet_options.partition.num_shards = kShards;
+  fleet_options.server.input_len = kSteps;
+  fleet_options.server.output_len = kSteps;
+  fleet_options.server.steps_per_day = kStepsPerDay;
+  fleet_options.server.num_nodes = kNodes;
+  fleet_options.server.num_features = kFeatures;
+  fleet_options.server.max_batch = 8;
+  fleet_options.server.max_wait = std::chrono::milliseconds(2);
+  fleet_options.server.queue_capacity = 256;
+  fleet_options.router.shard_timeout = std::chrono::milliseconds(1000);
+  fleet_options.router.queue_capacity = 512;
+
+  auto fleet_or = sharding::ShardedFleet::Create(*dataset.graph, full_model,
+                                                 norm, fleet_options);
+  if (!fleet_or.ok()) {
+    std::fprintf(stderr, "FAIL: fleet: %s\n",
+                 fleet_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<sharding::ShardedFleet>& fleet = fleet_or.value();
+  if (!fleet->Start().ok()) {
+    std::fprintf(stderr, "FAIL: fleet start\n");
+    return 1;
+  }
+
+  t::Tensor window = t::Slice(dataset.signals, 0, 0, kSteps).Clone();
+
+  const std::vector<double> rates = {25, 50, 100, 200, 400};
+  std::string sweeps;
+  double knee_rps = 0.0;
+  for (size_t i = 0; i < rates.size(); ++i) {
+    sharding::LoadGenOptions load;
+    load.rate_rps = rates[i];
+    load.requests = 120;
+    load.seed = 7 + i;
+    sharding::LoadGenReport report =
+        sharding::RunOpenLoopLoad(&fleet->router(), window, 0, load);
+    std::fprintf(stderr,
+                 "rate %6.0f rps: achieved %7.1f  p50 %6.2fms  p99 %6.2fms  "
+                 "ok %lld partial %lld rejected %lld\n",
+                 report.offered_rps, report.achieved_rps, report.p50 * 1e3,
+                 report.p99 * 1e3, static_cast<long long>(report.ok),
+                 static_cast<long long>(report.partial),
+                 static_cast<long long>(report.rejected));
+    if (!sweeps.empty()) sweeps += ",\n    ";
+    sweeps += report.ToJson();
+    const bool absorbed = report.achieved_rps >= 0.9 * report.offered_rps &&
+                          report.p99 <= kP99BudgetSeconds;
+    if (absorbed && report.offered_rps > knee_rps) {
+      knee_rps = report.offered_rps;
+    }
+  }
+  fleet->Shutdown();
+
+  std::string json = "{\n  \"bench\": \"sharded_serving\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"shards\": %lld,\n  \"nodes\": %lld,\n"
+                "  \"p99_budget_seconds\": %.3f,\n"
+                "  \"saturation_knee_rps\": %.1f,\n  \"sweeps\": [\n    ",
+                static_cast<long long>(kShards),
+                static_cast<long long>(kNodes), kP99BudgetSeconds, knee_rps);
+  json += buf;
+  json += sweeps;
+  json += "\n  ]\n}\n";
+  std::fputs(json.c_str(), stdout);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json;
+  }
+
+  if (knee_rps <= 0.0) {
+    std::fprintf(stderr, "FAIL: fleet absorbed none of the offered rates\n");
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,16 @@ std::vector<std::string> Split(const std::string& text, char delim);
 // Removes leading/trailing whitespace.
 std::string Trim(const std::string& text);
 
+// Escapes a string for embedding inside a JSON string literal: quotes and
+// backslashes are backslash-escaped, control characters below 0x20 become
+// \b \f \n \r \t or \u00XX. Returns the escaped body WITHOUT surrounding
+// quotes. Every place the library renders a string into JSON must go
+// through this (or JsonQuote) — no per-file ad-hoc escaping.
+std::string JsonEscape(const std::string& text);
+
+// JsonEscape plus surrounding double quotes: a complete JSON string token.
+std::string JsonQuote(const std::string& text);
+
 }  // namespace sstban::core
 
 #endif  // SSTBAN_CORE_STRING_UTIL_H_

@@ -34,13 +34,14 @@ std::string HealthReport::ToJson() const {
   return core::StrFormat(
       "{\"live\": %s, \"ready\": %s, \"wedged\": %s, \"accepting\": %s, "
       "\"model_version\": %lld, \"queue_depth\": %lld, "
-      "\"batch_in_flight_seconds\": %.6f, \"primary_breaker\": \"%s\", "
-      "\"var_breaker\": \"%s\"}",
+      "\"batch_in_flight_seconds\": %.6f, \"primary_breaker\": %s, "
+      "\"var_breaker\": %s}",
       live ? "true" : "false", ready ? "true" : "false",
       wedged ? "true" : "false", accepting ? "true" : "false",
       static_cast<long long>(model_version),
       static_cast<long long>(queue_depth), batch_in_flight_seconds,
-      primary_breaker.c_str(), var_breaker.c_str());
+      core::JsonQuote(primary_breaker).c_str(),
+      core::JsonQuote(var_breaker).c_str());
 }
 
 }  // namespace sstban::serving

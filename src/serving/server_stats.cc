@@ -265,9 +265,9 @@ std::string ServerStats::ReportJson() const {
       "  \"resilience\": {\"fallback_enabled\": %s, \"var_available\": %s, "
       "\"swept_expired\": %lld, \"rejected_nonfinite\": %lld, "
       "\"rejected_wedged\": %lld, \"cached_sensors\": %lld, "
-      "\"primary_breaker\": {\"state\": \"%s\", \"trips\": %lld, "
+      "\"primary_breaker\": {\"state\": %s, \"trips\": %lld, "
       "\"probes\": %lld, \"rejected\": %lld}, "
-      "\"var_breaker\": {\"state\": \"%s\", \"trips\": %lld, "
+      "\"var_breaker\": {\"state\": %s, \"trips\": %lld, "
       "\"probes\": %lld, \"rejected\": %lld}},\n",
       static_cast<long long>(s.degraded_none),
       static_cast<long long>(s.degraded_partial),
@@ -280,10 +280,12 @@ std::string ServerStats::ReportJson() const {
       static_cast<long long>(s.swept_expired),
       static_cast<long long>(s.rejected_nonfinite),
       static_cast<long long>(s.rejected_wedged),
-      static_cast<long long>(r.cached_sensors), r.primary_breaker_state.c_str(),
+      static_cast<long long>(r.cached_sensors),
+      core::JsonQuote(r.primary_breaker_state).c_str(),
       static_cast<long long>(r.primary_trips),
       static_cast<long long>(r.primary_probes),
-      static_cast<long long>(r.primary_rejected), r.var_breaker_state.c_str(),
+      static_cast<long long>(r.primary_rejected),
+      core::JsonQuote(r.var_breaker_state).c_str(),
       static_cast<long long>(r.var_trips), static_cast<long long>(r.var_probes),
       static_cast<long long>(r.var_rejected));
   const MemorySummary& m = s.memory;

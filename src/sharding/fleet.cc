@@ -1,0 +1,71 @@
+#include "sharding/fleet.h"
+
+#include <utility>
+
+#include "core/check.h"
+#include "sharding/shard_model.h"
+
+namespace sstban::sharding {
+
+core::StatusOr<std::unique_ptr<ShardedFleet>> ShardedFleet::Create(
+    const graph::TrafficGraph& graph, const sstban::SstbanModel& full_model,
+    const data::Normalizer& normalizer, const FleetOptions& options) {
+  if (options.replicas_per_shard < 1) {
+    return core::Status::InvalidArgument("replicas_per_shard must be >= 1");
+  }
+  if (full_model.config().num_nodes != graph.num_nodes()) {
+    return core::Status::InvalidArgument("model/graph node count mismatch");
+  }
+  auto plan_or = PartitionGraph(graph, options.partition);
+  if (!plan_or.ok()) return plan_or.status();
+
+  auto fleet = std::unique_ptr<ShardedFleet>(new ShardedFleet());
+  fleet->plan_ = std::move(plan_or).value();
+  fleet->replicas_per_shard_ = options.replicas_per_shard;
+  fleet->workers_.reserve(fleet->plan_.num_shards *
+                          options.replicas_per_shard);
+  for (const ShardSpec& spec : fleet->plan_.shards) {
+    // Every replica gets an independent slice plus a factory building
+    // architecture-compatible empty models, so per-shard checkpoint
+    // hot-swap (registry.LoadVersion) works exactly like the single-server
+    // path.
+    sstban::SstbanConfig shard_config = full_model.config();
+    shard_config.num_nodes = static_cast<int64_t>(spec.view.size());
+    auto factory = [shard_config]() -> std::unique_ptr<training::TrafficModel> {
+      return std::make_unique<sstban::SstbanModel>(shard_config);
+    };
+    for (int64_t r = 0; r < options.replicas_per_shard; ++r) {
+      fleet->workers_.push_back(std::make_unique<ShardWorker>(
+          spec, factory, BuildShardModel(full_model, spec.view), normalizer,
+          options.server));
+    }
+  }
+  std::vector<std::vector<ShardWorker*>> by_shard(fleet->plan_.num_shards);
+  for (int64_t s = 0; s < fleet->plan_.num_shards; ++s) {
+    for (int64_t r = 0; r < options.replicas_per_shard; ++r) {
+      by_shard[s].push_back(
+          fleet->workers_[s * options.replicas_per_shard + r].get());
+    }
+  }
+  fleet->router_ = std::make_unique<ShardRouter>(
+      &fleet->plan_, std::move(by_shard), options.router);
+  return fleet;
+}
+
+core::Status ShardedFleet::Start() {
+  if (started_) return core::Status::Ok();
+  for (auto& worker : workers_) {
+    SSTBAN_RETURN_IF_ERROR(worker->Start());
+  }
+  SSTBAN_RETURN_IF_ERROR(router_->Start());
+  started_ = true;
+  return core::Status::Ok();
+}
+
+void ShardedFleet::Shutdown() {
+  if (router_ != nullptr) router_->Shutdown();
+  for (auto& worker : workers_) worker->Shutdown();
+  started_ = false;
+}
+
+}  // namespace sstban::sharding

@@ -1,0 +1,72 @@
+#ifndef SSTBAN_SHARDING_FLEET_H_
+#define SSTBAN_SHARDING_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+#include "data/normalizer.h"
+#include "graph/traffic_graph.h"
+#include "serving/forecast_server.h"
+#include "sharding/partitioner.h"
+#include "sharding/router.h"
+#include "sharding/shard_worker.h"
+#include "sstban/model.h"
+
+namespace sstban::sharding {
+
+struct FleetOptions {
+  PartitionOptions partition;
+  // Per-replica server template; num_nodes is overridden to each shard's
+  // view size.
+  serving::ServerOptions server;
+  RouterOptions router;
+  int64_t replicas_per_shard = 1;
+};
+
+// Owns a complete sharded deployment: the partition plan, one sliced model
+// per (shard, replica), the per-replica ForecastServers, and the scatter/
+// gather router. Built from a trained full-graph model; every replica of a
+// shard gets its own independent slice (registry, breakers, queue), so one
+// replica wedging never infects its sibling.
+class ShardedFleet {
+ public:
+  // Partitions the graph and slices `full_model` per shard view. The model
+  // and normalizer are only read during construction.
+  static core::StatusOr<std::unique_ptr<ShardedFleet>> Create(
+      const graph::TrafficGraph& graph, const sstban::SstbanModel& full_model,
+      const data::Normalizer& normalizer, const FleetOptions& options);
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+  ~ShardedFleet() { Shutdown(); }
+
+  // Starts every worker, then the router. Workers that need a VAR baseline
+  // must receive it (worker(s, r).SetVarBaseline) before Start.
+  core::Status Start();
+  // Router first (fail in-flight gathers), then the workers. Idempotent.
+  void Shutdown();
+
+  const ShardPlan& plan() const { return plan_; }
+  ShardRouter& router() { return *router_; }
+  int64_t replicas_per_shard() const { return replicas_per_shard_; }
+  ShardWorker& worker(int64_t shard, int64_t replica) {
+    return *workers_.at(shard * replicas_per_shard_ + replica);
+  }
+
+ private:
+  ShardedFleet() = default;
+
+  ShardPlan plan_;
+  int64_t replicas_per_shard_ = 1;
+  // Flattened [shard * replicas + replica]; unique_ptr because workers are
+  // immovable (they own running threads).
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::unique_ptr<ShardRouter> router_;
+  bool started_ = false;
+};
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_FLEET_H_

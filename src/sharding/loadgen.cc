@@ -1,0 +1,190 @@
+#include "sharding/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "core/histogram.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace sstban::sharding {
+
+namespace {
+
+struct InFlight {
+  ShardedFuture future;
+  Clock::time_point scheduled_at;
+};
+
+}  // namespace
+
+std::string LoadGenReport::ToJson() const {
+  return core::StrFormat(
+      "{\"offered_rps\": %.3f, \"achieved_rps\": %.3f, "
+      "\"duration_seconds\": %.6f, \"submitted\": %lld, \"ok\": %lld, "
+      "\"partial\": %lld, \"rejected\": %lld, \"deadline_exceeded\": %lld, "
+      "\"unavailable\": %lld, \"invalid\": %lld, \"latency_ms\": "
+      "{\"mean\": %.6f, \"p50\": %.6f, \"p90\": %.6f, \"p99\": %.6f, "
+      "\"p999\": %.6f, \"max\": %.6f}}",
+      offered_rps, achieved_rps, duration_seconds,
+      static_cast<long long>(submitted), static_cast<long long>(ok),
+      static_cast<long long>(partial), static_cast<long long>(rejected),
+      static_cast<long long>(deadline_exceeded),
+      static_cast<long long>(unavailable), static_cast<long long>(invalid),
+      mean * 1e3, p50 * 1e3, p90 * 1e3, p99 * 1e3, p999 * 1e3, max * 1e3);
+}
+
+LoadGenReport RunOpenLoopLoad(ShardRouter* router,
+                              const tensor::Tensor& window, int64_t first_step,
+                              const LoadGenOptions& options) {
+  SSTBAN_CHECK(options.rate_rps > 0.0);
+  SSTBAN_CHECK(options.requests > 0);
+  const int64_t n = router->plan().num_nodes;
+
+  // The whole schedule — arrival offsets, widths, sensor subsets — is drawn
+  // up front so the offered load is identical across runs with one seed.
+  core::Rng rng(options.seed, /*stream=*/0x10ad);
+  std::vector<double> arrival_offsets(options.requests);
+  std::vector<std::vector<int64_t>> subsets(options.requests);
+  double t = 0.0;
+  for (int64_t i = 0; i < options.requests; ++i) {
+    t += -std::log(1.0 - rng.NextDouble()) / options.rate_rps;
+    arrival_offsets[i] = t;
+    const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+    const double raw = static_cast<double>(options.min_sensors) *
+                       std::pow(u, -1.0 / options.size_alpha);
+    const int64_t width = std::min<int64_t>(
+        n, std::max<int64_t>(options.min_sensors,
+                             static_cast<int64_t>(raw)));
+    subsets[i] = (width >= n) ? std::vector<int64_t>{}
+                              : rng.SampleWithoutReplacement(n, width);
+  }
+
+  LoadGenReport report;
+  report.offered_rps = options.rate_rps;
+
+  core::Histogram latencies(1e-6, 1.3, 90);
+  std::mutex stats_mutex;
+  std::atomic<int64_t> ok{0}, partial{0}, deadline_exceeded{0},
+      unavailable{0}, invalid{0}, rejected{0};
+
+  // Completion drain: a FIFO of in-flight futures consumed by a small pool.
+  // Waits overlap in wall time, so FIFO observation adds at most scheduler
+  // noise to the recorded latencies.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<InFlight> in_flight;
+  bool submitting = true;
+  auto drain = [&] {
+    while (true) {
+      InFlight item;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock,
+                      [&] { return !in_flight.empty() || !submitting; });
+        if (in_flight.empty()) return;
+        item = std::move(in_flight.front());
+        in_flight.pop_front();
+      }
+      ShardedResult result = item.future.get();
+      const double latency =
+          std::chrono::duration<double>(Clock::now() - item.scheduled_at)
+              .count();
+      {
+        std::unique_lock<std::mutex> lock(stats_mutex);
+        latencies.Record(latency);
+      }
+      if (result.ok()) {
+        if (result.value().failed_sensors.empty()) {
+          ok.fetch_add(1);
+        } else {
+          partial.fetch_add(1);
+        }
+      } else {
+        switch (result.status().code()) {
+          case core::StatusCode::kDeadlineExceeded:
+            deadline_exceeded.fetch_add(1);
+            break;
+          case core::StatusCode::kInvalidArgument:
+            invalid.fetch_add(1);
+            break;
+          default:
+            unavailable.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> drainers;
+  const int64_t drain_threads = std::max<int64_t>(1, options.completion_threads);
+  drainers.reserve(drain_threads);
+  for (int64_t i = 0; i < drain_threads; ++i) drainers.emplace_back(drain);
+
+  const Clock::time_point start = Clock::now();
+  for (int64_t i = 0; i < options.requests; ++i) {
+    const Clock::time_point scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrival_offsets[i]));
+    std::this_thread::sleep_until(scheduled);  // open loop: never waits on answers
+    ShardedRequest request;
+    request.recent = window;
+    request.sensors = subsets[i];
+    request.first_step = first_step;
+    if (options.deadline.count() > 0) {
+      request.deadline = scheduled + options.deadline;
+    }
+    ++report.submitted;
+    auto submitted = router->Submit(std::move(request));
+    if (!submitted.ok()) {
+      rejected.fetch_add(1);
+      // A synchronous rejection is a terminal answer at ~zero latency.
+      const double latency =
+          std::chrono::duration<double>(Clock::now() - scheduled).count();
+      std::unique_lock<std::mutex> lock(stats_mutex);
+      latencies.Record(latency);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex);
+      in_flight.push_back(
+          InFlight{std::move(submitted).value(), scheduled});
+    }
+    queue_cv.notify_one();
+  }
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    submitting = false;
+  }
+  queue_cv.notify_all();
+  for (std::thread& thread : drainers) thread.join();
+  const Clock::time_point end = Clock::now();
+
+  report.duration_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.ok = ok.load();
+  report.partial = partial.load();
+  report.rejected = rejected.load();
+  report.deadline_exceeded = deadline_exceeded.load();
+  report.unavailable = unavailable.load();
+  report.invalid = invalid.load();
+  report.achieved_rps =
+      report.duration_seconds > 0.0
+          ? static_cast<double>(report.ok + report.partial) /
+                report.duration_seconds
+          : 0.0;
+  report.p50 = latencies.Quantile(0.50);
+  report.p90 = latencies.Quantile(0.90);
+  report.p99 = latencies.Quantile(0.99);
+  report.p999 = latencies.Quantile(0.999);
+  report.mean = latencies.mean();
+  report.max = latencies.max();
+  return report;
+}
+
+}  // namespace sstban::sharding

@@ -1,0 +1,62 @@
+#ifndef SSTBAN_SHARDING_LOADGEN_H_
+#define SSTBAN_SHARDING_LOADGEN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "sharding/router.h"
+#include "tensor/tensor.h"
+
+namespace sstban::sharding {
+
+// Open-loop load: arrivals follow a seeded Poisson process at `rate_rps`
+// regardless of how fast the fleet answers (no coordinated omission — a
+// slow fleet faces a growing backlog, exactly like production), and request
+// widths (how many sensors a request asks for) follow a truncated Pareto,
+// so most requests are narrow and a heavy tail sweeps much of the graph.
+struct LoadGenOptions {
+  double rate_rps = 50.0;
+  int64_t requests = 200;
+  uint64_t seed = 7;
+  // Pareto shape for the request width; smaller = heavier tail. Widths are
+  // min_sensors * U^(-1/size_alpha), truncated to the graph size.
+  double size_alpha = 1.2;
+  int64_t min_sensors = 4;
+  // Client deadline per request; zero leaves it to the router's shard
+  // timeout.
+  std::chrono::milliseconds deadline{0};
+  // Threads draining completions; waits overlap, so a handful suffices.
+  int64_t completion_threads = 8;
+};
+
+struct LoadGenReport {
+  double offered_rps = 0.0;   // configured arrival rate
+  double achieved_rps = 0.0;  // ok terminals / wall duration
+  double duration_seconds = 0.0;
+  int64_t submitted = 0;
+  int64_t ok = 0;       // full answers
+  int64_t partial = 0;  // ok with NaN-filled failed sensors
+  int64_t rejected = 0;             // Submit refused synchronously
+  int64_t deadline_exceeded = 0;
+  int64_t unavailable = 0;
+  int64_t invalid = 0;
+  // Latency measured from the *scheduled* arrival instant, so dispatcher
+  // lag under overload is charged to the fleet (seconds).
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0;
+  double mean = 0.0, max = 0.0;
+
+  std::string ToJson() const;
+};
+
+// Drives `router` with options.requests open-loop arrivals built from the
+// given full-graph window. Blocks until every accepted request reached a
+// terminal. Deterministic schedule (arrival offsets, request widths, sensor
+// subsets) for a given seed; actual latencies are of course not.
+LoadGenReport RunOpenLoopLoad(ShardRouter* router,
+                              const tensor::Tensor& window, int64_t first_step,
+                              const LoadGenOptions& options);
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_LOADGEN_H_

@@ -1,0 +1,323 @@
+#include "sharding/partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace sstban::sharding {
+
+namespace {
+
+// Undirected neighbor lists with merged weights and directed-edge
+// multiplicities. The partitioner treats the sensor network as undirected:
+// congestion couples both directions of a corridor, and the cut metric
+// counts directed edges, so a pair with edges both ways costs 2 when split.
+struct UndirectedAdjacency {
+  // neighbor id -> (summed weight, number of directed edges between pair)
+  std::vector<std::vector<std::tuple<int64_t, float, int64_t>>> nbrs;
+
+  explicit UndirectedAdjacency(const graph::TrafficGraph& graph) {
+    const int64_t n = graph.num_nodes();
+    std::vector<std::map<int64_t, std::pair<float, int64_t>>> merged(n);
+    for (const auto& [from, to, weight] : graph.edges()) {
+      if (from == to) continue;
+      auto& a = merged[from][to];
+      a.first += weight;
+      a.second += 1;
+      auto& b = merged[to][from];
+      b.first += weight;
+      b.second += 1;
+    }
+    nbrs.resize(n);
+    for (int64_t v = 0; v < n; ++v) {
+      nbrs[v].reserve(merged[v].size());
+      for (const auto& [u, wc] : merged[v]) {
+        nbrs[v].emplace_back(u, wc.first, wc.second);
+      }
+    }
+  }
+};
+
+// Picks K seeds spread across the graph: the first at random, each next one
+// maximizing the hop distance to its nearest already-chosen seed (farthest-
+// point traversal), ties to the smallest id. Disconnected components get
+// seeded naturally because unreachable nodes have infinite distance.
+std::vector<int64_t> SpreadSeeds(const UndirectedAdjacency& adj, int64_t n,
+                                 int64_t k, core::Rng& rng) {
+  constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> seeds;
+  seeds.reserve(k);
+  std::vector<int64_t> dist(n, kInf);  // hops to nearest seed
+  auto relax_from = [&](int64_t seed) {
+    std::deque<int64_t> frontier;
+    dist[seed] = 0;
+    frontier.push_back(seed);
+    while (!frontier.empty()) {
+      int64_t v = frontier.front();
+      frontier.pop_front();
+      for (const auto& [u, w, c] : adj.nbrs[v]) {
+        (void)w;
+        (void)c;
+        if (dist[u] == kInf || dist[u] > dist[v] + 1) {
+          dist[u] = dist[v] + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+  };
+  int64_t first = static_cast<int64_t>(rng.NextBelow(static_cast<uint32_t>(n)));
+  seeds.push_back(first);
+  relax_from(first);
+  while (static_cast<int64_t>(seeds.size()) < k) {
+    int64_t best = -1;
+    int64_t best_dist = -1;
+    for (int64_t v = 0; v < n; ++v) {
+      if (dist[v] == 0) continue;  // already a seed
+      if (dist[v] > best_dist) {
+        best_dist = dist[v];
+        best = v;
+      }
+    }
+    SSTBAN_CHECK(best >= 0) << "fewer candidate seeds than shards";
+    seeds.push_back(best);
+    relax_from(best);
+  }
+  return seeds;
+}
+
+// Greedy corridor growth: always extend the currently-smallest shard by the
+// unassigned node most strongly connected to it, so shard sizes never
+// diverge by more than one and shards follow corridors.
+std::vector<int64_t> GrowShards(const UndirectedAdjacency& adj, int64_t n,
+                                int64_t k,
+                                const std::vector<int64_t>& seeds) {
+  std::vector<int64_t> shard_of(n, -1);
+  std::vector<int64_t> size(k, 0);
+  // conn[v][s]: summed edge weight from unassigned v into shard s.
+  std::vector<std::vector<float>> conn(n, std::vector<float>(k, 0.0f));
+  int64_t assigned = 0;
+  auto assign = [&](int64_t v, int64_t s) {
+    shard_of[v] = s;
+    ++size[s];
+    ++assigned;
+    for (const auto& [u, w, c] : adj.nbrs[v]) {
+      (void)c;
+      if (shard_of[u] < 0) conn[u][s] += w;
+    }
+  };
+  for (int64_t s = 0; s < k; ++s) assign(seeds[s], s);
+  int64_t next_unassigned = 0;
+  while (assigned < n) {
+    int64_t s = 0;
+    for (int64_t t = 1; t < k; ++t) {
+      if (size[t] < size[s]) s = t;
+    }
+    int64_t best = -1;
+    float best_conn = 0.0f;
+    for (int64_t v = 0; v < n; ++v) {
+      if (shard_of[v] >= 0) continue;
+      if (conn[v][s] > best_conn) {
+        best_conn = conn[v][s];
+        best = v;
+      }
+    }
+    if (best < 0) {
+      // The shard's frontier is exhausted (component boundary): take the
+      // smallest-id unassigned node to keep growth deterministic.
+      while (shard_of[next_unassigned] >= 0) ++next_unassigned;
+      best = next_unassigned;
+    }
+    assign(best, s);
+  }
+  return shard_of;
+}
+
+// Boundary refinement: move a node to a neighboring shard when that strictly
+// reduces the number of cut (directed) edges and both shards stay within the
+// balance band [floor(N/K), ceil(N/K)].
+void RefineBoundary(const UndirectedAdjacency& adj, int64_t n, int64_t k,
+                    int64_t passes, std::vector<int64_t>* shard_of) {
+  const int64_t lo = n / k;
+  const int64_t hi = (n + k - 1) / k;
+  std::vector<int64_t> size(k, 0);
+  for (int64_t v = 0; v < n; ++v) ++size[(*shard_of)[v]];
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    bool improved = false;
+    for (int64_t v = 0; v < n; ++v) {
+      const int64_t a = (*shard_of)[v];
+      if (size[a] <= lo) continue;
+      // Directed-edge multiplicity of v's links into each shard.
+      std::vector<int64_t> links(k, 0);
+      for (const auto& [u, w, c] : adj.nbrs[v]) {
+        (void)w;
+        links[(*shard_of)[u]] += c;
+      }
+      int64_t best_shard = a;
+      int64_t best_links = links[a];
+      for (int64_t b = 0; b < k; ++b) {
+        if (b == a || size[b] >= hi) continue;
+        if (links[b] > best_links ||
+            (links[b] == best_links && b < best_shard && best_shard != a)) {
+          best_links = links[b];
+          best_shard = b;
+        }
+      }
+      if (best_shard != a) {
+        (*shard_of)[v] = best_shard;
+        --size[a];
+        ++size[best_shard];
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+std::vector<int64_t> StripeAssignment(int64_t n, int64_t k) {
+  std::vector<int64_t> shard_of(n);
+  // Contiguous ranges with sizes differing by at most one.
+  for (int64_t v = 0; v < n; ++v) shard_of[v] = v * k / n;
+  return shard_of;
+}
+
+// Materializes ShardSpecs (owned / halo / view / index maps) from a total
+// assignment vector.
+ShardPlan BuildPlan(const graph::TrafficGraph& graph,
+                    const UndirectedAdjacency& adj,
+                    const PartitionOptions& options,
+                    std::vector<int64_t> shard_of) {
+  const int64_t n = graph.num_nodes();
+  const int64_t k = options.num_shards;
+  ShardPlan plan;
+  plan.num_nodes = n;
+  plan.num_shards = k;
+  plan.halo_hops = options.halo_hops;
+  plan.shard_of = std::move(shard_of);
+  plan.total_edges = static_cast<int64_t>(graph.edges().size());
+  plan.cross_shard_edges = CountCrossEdges(graph, plan.shard_of);
+  plan.shards.resize(k);
+  for (int64_t s = 0; s < k; ++s) plan.shards[s].shard_id = s;
+  for (int64_t v = 0; v < n; ++v) {
+    plan.shards[plan.shard_of[v]].owned.push_back(v);  // ascending by loop
+  }
+  for (ShardSpec& spec : plan.shards) {
+    // Halo: undirected BFS up to halo_hops from the owned set.
+    std::vector<int64_t> hops(n, -1);
+    std::deque<int64_t> frontier;
+    for (int64_t v : spec.owned) {
+      hops[v] = 0;
+      frontier.push_back(v);
+    }
+    while (!frontier.empty()) {
+      int64_t v = frontier.front();
+      frontier.pop_front();
+      if (hops[v] >= options.halo_hops) continue;
+      for (const auto& [u, w, c] : adj.nbrs[v]) {
+        (void)w;
+        (void)c;
+        if (hops[u] < 0) {
+          hops[u] = hops[v] + 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+    for (int64_t v = 0; v < n; ++v) {
+      if (hops[v] > 0) spec.halo.push_back(v);
+    }
+    spec.view.reserve(spec.owned.size() + spec.halo.size());
+    for (int64_t v = 0; v < n; ++v) {
+      if (hops[v] >= 0) spec.view.push_back(v);
+    }
+    spec.view_local_of.assign(n, -1);
+    for (size_t i = 0; i < spec.view.size(); ++i) {
+      spec.view_local_of[spec.view[i]] = static_cast<int64_t>(i);
+    }
+    spec.owned_view_index.reserve(spec.owned.size());
+    for (int64_t v : spec.owned) {
+      spec.owned_view_index.push_back(spec.view_local_of[v]);
+    }
+  }
+  return plan;
+}
+
+core::Status ValidateOptions(const graph::TrafficGraph& graph,
+                             const PartitionOptions& options) {
+  if (options.num_shards < 1) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "num_shards must be >= 1, got %lld",
+        static_cast<long long>(options.num_shards)));
+  }
+  if (options.num_shards > graph.num_nodes()) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "num_shards (%lld) exceeds sensor count (%lld)",
+        static_cast<long long>(options.num_shards),
+        static_cast<long long>(graph.num_nodes())));
+  }
+  if (options.halo_hops < 0) {
+    return core::Status::InvalidArgument("halo_hops must be >= 0");
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace
+
+std::string ShardPlan::Summary() const {
+  std::vector<std::string> sizes;
+  sizes.reserve(shards.size());
+  for (const ShardSpec& s : shards) {
+    sizes.push_back(core::StrFormat(
+        "%lld(+%lld halo)", static_cast<long long>(s.owned.size()),
+        static_cast<long long>(s.halo.size())));
+  }
+  return core::StrFormat(
+      "partition: K=%lld N=%lld halo_hops=%lld cut=%lld/%lld owned=[%s]",
+      static_cast<long long>(num_shards), static_cast<long long>(num_nodes),
+      static_cast<long long>(halo_hops),
+      static_cast<long long>(cross_shard_edges),
+      static_cast<long long>(total_edges), core::Join(sizes, ", ").c_str());
+}
+
+int64_t CountCrossEdges(const graph::TrafficGraph& graph,
+                        const std::vector<int64_t>& shard_of) {
+  SSTBAN_CHECK_EQ(static_cast<int64_t>(shard_of.size()), graph.num_nodes());
+  int64_t cross = 0;
+  for (const auto& [from, to, weight] : graph.edges()) {
+    (void)weight;
+    if (shard_of[from] != shard_of[to]) ++cross;
+  }
+  return cross;
+}
+
+core::StatusOr<ShardPlan> PartitionGraph(const graph::TrafficGraph& graph,
+                                         const PartitionOptions& options) {
+  SSTBAN_RETURN_IF_ERROR(ValidateOptions(graph, options));
+  const int64_t n = graph.num_nodes();
+  const int64_t k = options.num_shards;
+  UndirectedAdjacency adj(graph);
+  core::Rng rng(options.seed, /*stream=*/0x5ad0);
+  std::vector<int64_t> seeds = SpreadSeeds(adj, n, k, rng);
+  std::vector<int64_t> grown = GrowShards(adj, n, k, seeds);
+  RefineBoundary(adj, n, k, options.refine_passes, &grown);
+  // Never worse than the naive baseline: keep whichever assignment cuts
+  // fewer directed edges (ties go to the corridor-grown plan).
+  std::vector<int64_t> striped = StripeAssignment(n, k);
+  if (CountCrossEdges(graph, striped) < CountCrossEdges(graph, grown)) {
+    grown = std::move(striped);
+  }
+  return BuildPlan(graph, adj, options, std::move(grown));
+}
+
+core::StatusOr<ShardPlan> StripePartition(const graph::TrafficGraph& graph,
+                                          const PartitionOptions& options) {
+  SSTBAN_RETURN_IF_ERROR(ValidateOptions(graph, options));
+  UndirectedAdjacency adj(graph);
+  return BuildPlan(graph, adj, options,
+                   StripeAssignment(graph.num_nodes(), options.num_shards));
+}
+
+}  // namespace sstban::sharding

@@ -1,0 +1,87 @@
+#ifndef SSTBAN_SHARDING_PARTITIONER_H_
+#define SSTBAN_SHARDING_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/traffic_graph.h"
+
+namespace sstban::sharding {
+
+struct PartitionOptions {
+  // K-way split; every sensor lands in exactly one shard's `owned` set.
+  int64_t num_shards = 4;
+  // Undirected hop radius of the halo each shard sees beyond its owned
+  // sensors. 0 means the shard view is exactly its owned set (sufficient
+  // for the temporal-only model, SstbanConfig::spatial_mixing = false);
+  // a radius covering the whole graph reproduces the unsharded model
+  // exactly even with spatial attention on.
+  int64_t halo_hops = 0;
+  // Seeds the corridor-growth heuristic; the same seed always yields the
+  // same plan regardless of thread count.
+  uint64_t seed = 1;
+  // Local-refinement passes trading boundary nodes to reduce cut edges.
+  int64_t refine_passes = 4;
+};
+
+// One shard's slice of the sensor network. All index vectors are sorted
+// ascending, so slicing a [*, N, C] tensor down to `view` and back is
+// order-preserving.
+struct ShardSpec {
+  int64_t shard_id = 0;
+  std::vector<int64_t> owned;  // global sensor ids this shard answers for
+  std::vector<int64_t> halo;   // extra context sensors (disjoint from owned)
+  std::vector<int64_t> view;   // sorted(owned ∪ halo): the model's node axis
+  // Global sensor id -> index into `view`, or -1 when the sensor is not in
+  // this shard's view. Size = total sensors in the graph.
+  std::vector<int64_t> view_local_of;
+  // For each entry of `owned` (in order), its index into `view` — the rows
+  // of the shard forecast that are authoritative.
+  std::vector<int64_t> owned_view_index;
+};
+
+// A complete K-way partition of the sensor graph.
+struct ShardPlan {
+  int64_t num_nodes = 0;
+  int64_t num_shards = 0;
+  int64_t halo_hops = 0;
+  std::vector<ShardSpec> shards;
+  // Global sensor id -> owning shard id. Size num_nodes; total cover, no
+  // overlaps (every sensor appears in exactly one shard's `owned`).
+  std::vector<int64_t> shard_of;
+  // Directed edges of the graph whose endpoints live in different shards.
+  int64_t cross_shard_edges = 0;
+  int64_t total_edges = 0;
+
+  std::string Summary() const;
+};
+
+// Corridor-aware balanced K-way partition. Grows shards greedily from
+// spread-out seeds, always extending the currently-smallest shard along its
+// strongest frontier edge (so corridors stay contiguous), then runs
+// boundary refinement, and finally keeps whichever of {refined plan, naive
+// striping} cuts fewer edges. Guarantees:
+//   - every sensor is owned by exactly one shard,
+//   - max and min owned-set sizes differ by at most one,
+//   - cross-shard edge count <= that of StripePartition,
+//   - deterministic for a given (graph, options), independent of threads.
+// InvalidArgument when num_shards < 1, num_shards > num_nodes, or
+// halo_hops < 0.
+core::StatusOr<ShardPlan> PartitionGraph(const graph::TrafficGraph& graph,
+                                         const PartitionOptions& options);
+
+// The naive baseline: sensor i goes to shard i * K / N (contiguous id
+// ranges). Used as the quality floor and for tests.
+core::StatusOr<ShardPlan> StripePartition(const graph::TrafficGraph& graph,
+                                          const PartitionOptions& options);
+
+// Directed edges whose endpoints are owned by different shards, given a
+// total assignment vector (size num_nodes).
+int64_t CountCrossEdges(const graph::TrafficGraph& graph,
+                        const std::vector<int64_t>& shard_of);
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_PARTITIONER_H_

@@ -1,0 +1,449 @@
+#include "sharding/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "core/string_util.h"
+#include "sharding/shard_model.h"
+
+namespace sstban::sharding {
+
+namespace t = ::sstban::tensor;
+
+bool ShardedResponse::degraded() const {
+  if (!failed_sensors.empty()) return true;
+  if (degradation != serving::DegradationLevel::kNone) return true;
+  for (const ShardOutcome& o : shards) {
+    if (o.status.ok() && o.served_by != serving::ServedBy::kModel) return true;
+  }
+  return false;
+}
+
+ShardRouter::ShardRouter(const ShardPlan* plan,
+                         std::vector<std::vector<ShardWorker*>> workers,
+                         RouterOptions options)
+    : plan_(plan), workers_(std::move(workers)), options_(options) {
+  SSTBAN_CHECK(plan_ != nullptr);
+  SSTBAN_CHECK_EQ(static_cast<int64_t>(workers_.size()), plan_->num_shards);
+  for (const auto& replicas : workers_) {
+    SSTBAN_CHECK(!replicas.empty()) << "every shard needs >= 1 replica";
+  }
+  const serving::ServerOptions& geom = workers_[0][0]->server().options();
+  input_len_ = geom.input_len;
+  output_len_ = geom.output_len;
+  num_features_ = geom.num_features;
+  per_shard_.reset(new PerShardCounters[plan_->num_shards]);
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+core::Status ShardRouter::Start() {
+  if (running_.load()) return core::Status::Ok();
+  running_.store(true);
+  const int64_t n = std::max<int64_t>(1, options_.gather_threads);
+  gatherers_.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    gatherers_.emplace_back([this] { GatherLoop(); });
+  }
+  return core::Status::Ok();
+}
+
+void ShardRouter::Shutdown() {
+  if (!running_.exchange(false)) return;
+  queue_cv_.notify_all();
+  for (std::thread& thread : gatherers_) {
+    if (thread.joinable()) thread.join();
+  }
+  gatherers_.clear();
+  // Anything still parked resolves to a terminal, never a hang.
+  std::deque<GatherTask> leftover;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    leftover.swap(queue_);
+  }
+  for (GatherTask& task : leftover) {
+    failed_.fetch_add(1);
+    task.promise.set_value(
+        core::Status::Unavailable("router shut down before gather"));
+  }
+}
+
+core::StatusOr<ShardedFuture> ShardRouter::Submit(ShardedRequest request) {
+  if (!running_.load()) {
+    rejected_.fetch_add(1);
+    return core::Status::Unavailable("router is not running");
+  }
+  const int64_t n = plan_->num_nodes;
+  if (request.recent.rank() != 3 || request.recent.dim(0) != input_len_ ||
+      request.recent.dim(1) != n || request.recent.dim(2) != num_features_) {
+    rejected_.fetch_add(1);
+    return core::Status::InvalidArgument(core::StrFormat(
+        "recent window must be [%lld, %lld, %lld]",
+        static_cast<long long>(input_len_), static_cast<long long>(n),
+        static_cast<long long>(num_features_)));
+  }
+  std::vector<int64_t> sensors = std::move(request.sensors);
+  if (sensors.empty()) {
+    sensors.resize(n);
+    for (int64_t v = 0; v < n; ++v) sensors[v] = v;
+  }
+  for (int64_t v : sensors) {
+    if (v < 0 || v >= n) {
+      rejected_.fetch_add(1);
+      return core::Status::InvalidArgument(
+          core::StrFormat("sensor id %lld out of [0, %lld)",
+                          static_cast<long long>(v), static_cast<long long>(n)));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      rejected_.fetch_add(1);
+      return core::Status::Unavailable("router gather queue is full");
+    }
+  }
+
+  const Clock::time_point now = Clock::now();
+  Clock::time_point shard_deadline = now + options_.shard_timeout;
+  if (request.deadline.has_value() && *request.deadline < shard_deadline) {
+    shard_deadline = *request.deadline;
+  }
+
+  // Group the requested sensor positions by owning shard.
+  std::vector<std::vector<int64_t>> positions_of(plan_->num_shards);
+  for (size_t i = 0; i < sensors.size(); ++i) {
+    positions_of[plan_->shard_of[sensors[i]]].push_back(
+        static_cast<int64_t>(i));
+  }
+
+  GatherTask task;
+  task.sensors = std::move(sensors);
+  task.submitted_at = now;
+  task.give_up_at = shard_deadline + options_.gather_grace;
+  task.output_len = output_len_;
+  task.num_features = num_features_;
+  for (int64_t s = 0; s < plan_->num_shards; ++s) {
+    if (positions_of[s].empty()) continue;
+    const ShardSpec& spec = plan_->shards[s];
+    PendingShard pending;
+    pending.shard = s;
+    pending.outcome.shard = s;
+    pending.positions = std::move(positions_of[s]);
+    pending.view_rows.reserve(pending.positions.size());
+    for (int64_t pos : pending.positions) {
+      pending.view_rows.push_back(spec.view_local_of[task.sensors[pos]]);
+    }
+    serving::ForecastRequest sub;
+    sub.recent = GatherNodes(request.recent, spec.view);
+    sub.first_step = request.first_step;
+    sub.deadline = shard_deadline;
+    Dispatch(s, std::move(sub), &pending);
+    task.pending.push_back(std::move(pending));
+  }
+  submitted_.fetch_add(1);
+
+  std::future<ShardedResult> future = task.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+namespace {
+
+bool ReplicaHealthy(const serving::HealthReport& health) {
+  return health.ready && health.primary_breaker != "open";
+}
+
+}  // namespace
+
+void ShardRouter::Dispatch(int64_t shard, serving::ForecastRequest request,
+                           PendingShard* out) {
+  std::vector<ShardWorker*>& replicas = workers_[shard];
+  const int64_t r = static_cast<int64_t>(replicas.size());
+  const int64_t start = rotation_.fetch_add(1) % r;
+  std::vector<int64_t> order(r);
+  for (int64_t i = 0; i < r; ++i) order[i] = (start + i) % r;
+  if (options_.hedge_on_unhealthy && r > 1) {
+    // Route around a replica whose probe says not-ready or whose primary
+    // breaker is open: move the first healthy replica to the front.
+    for (int64_t i = 0; i < r; ++i) {
+      if (ReplicaHealthy(replicas[order[i]]->CheckHealth())) {
+        if (i > 0) {
+          std::rotate(order.begin(), order.begin() + i, order.end());
+          out->outcome.hedged = true;
+          hedges_.fetch_add(1);
+        }
+        break;
+      }
+    }
+  }
+  core::Status last = core::Status::Unavailable("no replica accepted");
+  for (int64_t i = 0; i < r; ++i) {
+    ShardWorker* worker = replicas[order[i]];
+    if (i > 0) {
+      out->outcome.failed_over = true;
+      failovers_.fetch_add(1);
+    }
+    out->outcome.replica = order[i];
+    shard_dispatches_.fetch_add(1);
+    per_shard_[shard].dispatched.fetch_add(1);
+    auto submitted = worker->Submit(request);  // tensor copy is shallow
+    if (submitted.ok()) {
+      out->outcome.status = core::Status::Ok();
+      out->future = std::move(submitted).value();
+      return;
+    }
+    last = submitted.status();
+  }
+  out->outcome.status = last;
+}
+
+void ShardRouter::GatherLoop() {
+  while (true) {
+    GatherTask task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || !running_.load(); });
+      if (queue_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Finish(std::move(task));
+  }
+}
+
+void ShardRouter::Finish(GatherTask task) {
+  const int64_t q = task.output_len;
+  const int64_t c = task.num_features;
+  const int64_t s = static_cast<int64_t>(task.sensors.size());
+
+  ShardedResponse response;
+  response.sensors = task.sensors;
+  response.forecast =
+      t::Tensor::Full(t::Shape{q, s, c}, std::numeric_limits<float>::quiet_NaN());
+
+  int64_t num_ok = 0;
+  core::Status worst = core::Status::Ok();
+  bool saw_deadline = false, saw_unavailable = false;
+  for (PendingShard& pending : task.pending) {
+    serving::ForecastResult result =
+        core::Status::Unavailable("shard dispatch failed");
+    if (!pending.outcome.status.ok()) {
+      result = pending.outcome.status;
+    } else {
+      // Dispatch succeeded; wait out the shard (bounded by give_up_at).
+      if (pending.future.wait_until(task.give_up_at) ==
+          std::future_status::ready) {
+        result = pending.future.get();
+      } else {
+        result = core::Status::DeadlineExceeded(
+            core::StrFormat("shard %lld did not answer in time",
+                            static_cast<long long>(pending.shard)));
+      }
+    }
+    if (result.ok()) {
+      const serving::ForecastResponse& shard_response = result.value();
+      pending.outcome.status = core::Status::Ok();
+      pending.outcome.served_by = shard_response.served_by;
+      pending.outcome.degradation = shard_response.degradation;
+      pending.outcome.model_version = shard_response.model_version;
+      if (static_cast<int>(shard_response.degradation) >
+          static_cast<int>(response.degradation)) {
+        response.degradation = shard_response.degradation;
+      }
+      const t::Tensor& shard_forecast = shard_response.forecast;
+      SSTBAN_CHECK_EQ(shard_forecast.dim(0), q);
+      SSTBAN_CHECK_EQ(shard_forecast.dim(2), c);
+      const int64_t view = shard_forecast.dim(1);
+      const float* src = shard_forecast.data();
+      float* dst = response.forecast.data();
+      for (size_t i = 0; i < pending.positions.size(); ++i) {
+        const int64_t pos = pending.positions[i];
+        const int64_t row = pending.view_rows[i];
+        for (int64_t step = 0; step < q; ++step) {
+          std::memcpy(dst + (step * s + pos) * c,
+                      src + (step * view + row) * c,
+                      static_cast<size_t>(c) * sizeof(float));
+        }
+      }
+      ++num_ok;
+      per_shard_[pending.shard].ok.fetch_add(1);
+    } else {
+      pending.outcome.status = result.status();
+      if (result.status().code() == core::StatusCode::kDeadlineExceeded) {
+        saw_deadline = true;
+      }
+      if (result.status().code() == core::StatusCode::kUnavailable) {
+        saw_unavailable = true;
+      }
+      if (worst.ok()) worst = result.status();
+      for (int64_t pos : pending.positions) {
+        response.failed_sensors.push_back(task.sensors[pos]);
+      }
+      shard_failures_.fetch_add(1);
+      per_shard_[pending.shard].failed.fetch_add(1);
+    }
+    response.shards.push_back(pending.outcome);
+  }
+  std::sort(response.failed_sensors.begin(), response.failed_sensors.end());
+
+  const double latency =
+      std::chrono::duration<double>(Clock::now() - task.submitted_at).count();
+  {
+    std::unique_lock<std::mutex> lock(latency_mutex_);
+    latency_.Record(latency);
+  }
+
+  const bool all_ok = response.failed_sensors.empty();
+  if (num_ok > 0 && (all_ok || options_.partial_results)) {
+    completed_.fetch_add(1);
+    if (!all_ok) partial_.fetch_add(1);
+    task.promise.set_value(std::move(response));
+    return;
+  }
+  failed_.fetch_add(1);
+  if (saw_deadline) {
+    task.promise.set_value(core::Status::DeadlineExceeded(
+        "no shard answered before the deadline"));
+  } else if (saw_unavailable || worst.ok()) {
+    task.promise.set_value(
+        core::Status::Unavailable("all shards unavailable"));
+  } else {
+    task.promise.set_value(worst);
+  }
+}
+
+RouterStatsSnapshot ShardRouter::StatsSnapshot() const {
+  RouterStatsSnapshot snap;
+  snap.submitted = submitted_.load();
+  snap.completed = completed_.load();
+  snap.partial = partial_.load();
+  snap.failed = failed_.load();
+  snap.rejected = rejected_.load();
+  snap.hedges = hedges_.load();
+  snap.failovers = failovers_.load();
+  snap.shard_dispatches = shard_dispatches_.load();
+  snap.shard_failures = shard_failures_.load();
+  {
+    std::unique_lock<std::mutex> lock(latency_mutex_);
+    snap.latency_p50 = latency_.Quantile(0.50);
+    snap.latency_p90 = latency_.Quantile(0.90);
+    snap.latency_p99 = latency_.Quantile(0.99);
+    snap.latency_mean = latency_.mean();
+    snap.latency_max = latency_.max();
+  }
+  return snap;
+}
+
+std::string ShardRouter::FleetTable() const {
+  RouterStatsSnapshot r = StatsSnapshot();
+  std::string out = core::StrFormat(
+      "fleet: %lld shards, %s\n"
+      "router: submitted=%lld completed=%lld partial=%lld failed=%lld "
+      "rejected=%lld hedges=%lld failovers=%lld\n"
+      "router latency (ms): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+      static_cast<long long>(plan_->num_shards), plan_->Summary().c_str(),
+      static_cast<long long>(r.submitted), static_cast<long long>(r.completed),
+      static_cast<long long>(r.partial), static_cast<long long>(r.failed),
+      static_cast<long long>(r.rejected), static_cast<long long>(r.hedges),
+      static_cast<long long>(r.failovers), r.latency_mean * 1e3,
+      r.latency_p50 * 1e3, r.latency_p90 * 1e3, r.latency_p99 * 1e3,
+      r.latency_max * 1e3);
+  out += core::StrFormat("  %5s %7s %6s %7s %9s %9s %9s %10s %s\n", "shard",
+                         "replica", "ready", "version", "dispatched",
+                         "accepted", "completed", "e2e_p50ms", "breaker");
+  for (int64_t s = 0; s < plan_->num_shards; ++s) {
+    for (size_t i = 0; i < workers_[s].size(); ++i) {
+      const ShardWorker* w = workers_[s][i];
+      serving::HealthReport h = w->CheckHealth();
+      serving::ServerStats::Snapshot stats = w->server().stats().TakeSnapshot();
+      out += core::StrFormat(
+          "  %5lld %7lld %6s %7lld %9lld %9lld %9lld %10.3f %s\n",
+          static_cast<long long>(s), static_cast<long long>(i),
+          h.ready ? "yes" : "NO", static_cast<long long>(h.model_version),
+          static_cast<long long>(per_shard_[s].dispatched.load()),
+          static_cast<long long>(stats.accepted),
+          static_cast<long long>(stats.completed), stats.end_to_end.p50 * 1e3,
+          h.primary_breaker.c_str());
+    }
+  }
+  return out;
+}
+
+std::string ShardRouter::FleetJson() const {
+  RouterStatsSnapshot r = StatsSnapshot();
+  std::string out = "{\n";
+  out += core::StrFormat(
+      "  \"plan\": {\"num_shards\": %lld, \"num_nodes\": %lld, "
+      "\"halo_hops\": %lld, \"cross_shard_edges\": %lld, "
+      "\"total_edges\": %lld},\n",
+      static_cast<long long>(plan_->num_shards),
+      static_cast<long long>(plan_->num_nodes),
+      static_cast<long long>(plan_->halo_hops),
+      static_cast<long long>(plan_->cross_shard_edges),
+      static_cast<long long>(plan_->total_edges));
+  out += core::StrFormat(
+      "  \"router\": {\"submitted\": %lld, \"completed\": %lld, "
+      "\"partial\": %lld, \"failed\": %lld, \"rejected\": %lld, "
+      "\"hedges\": %lld, \"failovers\": %lld, \"shard_dispatches\": %lld, "
+      "\"shard_failures\": %lld, \"latency_ms\": {\"mean\": %.6f, "
+      "\"p50\": %.6f, \"p90\": %.6f, \"p99\": %.6f, \"max\": %.6f}},\n",
+      static_cast<long long>(r.submitted), static_cast<long long>(r.completed),
+      static_cast<long long>(r.partial), static_cast<long long>(r.failed),
+      static_cast<long long>(r.rejected), static_cast<long long>(r.hedges),
+      static_cast<long long>(r.failovers),
+      static_cast<long long>(r.shard_dispatches),
+      static_cast<long long>(r.shard_failures), r.latency_mean * 1e3,
+      r.latency_p50 * 1e3, r.latency_p90 * 1e3, r.latency_p99 * 1e3,
+      r.latency_max * 1e3);
+  out += "  \"shards\": [\n";
+  for (int64_t s = 0; s < plan_->num_shards; ++s) {
+    const ShardSpec& spec = plan_->shards[s];
+    out += core::StrFormat(
+        "    {\"shard\": %lld, \"owned\": %lld, \"view\": %lld, "
+        "\"dispatched\": %lld, \"ok\": %lld, \"failed\": %lld, "
+        "\"replicas\": [\n",
+        static_cast<long long>(s), static_cast<long long>(spec.owned.size()),
+        static_cast<long long>(spec.view.size()),
+        static_cast<long long>(per_shard_[s].dispatched.load()),
+        static_cast<long long>(per_shard_[s].ok.load()),
+        static_cast<long long>(per_shard_[s].failed.load()));
+    for (size_t i = 0; i < workers_[s].size(); ++i) {
+      const ShardWorker* w = workers_[s][i];
+      serving::HealthReport h = w->CheckHealth();
+      serving::ServerStats::Snapshot stats = w->server().stats().TakeSnapshot();
+      out += core::StrFormat(
+          "      {\"replica\": %lld, \"health\": %s, \"accepted\": %lld, "
+          "\"completed\": %lld, \"served_by\": {\"model\": %lld, "
+          "\"var\": %lld, \"cache\": %lld}, \"degraded\": {\"none\": %lld, "
+          "\"partial\": %lld, \"heavy\": %lld}}%s\n",
+          static_cast<long long>(i), h.ToJson().c_str(),
+          static_cast<long long>(stats.accepted),
+          static_cast<long long>(stats.completed),
+          static_cast<long long>(stats.served_model),
+          static_cast<long long>(stats.served_var),
+          static_cast<long long>(stats.served_cache),
+          static_cast<long long>(stats.degraded_none),
+          static_cast<long long>(stats.degraded_partial),
+          static_cast<long long>(stats.degraded_heavy),
+          i + 1 < workers_[s].size() ? "," : "");
+    }
+    out += core::StrFormat("    ]}%s\n",
+                           s + 1 < plan_->num_shards ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace sstban::sharding

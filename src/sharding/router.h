@@ -1,0 +1,201 @@
+#ifndef SSTBAN_SHARDING_ROUTER_H_
+#define SSTBAN_SHARDING_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/status.h"
+#include "serving/request.h"
+#include "sharding/partitioner.h"
+#include "sharding/shard_worker.h"
+
+namespace sstban::sharding {
+
+using serving::Clock;
+
+// A fleet-level request: one full-graph [P, N, C] window plus the sensors
+// the caller wants forecasts for (empty = all N). The router slices the
+// window per shard view, scatters to the owning shards, and gathers the
+// shard answers back into one [Q, S, C] response.
+struct ShardedRequest {
+  tensor::Tensor recent;  // [P, N, C] raw signals over the FULL graph
+  std::vector<int64_t> sensors;  // requested global sensor ids; empty = all
+  int64_t first_step = 0;
+  std::optional<Clock::time_point> deadline;
+};
+
+// What happened on one shard for one request.
+struct ShardOutcome {
+  int64_t shard = 0;
+  int64_t replica = 0;    // replica that finally served (or last tried)
+  bool hedged = false;    // dispatched away from the rotation pick on health
+  bool failed_over = false;  // re-dispatched after a Submit rejection
+  core::Status status;    // terminal status of this shard's sub-request
+  serving::ServedBy served_by = serving::ServedBy::kModel;
+  serving::DegradationLevel degradation = serving::DegradationLevel::kNone;
+  int64_t model_version = 0;
+};
+
+// The gathered answer. `forecast` is [Q, S, C] where S = sensors.size();
+// row i answers sensors[i]. Sensors whose shard failed are NaN-filled and
+// listed in `failed_sensors` (only possible when RouterOptions::
+// partial_results is true — otherwise any shard failure fails the request).
+struct ShardedResponse {
+  tensor::Tensor forecast;  // [Q, S, C] raw-scale
+  std::vector<int64_t> sensors;
+  std::vector<ShardOutcome> shards;
+  std::vector<int64_t> failed_sensors;
+  serving::DegradationLevel degradation = serving::DegradationLevel::kNone;
+
+  bool degraded() const;
+};
+
+// Exactly-one-terminal holds at the fleet level too: Ok (possibly partial /
+// degraded), Unavailable, DeadlineExceeded, or InvalidArgument.
+using ShardedResult = core::StatusOr<ShardedResponse>;
+using ShardedFuture = std::future<ShardedResult>;
+
+struct RouterOptions {
+  // Per-shard sub-request deadline when the client gave none (or a later
+  // one): scatter at t dispatches with deadline min(client, t + timeout).
+  std::chrono::milliseconds shard_timeout{2000};
+  // Extra slack the gatherer waits past a shard's deadline before declaring
+  // the sub-request lost (covers promise-fulfillment latency).
+  std::chrono::milliseconds gather_grace{250};
+  // Route around replicas whose health probe is not ready or whose primary
+  // breaker is open, and re-dispatch to the next replica when a Submit is
+  // rejected outright.
+  bool hedge_on_unhealthy = true;
+  // Answer with the sensors that succeeded (NaN-filling the rest) when at
+  // least one shard delivered; false turns any shard failure terminal.
+  bool partial_results = true;
+  int64_t gather_threads = 2;
+  // Backpressure bound on requests parked waiting for their shard futures.
+  int64_t queue_capacity = 256;
+};
+
+// Aggregate router counters plus the end-to-end latency distribution
+// (scatter to gathered terminal, seconds).
+struct RouterStatsSnapshot {
+  int64_t submitted = 0;
+  int64_t completed = 0;       // ok terminals (full or partial)
+  int64_t partial = 0;         // ok terminals with failed sensors
+  int64_t failed = 0;          // error terminals
+  int64_t rejected = 0;        // Submit refused (bad request / overload)
+  int64_t hedges = 0;
+  int64_t failovers = 0;
+  int64_t shard_dispatches = 0;
+  int64_t shard_failures = 0;
+  double latency_p50 = 0.0, latency_p90 = 0.0, latency_p99 = 0.0;
+  double latency_mean = 0.0, latency_max = 0.0;
+};
+
+// Scatter/gather front end over a fleet of ShardWorkers. `workers[s]` holds
+// the replicas of shard s (at least one each); the router borrows them and
+// never manages their lifecycle (see ShardedFleet). Sensor -> shard routing
+// is the plan's ownership map, so the same sensor always lands on the same
+// shard. Submit is safe from any number of client threads.
+class ShardRouter {
+ public:
+  ShardRouter(const ShardPlan* plan,
+              std::vector<std::vector<ShardWorker*>> workers,
+              RouterOptions options);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  core::Status Start();
+  // Fails in-flight gathers with Unavailable and joins the gather threads.
+  // Does NOT shut the workers down. Idempotent.
+  void Shutdown();
+
+  // Validates, slices, and scatters the request. Errors mirror the
+  // single-server contract: InvalidArgument for shape/sensor-id problems,
+  // Unavailable when the router is stopped or its gather queue is full.
+  // Every accepted request's future resolves to exactly one terminal.
+  core::StatusOr<ShardedFuture> Submit(ShardedRequest request);
+
+  RouterStatsSnapshot StatsSnapshot() const;
+
+  // Fleet-level health/stats rollups across every shard and replica
+  // (router counters + each replica's HealthReport and ServerStats).
+  std::string FleetTable() const;
+  std::string FleetJson() const;
+
+  const ShardPlan& plan() const { return *plan_; }
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct PendingShard {
+    int64_t shard = 0;
+    // Positions into the request's sensor list answered by this shard, and
+    // the matching row indices into the shard's [Q, view, C] forecast.
+    std::vector<int64_t> positions;
+    std::vector<int64_t> view_rows;
+    serving::ForecastFuture future;  // valid only when outcome.status is OK
+    ShardOutcome outcome;            // pre-filled with dispatch info
+  };
+
+  struct GatherTask {
+    std::promise<ShardedResult> promise;
+    std::vector<int64_t> sensors;
+    std::vector<PendingShard> pending;
+    Clock::time_point submitted_at;
+    Clock::time_point give_up_at;  // shard deadline + gather_grace
+    int64_t output_len = 0;
+    int64_t num_features = 0;
+  };
+
+  struct PerShardCounters {
+    std::atomic<int64_t> dispatched{0};
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> failed{0};
+  };
+
+  // Picks a replica for the shard (health-aware when hedging is on) and
+  // submits, failing over across replicas. On success `out->future` holds
+  // the shard future; on failure `out->outcome.status` has the last error.
+  void Dispatch(int64_t shard, serving::ForecastRequest request,
+                PendingShard* out);
+  void GatherLoop();
+  void Finish(GatherTask task);
+
+  const ShardPlan* plan_;
+  std::vector<std::vector<ShardWorker*>> workers_;
+  RouterOptions options_;
+  int64_t output_len_ = 0;
+  int64_t input_len_ = 0;
+  int64_t num_features_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> rotation_{0};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<GatherTask> queue_;
+  std::vector<std::thread> gatherers_;
+
+  // Stats.
+  std::atomic<int64_t> submitted_{0}, completed_{0}, partial_{0}, failed_{0},
+      rejected_{0}, hedges_{0}, failovers_{0}, shard_dispatches_{0},
+      shard_failures_{0};
+  mutable std::mutex latency_mutex_;
+  core::Histogram latency_;
+  std::unique_ptr<PerShardCounters[]> per_shard_;
+};
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_ROUTER_H_

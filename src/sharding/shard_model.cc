@@ -1,0 +1,102 @@
+#include "sharding/shard_model.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace sstban::sharding {
+
+namespace t = ::sstban::tensor;
+
+t::Tensor GatherNodes(const t::Tensor& recent,
+                      const std::vector<int64_t>& nodes) {
+  SSTBAN_CHECK_EQ(recent.rank(), 3);
+  const int64_t p = recent.dim(0), n = recent.dim(1), c = recent.dim(2);
+  const int64_t s = static_cast<int64_t>(nodes.size());
+  t::Tensor out = t::Tensor::Empty(t::Shape{p, s, c});
+  const float* src = recent.data();
+  float* dst = out.data();
+  for (int64_t step = 0; step < p; ++step) {
+    for (int64_t i = 0; i < s; ++i) {
+      const int64_t v = nodes[i];
+      SSTBAN_CHECK(v >= 0 && v < n) << "node " << v << " out of [0, " << n << ")";
+      std::memcpy(dst + (step * s + i) * c, src + (step * n + v) * c,
+                  static_cast<size_t>(c) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+void ScatterNodes(const t::Tensor& shard_slice,
+                  const std::vector<int64_t>& nodes, t::Tensor* full) {
+  SSTBAN_CHECK_EQ(shard_slice.rank(), 3);
+  SSTBAN_CHECK_EQ(full->rank(), 3);
+  const int64_t p = shard_slice.dim(0);
+  const int64_t s = shard_slice.dim(1);
+  const int64_t c = shard_slice.dim(2);
+  SSTBAN_CHECK_EQ(full->dim(0), p);
+  SSTBAN_CHECK_EQ(full->dim(2), c);
+  SSTBAN_CHECK_EQ(static_cast<int64_t>(nodes.size()), s);
+  const int64_t n = full->dim(1);
+  const float* src = shard_slice.data();
+  float* dst = full->data();
+  for (int64_t step = 0; step < p; ++step) {
+    for (int64_t i = 0; i < s; ++i) {
+      const int64_t v = nodes[i];
+      SSTBAN_CHECK(v >= 0 && v < n) << "node " << v << " out of [0, " << n << ")";
+      std::memcpy(dst + (step * n + v) * c, src + (step * s + i) * c,
+                  static_cast<size_t>(c) * sizeof(float));
+    }
+  }
+}
+
+std::unique_ptr<sstban::SstbanModel> BuildShardModel(
+    const sstban::SstbanModel& full, const std::vector<int64_t>& view_nodes) {
+  const int64_t n = full.config().num_nodes;
+  const int64_t s = static_cast<int64_t>(view_nodes.size());
+  SSTBAN_CHECK(s >= 1) << "empty shard view";
+  for (size_t i = 0; i < view_nodes.size(); ++i) {
+    SSTBAN_CHECK(view_nodes[i] >= 0 && view_nodes[i] < n);
+    if (i > 0) SSTBAN_CHECK(view_nodes[i] > view_nodes[i - 1])
+        << "view nodes must be sorted ascending and unique";
+  }
+
+  sstban::SstbanConfig config = full.config();
+  config.num_nodes = s;
+  auto shard = std::make_unique<sstban::SstbanModel>(config);
+
+  // Architectures agree except for the node axis, so NamedParameters walks
+  // both trees in the same order with the same names.
+  auto full_params = full.NamedParameters();
+  auto shard_params = shard->NamedParameters();
+  SSTBAN_CHECK_EQ(full_params.size(), shard_params.size());
+  for (size_t i = 0; i < full_params.size(); ++i) {
+    const std::string& name = full_params[i].first;
+    SSTBAN_CHECK(name == shard_params[i].first)
+        << "parameter order mismatch: " << name << " vs "
+        << shard_params[i].first;
+    const t::Tensor& src = full_params[i].second.value();
+    t::Tensor& dst = shard_params[i].second.mutable_value();
+    if (name == "ste.spatial.weight") {
+      // [N, d] node embedding: gather the view rows.
+      SSTBAN_CHECK_EQ(src.dim(0), n);
+      SSTBAN_CHECK_EQ(dst.dim(0), s);
+      const int64_t d = src.dim(1);
+      for (int64_t row = 0; row < s; ++row) {
+        std::memcpy(dst.data() + row * d, src.data() + view_nodes[row] * d,
+                    static_cast<size_t>(d) * sizeof(float));
+      }
+    } else {
+      SSTBAN_CHECK(src.shape() == dst.shape())
+          << "unexpected node-dependent parameter " << name;
+      std::memcpy(dst.data(), src.data(),
+                  static_cast<size_t>(src.size()) * sizeof(float));
+    }
+  }
+  shard->SetTraining(false);
+  return shard;
+}
+
+}  // namespace sstban::sharding

@@ -1,0 +1,40 @@
+#ifndef SSTBAN_SHARDING_SHARD_MODEL_H_
+#define SSTBAN_SHARDING_SHARD_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sstban/model.h"
+#include "tensor/tensor.h"
+
+namespace sstban::sharding {
+
+// Selects the given node columns out of a [P, N, C] window, preserving
+// their relative order: result is [P, nodes.size(), C]. Every index must be
+// in [0, N).
+tensor::Tensor GatherNodes(const tensor::Tensor& recent,
+                           const std::vector<int64_t>& nodes);
+
+// Scatters [P, S, C] rows back into a [P, N, C] tensor at the given node
+// columns; untouched columns keep their existing values.
+void ScatterNodes(const tensor::Tensor& shard_slice,
+                  const std::vector<int64_t>& nodes, tensor::Tensor* full);
+
+// Builds an SSTBAN model over the `view_nodes` subset of the full model's
+// node axis, copying every trained parameter. The only node-count-dependent
+// parameter is the spatial embedding table ("ste.spatial.weight", [N, d]),
+// whose rows are gathered down to the view; all other parameters are shared
+// verbatim. Because the forward pass is bitwise-invariant to batch and node
+// count (row-partitioned matmuls with a fixed accumulation order), the
+// sliced model's forecast for a view node equals the full model's forecast
+// for that node exactly whenever the node's receptive field lies inside the
+// view — always true with spatial_mixing = false, and true for any node
+// when the view covers the whole graph.
+// `view_nodes` must be sorted ascending with unique entries in [0, N).
+std::unique_ptr<sstban::SstbanModel> BuildShardModel(
+    const sstban::SstbanModel& full, const std::vector<int64_t>& view_nodes);
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_SHARD_MODEL_H_

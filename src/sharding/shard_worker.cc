@@ -1,0 +1,16 @@
+#include "sharding/shard_worker.h"
+
+namespace sstban::sharding {
+
+ShardWorker::ShardWorker(ShardSpec spec,
+                         serving::ModelRegistry::ModelFactory factory,
+                         std::unique_ptr<training::TrafficModel> model,
+                         data::Normalizer normalizer,
+                         serving::ServerOptions options)
+    : spec_(std::move(spec)),
+      registry_(std::move(factory), std::move(normalizer)),
+      server_(WithViewNodes(std::move(options), spec_), &registry_) {
+  registry_.Install(std::move(model), "<shard-slice>");
+}
+
+}  // namespace sstban::sharding

@@ -1,0 +1,68 @@
+#ifndef SSTBAN_SHARDING_SHARD_WORKER_H_
+#define SSTBAN_SHARDING_SHARD_WORKER_H_
+
+#include <memory>
+#include <utility>
+
+#include "baselines/var_model.h"
+#include "core/status.h"
+#include "data/normalizer.h"
+#include "serving/forecast_server.h"
+#include "serving/model_registry.h"
+#include "sharding/partitioner.h"
+
+namespace sstban::sharding {
+
+// One shard replica: a full ForecastServer (batcher, sanitizer,
+// breaker/fallback chain, watchdog — all reused unchanged) serving a model
+// whose node axis is this shard's view. Requests submitted here must
+// already be sliced to the view ([P, view.size(), C]); the router does the
+// slicing. The worker owns its registry, so per-shard hot-swap works
+// exactly like the single-server path.
+class ShardWorker {
+ public:
+  // `options.num_nodes` is overridden to the view size; everything else
+  // (batching, queue bounds, sanitizer, fallback, stall budget) applies
+  // per replica as-is.
+  ShardWorker(ShardSpec spec, serving::ModelRegistry::ModelFactory factory,
+              std::unique_ptr<training::TrafficModel> model,
+              data::Normalizer normalizer, serving::ServerOptions options);
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  // Must be called before Start (mirrors ForecastServer::SetVarBaseline).
+  void SetVarBaseline(std::unique_ptr<baselines::VarModel> var) {
+    server_.SetVarBaseline(std::move(var));
+  }
+
+  core::Status Start() { return server_.Start(); }
+  void Shutdown() { server_.Shutdown(); }
+
+  core::StatusOr<serving::ForecastFuture> Submit(
+      serving::ForecastRequest request) {
+    return server_.Submit(std::move(request));
+  }
+
+  serving::HealthReport CheckHealth() const { return server_.CheckHealth(); }
+
+  const ShardSpec& spec() const { return spec_; }
+  serving::ModelRegistry& registry() { return registry_; }
+  serving::ForecastServer& server() { return server_; }
+  const serving::ForecastServer& server() const { return server_; }
+
+ private:
+  static serving::ServerOptions WithViewNodes(serving::ServerOptions options,
+                                              const ShardSpec& spec) {
+    options.num_nodes = static_cast<int64_t>(spec.view.size());
+    return options;
+  }
+
+  ShardSpec spec_;
+  serving::ModelRegistry registry_;
+  serving::ForecastServer server_;
+};
+
+}  // namespace sstban::sharding
+
+#endif  // SSTBAN_SHARDING_SHARD_WORKER_H_

@@ -30,6 +30,12 @@ struct SstbanConfig {
   // false replaces every bottleneck attention with full quadratic
   // self-attention — the "w/o STBA" ablation of Table VI.
   bool use_bottleneck = true;
+  // false drops the spatial branch of every STBA block entirely (blocks
+  // compute T + residual): each node's forecast then depends only on its own
+  // history, i.e. the spatial receptive field is node-local. This is the
+  // temporal-only ablation and the configuration under which horizontally
+  // sharded serving (src/sharding) is bitwise-exact per shard.
+  bool spatial_mixing = true;
 
   // -- Self-supervised branch (Table III, "Self-supervised Task") ------------
   bool self_supervised = true;

@@ -15,7 +15,8 @@ StForecastingDecoder::StForecastingDecoder(const SstbanConfig& config,
   for (int64_t l = 0; l < config.decoder_blocks; ++l) {
     blocks_.push_back(std::make_unique<StbaBlock>(
         config.hidden_dim, config.num_heads, config.temporal_refs,
-        config.spatial_refs, config.use_bottleneck, rng));
+        config.spatial_refs, config.use_bottleneck, rng,
+        config.spatial_mixing));
     RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
                    blocks_.back().get());
   }
@@ -41,7 +42,8 @@ StReconstructingDecoder::StReconstructingDecoder(const SstbanConfig& config,
   for (int64_t l = 0; l < config.recon_blocks; ++l) {
     blocks_.push_back(std::make_unique<StbaBlock>(
         config.hidden_dim, config.num_heads, config.temporal_refs,
-        config.spatial_refs, config.use_bottleneck, rng));
+        config.spatial_refs, config.use_bottleneck, rng,
+        config.spatial_mixing));
     RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
                    blocks_.back().get());
   }

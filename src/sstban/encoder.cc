@@ -13,7 +13,8 @@ StEncoder::StEncoder(const SstbanConfig& config, core::Rng& rng) {
   for (int64_t l = 0; l < config.encoder_blocks; ++l) {
     blocks_.push_back(std::make_unique<StbaBlock>(
         config.hidden_dim, config.num_heads, config.temporal_refs,
-        config.spatial_refs, config.use_bottleneck, rng));
+        config.spatial_refs, config.use_bottleneck, rng,
+        config.spatial_mixing));
     RegisterModule(core::StrFormat("block%lld", static_cast<long long>(l)),
                    blocks_.back().get());
   }

@@ -10,23 +10,29 @@ namespace ag = ::sstban::autograd;
 namespace t = ::sstban::tensor;
 
 StbaBlock::StbaBlock(int64_t dim, int64_t num_heads, int64_t temporal_refs,
-                     int64_t spatial_refs, bool use_bottleneck, core::Rng& rng)
-    : dim_(dim), use_bottleneck_(use_bottleneck) {
+                     int64_t spatial_refs, bool use_bottleneck, core::Rng& rng,
+                     bool spatial_mixing)
+    : dim_(dim), use_bottleneck_(use_bottleneck),
+      spatial_mixing_(spatial_mixing) {
   int64_t in_dim = 2 * dim;  // Z = H || E
   if (use_bottleneck_) {
     temporal_bottleneck_ = std::make_unique<BottleneckAttention>(
         in_dim, dim, temporal_refs, num_heads, rng);
-    spatial_bottleneck_ = std::make_unique<BottleneckAttention>(
-        in_dim, dim, spatial_refs, num_heads, rng);
     RegisterModule("tba", temporal_bottleneck_.get());
-    RegisterModule("sba", spatial_bottleneck_.get());
+    if (spatial_mixing_) {
+      spatial_bottleneck_ = std::make_unique<BottleneckAttention>(
+          in_dim, dim, spatial_refs, num_heads, rng);
+      RegisterModule("sba", spatial_bottleneck_.get());
+    }
   } else {
     temporal_full_ =
         std::make_unique<FullSelfAttention>(in_dim, dim, num_heads, rng);
-    spatial_full_ =
-        std::make_unique<FullSelfAttention>(in_dim, dim, num_heads, rng);
     RegisterModule("tba_full", temporal_full_.get());
-    RegisterModule("sba_full", spatial_full_.get());
+    if (spatial_mixing_) {
+      spatial_full_ =
+          std::make_unique<FullSelfAttention>(in_dim, dim, num_heads, rng);
+      RegisterModule("sba_full", spatial_full_.get());
+    }
   }
 }
 
@@ -53,6 +59,9 @@ ag::Variable StbaBlock::Forward(const ag::Variable& h, const ag::Variable& e,
       ApplyTemporal(zt, keep_mask ? &mask_t : nullptr);  // [B*N, T, d]
   temporal = ag::Reshape(temporal, t::Shape{batch, nodes, time, dim_});
   temporal = ag::Permute(temporal, {0, 2, 1, 3});  // [B, T, N, d]
+
+  // Temporal-only variant: no cross-node mixing, H^(l) = T + H.
+  if (!spatial_mixing_) return ag::Add(temporal, h);
 
   // Spatial branch: attention over N for every (batch, time slice).
   ag::Variable zs = ag::Reshape(z, t::Shape{batch * time, nodes, 2 * dim_});

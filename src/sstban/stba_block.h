@@ -16,9 +16,13 @@ namespace sstban::sstban {
 class StbaBlock : public nn::Module {
  public:
   // When use_bottleneck is false both attentions fall back to full
-  // quadratic self-attention (the Table VI "w/o STBA" variant).
+  // quadratic self-attention (the Table VI "w/o STBA" variant). When
+  // spatial_mixing is false the spatial branch is omitted entirely and the
+  // block returns T plus the residual — the temporal-only variant whose
+  // receptive field never crosses nodes (see SstbanConfig::spatial_mixing).
   StbaBlock(int64_t dim, int64_t num_heads, int64_t temporal_refs,
-            int64_t spatial_refs, bool use_bottleneck, core::Rng& rng);
+            int64_t spatial_refs, bool use_bottleneck, core::Rng& rng,
+            bool spatial_mixing = true);
 
   // h, e: [B, T, N, d]. `keep_mask`, when given, is [B, T, N] with 1 for
   // observed positions; masked positions are excluded as attention keys.
@@ -34,6 +38,7 @@ class StbaBlock : public nn::Module {
 
   int64_t dim_;
   bool use_bottleneck_;
+  bool spatial_mixing_;
   std::unique_ptr<BottleneckAttention> temporal_bottleneck_;
   std::unique_ptr<BottleneckAttention> spatial_bottleneck_;
   std::unique_ptr<FullSelfAttention> temporal_full_;

@@ -375,6 +375,32 @@ TEST(StringUtilTest, Trim) {
   EXPECT_EQ(Trim("x"), "x");
 }
 
+TEST(StringUtilTest, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("half-open"), "half-open");
+  EXPECT_EQ(JsonEscape("p99 = 1.5ms"), "p99 = 1.5ms");
+}
+
+TEST(StringUtilTest, JsonEscapeEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(StringUtilTest, JsonEscapeEscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("\r\b\f"), "\\r\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("x\x1f", 2)), "x\\u001f");
+}
+
+TEST(StringUtilTest, JsonQuoteWrapsEscapedBody) {
+  EXPECT_EQ(JsonQuote("ok"), "\"ok\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
 TEST(MemoryTrackerTest, TracksLiveAndPeak) {
   MemoryTracker& tracker = MemoryTracker::Global();
   tracker.ResetPeak();

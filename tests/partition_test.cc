@@ -1,0 +1,200 @@
+// Tests for the corridor-aware spatial partitioner: balanced shard sizes,
+// cut quality never worse than naive striping, exact sensor cover,
+// deterministic plans, and halo/view index-map consistency.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "graph/traffic_graph.h"
+#include "sharding/partitioner.h"
+
+namespace sstban::sharding {
+namespace {
+
+graph::TrafficGraph CorridorGraph(int64_t nodes, int corridors,
+                                  uint64_t seed) {
+  core::Rng rng(seed);
+  return graph::TrafficGraph::RandomCorridor(nodes, corridors, rng);
+}
+
+TEST(PartitionTest, EverySensorOwnedByExactlyOneShard) {
+  graph::TrafficGraph graph = CorridorGraph(41, 3, 9);
+  PartitionOptions options;
+  options.num_shards = 4;
+  auto plan_or = PartitionGraph(graph, options);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const ShardPlan& plan = plan_or.value();
+
+  std::vector<int> seen(graph.num_nodes(), 0);
+  for (const ShardSpec& shard : plan.shards) {
+    for (int64_t v : shard.owned) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, graph.num_nodes());
+      ++seen[v];
+      EXPECT_EQ(plan.shard_of[v], shard.shard_id);
+    }
+  }
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "sensor " << v;
+  }
+}
+
+TEST(PartitionTest, ShardSizesAreBalancedWithinOne) {
+  for (int64_t k : {2, 3, 4, 5, 7}) {
+    graph::TrafficGraph graph = CorridorGraph(53, 4, 11);
+    PartitionOptions options;
+    options.num_shards = k;
+    auto plan_or = PartitionGraph(graph, options);
+    ASSERT_TRUE(plan_or.ok());
+    int64_t smallest = graph.num_nodes(), largest = 0;
+    for (const ShardSpec& shard : plan_or.value().shards) {
+      smallest = std::min<int64_t>(smallest,
+                                   static_cast<int64_t>(shard.owned.size()));
+      largest = std::max<int64_t>(largest,
+                                  static_cast<int64_t>(shard.owned.size()));
+    }
+    EXPECT_LE(largest - smallest, 1) << "K=" << k;
+  }
+}
+
+TEST(PartitionTest, CutNeverWorseThanNaiveStriping) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    graph::TrafficGraph graph = CorridorGraph(60, 3, seed);
+    PartitionOptions options;
+    options.num_shards = 4;
+    options.seed = seed;
+    auto corridor = PartitionGraph(graph, options);
+    auto striped = StripePartition(graph, options);
+    ASSERT_TRUE(corridor.ok());
+    ASSERT_TRUE(striped.ok());
+    EXPECT_LE(corridor.value().cross_shard_edges,
+              striped.value().cross_shard_edges)
+        << "seed " << seed;
+    EXPECT_EQ(corridor.value().total_edges,
+              static_cast<int64_t>(graph.edges().size()));
+  }
+}
+
+TEST(PartitionTest, SameSeedYieldsIdenticalPlan) {
+  graph::TrafficGraph graph = CorridorGraph(48, 3, 5);
+  PartitionOptions options;
+  options.num_shards = 5;
+  options.seed = 1234;
+  options.halo_hops = 1;
+  auto a = PartitionGraph(graph, options);
+  auto b = PartitionGraph(graph, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().shard_of, b.value().shard_of);
+  EXPECT_EQ(a.value().cross_shard_edges, b.value().cross_shard_edges);
+  for (int64_t s = 0; s < options.num_shards; ++s) {
+    EXPECT_EQ(a.value().shards[s].owned, b.value().shards[s].owned);
+    EXPECT_EQ(a.value().shards[s].halo, b.value().shards[s].halo);
+    EXPECT_EQ(a.value().shards[s].view, b.value().shards[s].view);
+  }
+}
+
+TEST(PartitionTest, ViewIndexMapsAreConsistent) {
+  graph::TrafficGraph graph = CorridorGraph(36, 2, 3);
+  PartitionOptions options;
+  options.num_shards = 3;
+  options.halo_hops = 1;
+  auto plan_or = PartitionGraph(graph, options);
+  ASSERT_TRUE(plan_or.ok());
+  for (const ShardSpec& shard : plan_or.value().shards) {
+    // View is sorted, unique, and the disjoint union of owned and halo.
+    EXPECT_TRUE(std::is_sorted(shard.view.begin(), shard.view.end()));
+    EXPECT_EQ(shard.view.size(), shard.owned.size() + shard.halo.size());
+    std::set<int64_t> view_set(shard.view.begin(), shard.view.end());
+    EXPECT_EQ(view_set.size(), shard.view.size());
+    for (int64_t v : shard.owned) EXPECT_TRUE(view_set.count(v));
+    for (int64_t v : shard.halo) EXPECT_TRUE(view_set.count(v));
+    // view_local_of inverts view; owned_view_index points at owned rows.
+    for (size_t i = 0; i < shard.view.size(); ++i) {
+      EXPECT_EQ(shard.view_local_of[shard.view[i]],
+                static_cast<int64_t>(i));
+    }
+    ASSERT_EQ(shard.owned_view_index.size(), shard.owned.size());
+    for (size_t i = 0; i < shard.owned.size(); ++i) {
+      EXPECT_EQ(shard.view[shard.owned_view_index[i]], shard.owned[i]);
+    }
+  }
+}
+
+TEST(PartitionTest, HaloIsWithinRequestedHops) {
+  graph::TrafficGraph graph = CorridorGraph(30, 2, 13);
+  PartitionOptions options;
+  options.num_shards = 3;
+  options.halo_hops = 1;
+  auto plan_or = PartitionGraph(graph, options);
+  ASSERT_TRUE(plan_or.ok());
+  for (const ShardSpec& shard : plan_or.value().shards) {
+    std::set<int64_t> owned(shard.owned.begin(), shard.owned.end());
+    for (int64_t h : shard.halo) {
+      EXPECT_FALSE(owned.count(h)) << "halo overlaps owned at " << h;
+      // 1-hop halo: adjacent (either direction) to some owned sensor.
+      bool adjacent = false;
+      for (int64_t v : graph.Successors(h)) adjacent |= owned.count(v) > 0;
+      for (int64_t v : graph.Predecessors(h)) adjacent |= owned.count(v) > 0;
+      EXPECT_TRUE(adjacent) << "halo sensor " << h << " not on the boundary";
+    }
+  }
+}
+
+TEST(PartitionTest, ZeroHaloMeansViewEqualsOwned) {
+  graph::TrafficGraph graph = CorridorGraph(24, 2, 2);
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.halo_hops = 0;
+  auto plan_or = PartitionGraph(graph, options);
+  ASSERT_TRUE(plan_or.ok());
+  for (const ShardSpec& shard : plan_or.value().shards) {
+    EXPECT_TRUE(shard.halo.empty());
+    EXPECT_EQ(shard.view, shard.owned);
+  }
+}
+
+TEST(PartitionTest, StripePartitionUsesContiguousRanges) {
+  graph::TrafficGraph graph = CorridorGraph(26, 2, 4);
+  PartitionOptions options;
+  options.num_shards = 4;
+  auto plan_or = StripePartition(graph, options);
+  ASSERT_TRUE(plan_or.ok());
+  const std::vector<int64_t>& shard_of = plan_or.value().shard_of;
+  for (size_t v = 1; v < shard_of.size(); ++v) {
+    EXPECT_GE(shard_of[v], shard_of[v - 1]);  // monotone = contiguous ids
+  }
+}
+
+TEST(PartitionTest, InvalidOptionsAreRejected) {
+  graph::TrafficGraph graph = CorridorGraph(10, 1, 1);
+  PartitionOptions options;
+  options.num_shards = 0;
+  EXPECT_EQ(PartitionGraph(graph, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+  options.num_shards = 11;  // more shards than sensors
+  EXPECT_EQ(PartitionGraph(graph, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+  options.num_shards = 2;
+  options.halo_hops = -1;
+  EXPECT_EQ(PartitionGraph(graph, options).status().code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, SingleShardOwnsEverything) {
+  graph::TrafficGraph graph = CorridorGraph(15, 1, 8);
+  PartitionOptions options;
+  options.num_shards = 1;
+  auto plan_or = PartitionGraph(graph, options);
+  ASSERT_TRUE(plan_or.ok());
+  EXPECT_EQ(plan_or.value().shards[0].owned.size(), 15u);
+  EXPECT_EQ(plan_or.value().cross_shard_edges, 0);
+  EXPECT_NE(plan_or.value().Summary().find("K=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sstban::sharding

@@ -1,0 +1,351 @@
+// Chaos tests for the sharded serving fleet: killing or wedging one shard
+// must degrade only that shard's sensors (blast-radius isolation), and
+// every fleet request must reach exactly one terminal status under every
+// fault schedule — including the ambient SSTBAN_FAILPOINTS schedules the
+// CI chaos matrix arms for this whole binary.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/failpoint.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "sharding/fleet.h"
+#include "sharding/router.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+#include "training/model.h"
+
+namespace sstban::sharding {
+namespace {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+namespace model_ns = ::sstban::sstban;
+
+constexpr int64_t kSteps = 6;
+constexpr int64_t kNodes = 12;
+constexpr int64_t kFeatures = 1;
+constexpr int64_t kStepsPerDay = 12;
+
+std::shared_ptr<data::TrafficDataset> SmallWorld() {
+  data::SyntheticWorldConfig config;
+  config.num_nodes = kNodes;
+  config.num_corridors = 3;
+  config.steps_per_day = kStepsPerDay;
+  config.num_days = 6;
+  config.seed = 31;
+  return std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(config));
+}
+
+model_ns::SstbanConfig SmallConfig() {
+  model_ns::SstbanConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kSteps;
+  config.output_len = kSteps;
+  config.num_features = kFeatures;
+  config.steps_per_day = kStepsPerDay;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.patch_len = 2;
+  config.spatial_mixing = false;  // node-local receptive field
+  config.seed = 5;
+  return config;
+}
+
+FleetOptions ChaosFleetOptions(int64_t shards) {
+  FleetOptions options;
+  options.partition.num_shards = shards;
+  options.server.input_len = kSteps;
+  options.server.output_len = kSteps;
+  options.server.steps_per_day = kStepsPerDay;
+  options.server.num_nodes = kNodes;
+  options.server.num_features = kFeatures;
+  options.server.max_batch = 4;
+  options.server.max_wait = std::chrono::milliseconds(2);
+  options.server.queue_capacity = 64;
+  // Tight budgets so a wedged shard is detected and timed out quickly.
+  options.server.stall_budget = std::chrono::milliseconds(200);
+  options.router.shard_timeout = std::chrono::milliseconds(600);
+  options.router.gather_grace = std::chrono::milliseconds(150);
+  return options;
+}
+
+// Fleet-level exactly-one-terminal invariant: an Ok answer may carry NaN
+// only on rows it *declares* failed; errors must be client-visible codes.
+// std::promise enforces "at most one" terminal; future.get() returning at
+// all proves "at least one".
+bool AllowedShardedTerminal(const ShardedResult& result) {
+  if (result.ok()) {
+    const ShardedResponse& response = result.value();
+    std::set<int64_t> failed(response.failed_sensors.begin(),
+                             response.failed_sensors.end());
+    const int64_t q = response.forecast.dim(0);
+    const int64_t s = response.forecast.dim(1);
+    const int64_t c = response.forecast.dim(2);
+    for (int64_t i = 0; i < s; ++i) {
+      const bool declared_failed = failed.count(response.sensors[i]) > 0;
+      for (int64_t step = 0; step < q; ++step) {
+        for (int64_t f = 0; f < c; ++f) {
+          const bool nan =
+              std::isnan(response.forecast.data()[(step * s + i) * c + f]);
+          if (nan != declared_failed) return false;
+        }
+      }
+    }
+    return true;
+  }
+  switch (result.status().code()) {
+    case core::StatusCode::kUnavailable:
+    case core::StatusCode::kDeadlineExceeded:
+    case core::StatusCode::kInvalidArgument:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// A model whose forward pass blocks until released (for wedging one shard).
+class GateModel : public training::TrafficModel {
+ public:
+  ag::Variable Predict(const t::Tensor& x_norm,
+                       const data::Batch& batch) override {
+    (void)batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    return ag::Variable(t::Tensor::Zeros(
+        t::Shape{x_norm.dim(0), kSteps, x_norm.dim(2), x_norm.dim(3)}));
+  }
+  std::string name() const override { return "Gate"; }
+  void Release() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_, release_cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+struct ScopedFailpoints {
+  explicit ScopedFailpoints(const std::string& list) {
+    if (!list.empty()) {
+      SSTBAN_CHECK(core::FailPoint::SetFromList(list).ok()) << list;
+    }
+  }
+  ~ScopedFailpoints() { core::FailPoint::ClearAll(); }
+};
+
+TEST(ShardedChaosTest, KilledShardDegradesOnlyItsOwnSensors) {
+  // Blast-radius assertions only hold in a quiet environment; under an
+  // ambient CI failpoint schedule every shard may legitimately degrade, so
+  // this test then checks the terminal invariant only.
+  const bool quiet = !core::failpoint_internal::AnyArmed();
+
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig();
+  model_ns::SstbanModel full_model(config);
+  auto fleet_or = ShardedFleet::Create(*dataset->graph, full_model, norm,
+                                       ChaosFleetOptions(/*shards=*/4));
+  ASSERT_TRUE(fleet_or.ok());
+  std::unique_ptr<ShardedFleet>& fleet = fleet_or.value();
+  ASSERT_TRUE(fleet->Start().ok());
+
+  constexpr int64_t kVictim = 1;
+  fleet->worker(kVictim, 0).Shutdown();
+  std::set<int64_t> victim_sensors(
+      fleet->plan().shards[kVictim].owned.begin(),
+      fleet->plan().shards[kVictim].owned.end());
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 5;
+  std::atomic<int> terminal{0}, bad{0}, isolation_violations{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        ShardedRequest request;
+        int64_t start = (c * kPerClient + r) % 24;
+        request.recent =
+            t::Slice(dataset->signals, 0, start, kSteps).Clone();
+        request.first_step = start;
+        auto submitted = fleet->router().Submit(std::move(request));
+        if (!submitted.ok()) {
+          ShardedResult as_result(submitted.status());
+          (AllowedShardedTerminal(as_result) ? terminal : bad).fetch_add(1);
+          continue;
+        }
+        ShardedResult result = submitted.value().get();
+        (AllowedShardedTerminal(result) ? terminal : bad).fetch_add(1);
+        if (quiet) {
+          // Exactly the victim's sensors fail; every other sensor gets a
+          // real forecast.
+          if (!result.ok()) {
+            isolation_violations.fetch_add(1);
+            continue;
+          }
+          std::set<int64_t> failed(result.value().failed_sensors.begin(),
+                                   result.value().failed_sensors.end());
+          if (failed != victim_sensors) isolation_violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(terminal.load(), kClients * kPerClient);
+  if (quiet) {
+    EXPECT_EQ(isolation_violations.load(), 0);
+  }
+  // Healthy shards stayed healthy.
+  for (int64_t s = 0; s < 4; ++s) {
+    if (s == kVictim) continue;
+    EXPECT_TRUE(fleet->worker(s, 0).CheckHealth().ready) << "shard " << s;
+  }
+  fleet->Shutdown();
+}
+
+TEST(ShardedChaosTest, WedgedShardIsIsolatedAndEveryRequestTerminates) {
+  const bool quiet = !core::failpoint_internal::AnyArmed();
+
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig();
+  model_ns::SstbanModel full_model(config);
+  auto fleet_or = ShardedFleet::Create(*dataset->graph, full_model, norm,
+                                       ChaosFleetOptions(/*shards=*/4));
+  ASSERT_TRUE(fleet_or.ok());
+  std::unique_ptr<ShardedFleet>& fleet = fleet_or.value();
+  ASSERT_TRUE(fleet->Start().ok());
+
+  // Wedge shard 2 by hot-swapping a blocking model into its registry — the
+  // next batch hangs in Predict until released, tripping the watchdog.
+  constexpr int64_t kVictim = 2;
+  auto gate = std::make_unique<GateModel>();
+  GateModel* gate_ptr = gate.get();
+  fleet->worker(kVictim, 0).registry().Install(std::move(gate));
+  std::set<int64_t> victim_sensors(
+      fleet->plan().shards[kVictim].owned.begin(),
+      fleet->plan().shards[kVictim].owned.end());
+
+  int terminal = 0, bad = 0, isolation_violations = 0;
+  for (int r = 0; r < 6; ++r) {
+    ShardedRequest request;
+    request.recent = t::Slice(dataset->signals, 0, r, kSteps).Clone();
+    request.first_step = r;
+    auto submitted = fleet->router().Submit(std::move(request));
+    if (!submitted.ok()) {
+      ShardedResult as_result(submitted.status());
+      (AllowedShardedTerminal(as_result) ? terminal : bad) += 1;
+      continue;
+    }
+    ShardedResult result = submitted.value().get();
+    (AllowedShardedTerminal(result) ? terminal : bad) += 1;
+    if (quiet && result.ok()) {
+      for (int64_t sensor : result.value().failed_sensors) {
+        if (!victim_sensors.count(sensor)) ++isolation_violations;
+      }
+    }
+  }
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(terminal, 6);
+  if (quiet) {
+    EXPECT_EQ(isolation_violations, 0);
+  }
+
+  gate_ptr->Release();
+  fleet->Shutdown();
+}
+
+TEST(ShardedChaosTest, EveryRequestTerminatesUnderEveryFaultSchedule) {
+  const char* kSchedules[] = {
+      "",  // control
+      "serve_batch_run=error(Internal)",
+      "serve_batch_run=delay(15)",
+      "serve_enqueue=error(Unavailable)@2",
+      "registry_get=error(Unavailable)@3",
+      "serve_enqueue=delay(3),serve_batch_run=error(Internal)@2",
+  };
+
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig();
+  model_ns::SstbanModel full_model(config);
+
+  for (const char* schedule : kSchedules) {
+    SCOPED_TRACE(std::string("schedule: ") + schedule);
+    ScopedFailpoints fp(schedule);
+
+    auto fleet_or = ShardedFleet::Create(*dataset->graph, full_model, norm,
+                                         ChaosFleetOptions(/*shards=*/4));
+    ASSERT_TRUE(fleet_or.ok());
+    std::unique_ptr<ShardedFleet>& fleet = fleet_or.value();
+    ASSERT_TRUE(fleet->Start().ok());
+
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 4;
+    std::atomic<int> terminal{0}, bad{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kPerClient; ++r) {
+          ShardedRequest request;
+          int64_t start = (c * kPerClient + r) % 24;
+          request.recent =
+              t::Slice(dataset->signals, 0, start, kSteps).Clone();
+          request.first_step = start;
+          if (r % 2 == 1) {  // narrow requests exercise subset routing
+            request.sensors = {static_cast<int64_t>(c),
+                               static_cast<int64_t>(kNodes - 1 - c)};
+          }
+          if (r % 4 == 3) {
+            request.deadline = serving::Clock::now() +
+                               std::chrono::milliseconds(10);
+          }
+          auto submitted = fleet->router().Submit(std::move(request));
+          if (!submitted.ok()) {
+            ShardedResult as_result(submitted.status());
+            (AllowedShardedTerminal(as_result) ? terminal : bad).fetch_add(1);
+            continue;
+          }
+          ShardedResult result = submitted.value().get();
+          (AllowedShardedTerminal(result) ? terminal : bad).fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    fleet->Shutdown();
+
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(terminal.load(), kClients * kPerClient);
+  }
+}
+
+}  // namespace
+}  // namespace sstban::sharding
