@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "autograd/trace.h"
 #include "core/check.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
@@ -15,10 +16,14 @@ namespace t = ::sstban::tensor;
 namespace {
 
 // Records an op node when grads are enabled and any input requires them;
-// otherwise returns a detached result.
+// otherwise returns a detached result. When a TraceScope is active on this
+// thread (executor tracing, see trace.h), the op is also reported there;
+// `attrs` carries parameters not recoverable from the result tensor and is
+// only non-null while tracing.
 Variable MakeOp(const char* name, t::Tensor value,
                 std::vector<Variable> inputs,
-                std::function<void(Node&)> backward) {
+                std::function<void(Node&)> backward,
+                const TraceAttrs* attrs = nullptr) {
   bool needs_grad = false;
   if (NoGradGuard::GradEnabled()) {
     for (const Variable& v : inputs) needs_grad = needs_grad || v.requires_grad();
@@ -29,6 +34,7 @@ Variable MakeOp(const char* name, t::Tensor value,
     for (Variable& v : inputs) node->parents.push_back(v.node());
     node->backward_fn = std::move(backward);
   }
+  if (TraceScope::Active()) TraceOp(name, node, inputs, attrs);
   return Variable(std::move(node));
 }
 
@@ -80,14 +86,27 @@ Variable Div(const Variable& a, const Variable& b) {
 
 Variable AddScalar(const Variable& a, float s) {
   NodePtr na = a.node();
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.scalar = s;
+    pattrs = &attrs;
+  }
   return MakeOp("add_scalar", t::AddScalar(a.value(), s), {a},
-                [na](Node& n) { Accumulate(na, n.grad); });
+                [na](Node& n) { Accumulate(na, n.grad); }, pattrs);
 }
 
 Variable MulScalar(const Variable& a, float s) {
   NodePtr na = a.node();
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.scalar = s;
+    pattrs = &attrs;
+  }
   return MakeOp("mul_scalar", t::MulScalar(a.value(), s), {a},
-                [na, s](Node& n) { Accumulate(na, t::MulScalar(n.grad, s)); });
+                [na, s](Node& n) { Accumulate(na, t::MulScalar(n.grad, s)); },
+                pattrs);
 }
 
 Variable Neg(const Variable& a) {
@@ -178,6 +197,13 @@ Variable Matmul(const Variable& a, const Variable& b) {
 Variable Bmm(const Variable& a, const Variable& b, bool transpose_a,
              bool transpose_b) {
   NodePtr na = a.node(), nb = b.node();
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.transpose_a = transpose_a;
+    attrs.transpose_b = transpose_b;
+    pattrs = &attrs;
+  }
   return MakeOp("bmm", t::Bmm(a.value(), b.value(), transpose_a, transpose_b),
                 {a, b}, [na, nb, transpose_a, transpose_b](Node& n) {
     const t::Tensor& g = n.grad;
@@ -196,7 +222,7 @@ Variable Bmm(const Variable& a, const Variable& b, bool transpose_a,
     }
     Accumulate(na, ga);
     Accumulate(nb, gb);
-  });
+  }, pattrs);
 }
 
 Variable Reshape(const Variable& a, t::Shape new_shape) {
@@ -212,10 +238,16 @@ Variable Permute(const Variable& a, const std::vector<int>& perm) {
   NodePtr na = a.node();
   std::vector<int> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = static_cast<int>(i);
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.perm = perm;  // vector copy: trace-only, never on the hot path
+    pattrs = &attrs;
+  }
   return MakeOp("permute", t::Permute(a.value(), perm), {a},
                 [na, inverse](Node& n) {
     Accumulate(na, t::Permute(n.grad, inverse));
-  });
+  }, pattrs);
 }
 
 Variable Concat(const std::vector<Variable>& parts, int axis) {
@@ -226,6 +258,12 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
   int canonical = parts[0].shape().CanonicalAxis(axis);
   std::vector<NodePtr> nodes;
   for (const Variable& p : parts) nodes.push_back(p.node());
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.axis = canonical;
+    pattrs = &attrs;
+  }
   return MakeOp("concat", t::Concat(values, axis), parts,
                 [nodes, canonical](Node& n) {
     int64_t offset = 0;
@@ -234,12 +272,20 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
       Accumulate(p, t::Slice(n.grad, canonical, offset, length));
       offset += length;
     }
-  });
+  }, pattrs);
 }
 
 Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
   NodePtr na = a.node();
   int canonical = a.shape().CanonicalAxis(axis);
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.axis = canonical;
+    attrs.start = start;
+    attrs.length = length;
+    pattrs = &attrs;
+  }
   return MakeOp("slice", t::Slice(a.value(), axis, start, length), {a},
                 [na, canonical, start, length](Node& n) {
     // Scatter the gradient back into a zero tensor of the input shape.
@@ -256,7 +302,7 @@ Variable Slice(const Variable& a, int axis, int64_t start, int64_t length) {
                   static_cast<size_t>(length * inner) * sizeof(float));
     }
     Accumulate(na, full);
-  });
+  }, pattrs);
 }
 
 Variable Sum(const Variable& a, int axis, bool keepdim) {
@@ -293,24 +339,32 @@ Variable MeanAll(const Variable& a) {
 
 namespace {
 
-Variable SoftmaxImpl(const Variable& a, const t::Tensor& value) {
+Variable SoftmaxImpl(const Variable& a, const t::Tensor& value,
+                     const t::Tensor* additive_mask) {
   NodePtr na = a.node();
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active() && additive_mask != nullptr) {
+    attrs.softmax_mask = *additive_mask;  // the mask is not an op input
+    pattrs = &attrs;
+  }
   return MakeOp("softmax", value, {a}, [na](Node& n) {
     // dX = Y * (G - sum(G * Y, last, keepdim))
     t::Tensor gy = t::Mul(n.grad, n.value);
     t::Tensor s = t::Sum(gy, -1, /*keepdim=*/true);
     Accumulate(na, t::Mul(n.value, t::Sub(n.grad, s)));
-  });
+  }, pattrs);
 }
 
 }  // namespace
 
 Variable Softmax(const Variable& a) {
-  return SoftmaxImpl(a, t::Softmax(a.value()));
+  return SoftmaxImpl(a, t::Softmax(a.value()), nullptr);
 }
 
 Variable SoftmaxWithMask(const Variable& a, const t::Tensor& additive_mask) {
-  return SoftmaxImpl(a, t::SoftmaxWithMask(a.value(), additive_mask));
+  return SoftmaxImpl(a, t::SoftmaxWithMask(a.value(), additive_mask),
+                     &additive_mask);
 }
 
 Variable Dropout(const Variable& a, float p, core::Rng& rng, bool training) {

@@ -1,0 +1,43 @@
+#include "autograd/trace.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace sstban::autograd {
+
+namespace {
+thread_local TraceScope* t_current = nullptr;
+}  // namespace
+
+TraceScope::TraceScope() {
+  SSTBAN_CHECK(t_current == nullptr) << "TraceScope does not nest";
+  t_current = this;
+}
+
+TraceScope::~TraceScope() { t_current = nullptr; }
+
+bool TraceScope::Active() { return t_current != nullptr; }
+
+TraceScope* TraceScope::Current() { return t_current; }
+
+void TraceOp(const char* op, const NodePtr& node,
+             const std::vector<Variable>& inputs, const TraceAttrs* attrs) {
+  TraceScope* scope = t_current;
+  if (scope == nullptr) return;
+  TraceRecord record;
+  record.op = op;
+  record.node = node;
+  record.inputs.reserve(inputs.size());
+  for (const Variable& v : inputs) record.inputs.push_back(v.node());
+  if (attrs != nullptr) record.attrs = *attrs;
+  scope->records().push_back(std::move(record));
+}
+
+void TraceDynamicInput(DynamicNote note) {
+  TraceScope* scope = t_current;
+  if (scope == nullptr) return;
+  scope->notes().push_back(std::move(note));
+}
+
+}  // namespace sstban::autograd

@@ -1,0 +1,103 @@
+#ifndef SSTBAN_AUTOGRAD_TRACE_H_
+#define SSTBAN_AUTOGRAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace sstban::autograd {
+
+// -- Op recording -------------------------------------------------------------
+// The static-graph executor (src/exec) builds its flat op program by running
+// the ordinary tape forward once under a TraceScope. Every op funnels through
+// MakeOp (ops.cc), which reports itself here; op parameters that are not
+// recoverable from the result tensor (scalars, transpose flags, permutations,
+// additive softmax masks) ride along in TraceAttrs. Nothing in this file does
+// any work unless a scope is active on the current thread, so the training
+// and serving tape paths stay allocation-free.
+
+struct TraceAttrs {
+  float scalar = 0.0f;             // add_scalar / mul_scalar
+  bool transpose_a = false;        // bmm
+  bool transpose_b = false;        // bmm
+  std::vector<int> perm;           // permute
+  int axis = 0;                    // concat / slice (canonical)
+  int64_t start = 0;               // slice
+  int64_t length = 0;              // slice
+  tensor::Tensor softmax_mask;     // additive mask (softmax-with-mask only)
+};
+
+struct TraceRecord {
+  const char* op;                  // MakeOp name literal
+  NodePtr node;                    // strong ref: keeps the value storage alive
+  std::vector<NodePtr> inputs;     // strong refs, same reason
+  TraceAttrs attrs;
+};
+
+// -- Dynamic-input annotations ------------------------------------------------
+// A handful of tensors on the forward path are built by raw loops outside the
+// op layer but depend on the request contents: the STE calendar one-hots and
+// the attention key masks derived from the [B, P, N] keep mask. The model
+// code annotates them while tracing so the compiler can classify those leaves
+// as rebuild-per-run slots instead of baking stale values as constants.
+
+enum class DynamicKind : uint8_t {
+  kCalendarOnehot,   // STE one-hot rows built from tod/dow vectors
+  kKeepMaskView,     // a materialized permuted view of the keep mask
+  kAdditiveKeyMask,  // MHA additive mask expanded from a key mask
+};
+
+struct DynamicNote {
+  DynamicKind kind;
+  tensor::Tensor tensor;  // the built tensor; identity for lookup is data()
+  // kCalendarOnehot: vector addresses distinguish the input vs output
+  // calendar stream even when P == Q.
+  const std::vector<int64_t>* tod = nullptr;
+  const std::vector<int64_t>* dow = nullptr;
+  int64_t steps_per_day = 0;
+  // kKeepMaskView: data() of the source [B, T, N] keep mask, plus its dims.
+  const float* view_src = nullptr;
+  int64_t view_batch = 0;
+  int64_t view_time = 0;
+  int64_t view_nodes = 0;
+  // kAdditiveKeyMask: data() of the key mask the additive mask expands, and
+  // the expansion geometry ([B'*heads, lq, lk] from a [B', lk] key mask).
+  const float* mask_src = nullptr;
+  int64_t heads = 0;
+  int64_t lq = 0;
+  int64_t lk = 0;
+};
+
+// RAII recording scope for the current thread. The traced forward must run
+// on this thread (tensor kernels may fan out internally; op construction is
+// always on the caller's thread). Scopes do not nest.
+class TraceScope {
+ public:
+  TraceScope();
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  std::vector<TraceRecord>& records() { return records_; }
+  std::vector<DynamicNote>& notes() { return notes_; }
+
+  // True when a scope is active on the current thread. Cheap enough to guard
+  // per-op attr construction with.
+  static bool Active();
+  static TraceScope* Current();
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::vector<DynamicNote> notes_;
+};
+
+// Hook points; no-ops when no scope is active on this thread.
+void TraceOp(const char* op, const NodePtr& node,
+             const std::vector<Variable>& inputs, const TraceAttrs* attrs);
+void TraceDynamicInput(DynamicNote note);
+
+}  // namespace sstban::autograd
+
+#endif  // SSTBAN_AUTOGRAD_TRACE_H_

@@ -1,0 +1,140 @@
+#include "exec/engine.h"
+
+#include <cstring>
+#include <utility>
+
+#include "autograd/trace.h"
+#include "core/check.h"
+#include "core/failpoint.h"
+
+namespace sstban::exec {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+InferenceEngine::InferenceEngine(EngineConfig config)
+    : config_(std::move(config)) {}
+
+core::StatusOr<std::shared_ptr<Program>> InferenceEngine::GetOrCompile(
+    const t::Tensor& x_norm, const t::Tensor* keep_pos,
+    const data::Batch& batch) {
+  bool masked = keep_pos != nullptr;
+  Key key{x_norm.dim(0), x_norm.dim(1),
+          static_cast<int64_t>(batch.tod_out.size()), x_norm.dim(2),
+          x_norm.dim(3), masked};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (it->second == nullptr) {
+      return core::Status::FailedPrecondition(
+          "executor: shape poisoned after a structural compile failure");
+    }
+    return it->second;
+  }
+
+  core::Status armed = core::FailPointStatus("exec_trace");
+  if (!armed.ok()) {
+    stats_.failures++;
+    return armed;  // transient: not cached, the next call retries
+  }
+
+  // Trace the tape forward. The batch is copied so the calendar vectors
+  // recorded by the STE annotation live at addresses we can compare against.
+  data::Batch trace_batch = batch;
+  ag::NoGradGuard no_grad;
+  ag::TraceScope scope;
+  ag::Variable result = masked
+                            ? config_.masked_forward(x_norm, *keep_pos,
+                                                     trace_batch)
+                            : config_.forward(x_norm, trace_batch);
+
+  CompileSpec spec;
+  spec.records = &scope.records();
+  spec.notes = &scope.notes();
+  spec.input_data = x_norm.data();
+  spec.keep_data = masked ? keep_pos->data() : nullptr;
+  spec.parameters = &config_.parameters;
+  spec.tod_in = &trace_batch.tod_in;
+  spec.dow_in = &trace_batch.dow_in;
+  spec.tod_out = &trace_batch.tod_out;
+  spec.dow_out = &trace_batch.dow_out;
+  spec.batch_size = x_norm.dim(0);
+  spec.input_len = x_norm.dim(1);
+  spec.num_nodes = x_norm.dim(2);
+  spec.num_features = x_norm.dim(3);
+  spec.output = result.node();
+
+  auto compiled = Program::Compile(spec);
+  if (!compiled.ok()) {
+    // Structural: this model/shape contains something the executor cannot
+    // replay, and retrying would fail the same way. Poison the key.
+    cache_[key] = nullptr;
+    stats_.failures++;
+    stats_.poisoned++;
+    return compiled.status();
+  }
+  std::shared_ptr<Program> program = std::move(compiled).value();
+
+  // Self-check: replay the program on the very inputs it was traced from
+  // and require the traced output bit for bit. Catches lowering bugs at
+  // compile time instead of serving wrong forecasts.
+  t::Tensor check;
+  core::Status run_status = program->Run(x_norm, keep_pos, trace_batch, &check);
+  if (!run_status.ok()) {
+    stats_.failures++;
+    return run_status;  // exec_run failpoint etc.: transient, not cached
+  }
+  if (std::memcmp(check.data(), result.value().data(),
+                  static_cast<size_t>(check.size()) * sizeof(float)) != 0) {
+    cache_[key] = nullptr;
+    stats_.failures++;
+    stats_.poisoned++;
+    return core::Status::Internal(
+        "executor: compiled program disagrees with its own trace");
+  }
+
+  cache_[key] = program;
+  stats_.compiles++;
+  return program;
+}
+
+core::Status InferenceEngine::RunImpl(const t::Tensor& x_norm,
+                                      const t::Tensor* keep_pos,
+                                      const data::Batch& batch,
+                                      t::Tensor* out) {
+  if (x_norm.rank() != 4) {
+    return core::Status::InvalidArgument("executor: input must be [B,P,N,C]");
+  }
+  auto program = GetOrCompile(x_norm, keep_pos, batch);
+  if (!program.ok()) return program.status();
+  core::Status status = program.value()->Run(x_norm, keep_pos, batch, out);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      stats_.runs++;
+    } else {
+      stats_.failures++;
+    }
+  }
+  return status;
+}
+
+core::Status InferenceEngine::Run(const t::Tensor& x_norm,
+                                  const data::Batch& batch, t::Tensor* out) {
+  return RunImpl(x_norm, nullptr, batch, out);
+}
+
+core::Status InferenceEngine::RunMasked(const t::Tensor& x_norm,
+                                        const t::Tensor& keep_pos,
+                                        const data::Batch& batch,
+                                        t::Tensor* out) {
+  return RunImpl(x_norm, &keep_pos, batch, out);
+}
+
+InferenceEngine::Stats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sstban::exec

@@ -1,0 +1,86 @@
+#ifndef SSTBAN_EXEC_ENGINE_H_
+#define SSTBAN_EXEC_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/status.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+#include "tensor/tensor.h"
+
+namespace sstban::exec {
+
+// Hooks the engine uses to trace a model. The callables run the ordinary
+// tape forward (they are invoked under NoGrad, with a TraceScope active on
+// the calling thread); `parameters` pins the storage the traced weights live
+// in so compiled programs can reference it directly.
+struct EngineConfig {
+  std::function<autograd::Variable(const tensor::Tensor& x_norm,
+                                   const data::Batch& batch)>
+      forward;
+  std::function<autograd::Variable(const tensor::Tensor& x_norm,
+                                   const tensor::Tensor& keep_pos,
+                                   const data::Batch& batch)>
+      masked_forward;
+  std::vector<tensor::Tensor> parameters;
+};
+
+// Shape-specialized inference executor: traces the tape forward once per
+// (B, P, Q, N, C, masked) key, compiles the trace into a Program, and
+// replays it on subsequent calls. Thread-safe. Failure semantics:
+//   - transient errors (the `exec_trace` / `exec_run` failpoints, input
+//     validation) leave the cache untouched, so the next call retries;
+//   - structural failures (unsupported op, or the compile-time self-check
+//     replay not matching the trace bitwise) poison the cache entry, and
+//     every later call for that key fails fast — callers fall back to the
+//     tape path permanently for that shape.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(EngineConfig config);
+
+  // Runs the forward for `x_norm` (shape [B, P, N, C]) with the batch's
+  // calendar features, writing the prediction into `*out` (reused in place
+  // when already the right shape). Compiles on first use of a shape.
+  core::Status Run(const tensor::Tensor& x_norm, const data::Batch& batch,
+                   tensor::Tensor* out);
+
+  // Masked variant; `keep_pos` must be [B, P, N].
+  core::Status RunMasked(const tensor::Tensor& x_norm,
+                         const tensor::Tensor& keep_pos,
+                         const data::Batch& batch, tensor::Tensor* out);
+
+  struct Stats {
+    int64_t compiles = 0;   // successful trace+compile cycles
+    int64_t runs = 0;       // successful static executions
+    int64_t failures = 0;   // failed runs or compiles (incl. failpoints)
+    int64_t poisoned = 0;   // shape keys permanently routed back to the tape
+  };
+  Stats stats() const;
+
+ private:
+  using Key = std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, bool>;
+
+  core::StatusOr<std::shared_ptr<Program>> GetOrCompile(
+      const tensor::Tensor& x_norm, const tensor::Tensor* keep_pos,
+      const data::Batch& batch);
+  core::Status RunImpl(const tensor::Tensor& x_norm,
+                       const tensor::Tensor* keep_pos,
+                       const data::Batch& batch, tensor::Tensor* out);
+
+  EngineConfig config_;
+  mutable std::mutex mu_;
+  // nullptr value = poisoned key (structural failure).
+  std::map<Key, std::shared_ptr<Program>> cache_;
+  Stats stats_;
+};
+
+}  // namespace sstban::exec
+
+#endif  // SSTBAN_EXEC_ENGINE_H_

@@ -1,0 +1,716 @@
+#include "exec/program.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/check.h"
+#include "core/failpoint.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace sstban::exec {
+
+namespace ag = ::sstban::autograd;
+namespace t = ::sstban::tensor;
+
+namespace {
+
+// Arena slots are aligned to 64 bytes so GEMM panels start cache-line
+// aligned regardless of what was planned before them.
+constexpr int64_t kSlotAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kSlotAlignFloats - 1) / kSlotAlignFloats * kSlotAlignFloats;
+}
+
+// Same rule as tensor/ops.cc BroadcastStrides: broadcast axes get stride 0.
+std::vector<int64_t> BcastStrides(const t::Shape& shape,
+                                  const t::Shape& out_shape) {
+  std::vector<int64_t> natural = shape.Strides();
+  std::vector<int64_t> strides(out_shape.rank(), 0);
+  int offset = out_shape.rank() - shape.rank();
+  for (int i = 0; i < shape.rank(); ++i) {
+    strides[offset + i] = shape.dims()[i] == 1 ? 0 : natural[i];
+  }
+  return strides;
+}
+
+// First-fit offset planner over slot lifetimes: a sorted, coalesced free
+// list plus a bump pointer past everything allocated so far. Total arena
+// size is the final bump watermark.
+class ArenaPlanner {
+ public:
+  int64_t Allocate(int64_t size) {
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size >= size) {
+        int64_t offset = free_[i].offset;
+        free_[i].offset += size;
+        free_[i].size -= size;
+        if (free_[i].size == 0) free_.erase(free_.begin() + i);
+        return offset;
+      }
+    }
+    int64_t offset = end_;
+    end_ += size;
+    peak_ = std::max(peak_, end_);
+    return offset;
+  }
+
+  void Free(int64_t offset, int64_t size) {
+    // Insert sorted by offset, then coalesce with both neighbors.
+    size_t i = 0;
+    while (i < free_.size() && free_[i].offset < offset) ++i;
+    free_.insert(free_.begin() + i, Block{offset, size});
+    if (i + 1 < free_.size() &&
+        free_[i].offset + free_[i].size == free_[i + 1].offset) {
+      free_[i].size += free_[i + 1].size;
+      free_.erase(free_.begin() + i + 1);
+    }
+    if (i > 0 && free_[i - 1].offset + free_[i - 1].size == free_[i].offset) {
+      free_[i - 1].size += free_[i].size;
+      free_.erase(free_.begin() + i);
+      i -= 1;
+    }
+    // Return a trailing block to the bump pointer so it can be re-split.
+    if (!free_.empty() && free_.back().offset + free_.back().size == end_) {
+      end_ = free_.back().offset;
+      free_.pop_back();
+    }
+  }
+
+  // Arena size must cover every offset ever handed out, not the final bump
+  // position — tail absorption shrinks end_ again as intermediates die while
+  // long-lived slots keep offsets from the high-water mark.
+  int64_t peak() const { return peak_; }
+
+ private:
+  struct Block {
+    int64_t offset;
+    int64_t size;
+  };
+  std::vector<Block> free_;
+  int64_t end_ = 0;
+  int64_t peak_ = 0;
+};
+
+// Compile-time state: slot table plus leaf classification maps.
+struct Builder {
+  explicit Builder(const CompileSpec& s) : spec(s) {
+    if (spec.parameters != nullptr) {
+      for (const t::Tensor& p : *spec.parameters) param_by_data[p.data()] = p;
+    }
+    if (spec.notes != nullptr) {
+      for (const ag::DynamicNote& note : *spec.notes) {
+        switch (note.kind) {
+          case ag::DynamicKind::kCalendarOnehot:
+            onehot_by_data[note.tensor.data()] = &note;
+            break;
+          case ag::DynamicKind::kKeepMaskView:
+            view_by_data[note.tensor.data()] = &note;
+            break;
+          case ag::DynamicKind::kAdditiveKeyMask:
+            additive_by_data[note.tensor.data()] = &note;
+            break;
+        }
+      }
+    }
+  }
+
+  const CompileSpec& spec;
+  std::vector<Slot> slots;
+  std::vector<Instr> instrs;
+  std::vector<DynamicFill> fills;
+  std::vector<int64_t> def_idx;   // per slot; -1 = live from run start
+  std::vector<int64_t> last_use;  // per slot; instruction index
+  std::unordered_map<const ag::Node*, int> node_slot;
+  std::unordered_map<const float*, int> leaf_slot;  // leaf dedup by storage
+  std::unordered_map<const float*, t::Tensor> param_by_data;
+  std::unordered_map<const float*, const ag::DynamicNote*> onehot_by_data;
+  std::unordered_map<const float*, const ag::DynamicNote*> view_by_data;
+  std::unordered_map<const float*, const ag::DynamicNote*> additive_by_data;
+  // Additive masks with the same geometry have identical contents; dedup to
+  // one slot + one fill. Key: (spatial_layout, heads, lq, lk).
+  std::unordered_map<std::string, int> additive_key_slot;
+  int input_slot = -1;
+  int keep_slot = -1;
+
+  int NewSlot(Slot::Kind kind, int64_t size, int64_t def, t::Tensor backing) {
+    Slot slot;
+    slot.kind = kind;
+    slot.size = size;
+    slot.backing = std::move(backing);
+    slots.push_back(std::move(slot));
+    def_idx.push_back(def);
+    last_use.push_back(def);
+    return static_cast<int>(slots.size()) - 1;
+  }
+
+  void Use(int slot, int64_t instr_index) {
+    last_use[slot] = std::max(last_use[slot], instr_index);
+  }
+
+  core::StatusOr<int> AdditiveSlot(const ag::DynamicNote& note,
+                                   const t::Tensor& value) {
+    bool spatial;
+    if (spec.keep_data != nullptr && note.mask_src == spec.keep_data) {
+      spatial = true;  // mask_s aliases the keep mask directly
+    } else if (view_by_data.count(note.mask_src) > 0) {
+      spatial = false;  // mask_t, the materialized [B*N, T] transpose
+    } else {
+      return core::Status::Internal(
+          "executor: additive key mask with unknown source");
+    }
+    int64_t expect_lk = spatial ? spec.num_nodes : spec.input_len;
+    if (note.lk != expect_lk) {
+      return core::Status::Internal("executor: additive key mask lk mismatch");
+    }
+    std::string key = (spatial ? "s/" : "t/") + std::to_string(note.heads) +
+                      "/" + std::to_string(note.lq) + "/" +
+                      std::to_string(note.lk);
+    auto it = additive_key_slot.find(key);
+    if (it != additive_key_slot.end()) return it->second;
+    int slot = NewSlot(Slot::Kind::kArena, value.size(), -1, t::Tensor());
+    DynamicFill fill;
+    fill.kind = ag::DynamicKind::kAdditiveKeyMask;
+    fill.slot = slot;
+    fill.spatial_layout = spatial;
+    fill.heads = note.heads;
+    fill.lq = note.lq;
+    fill.lk = note.lk;
+    fills.push_back(fill);
+    additive_key_slot[key] = slot;
+    return slot;
+  }
+
+  // Classifies a tensor that enters the program from outside the recorded
+  // ops: model input, keep mask, parameter, annotated dynamic input, or a
+  // baked constant.
+  core::StatusOr<int> LeafSlot(const t::Tensor& value) {
+    const float* d = value.data();
+    auto hit = leaf_slot.find(d);
+    if (hit != leaf_slot.end()) return hit->second;
+    int slot;
+    if (d == spec.input_data) {
+      slot = NewSlot(Slot::Kind::kArena, value.size(), -1, t::Tensor());
+      input_slot = slot;
+    } else if (spec.keep_data != nullptr && d == spec.keep_data) {
+      slot = NewSlot(Slot::Kind::kArena, value.size(), -1, t::Tensor());
+      keep_slot = slot;
+    } else if (param_by_data.count(d) > 0) {
+      slot = NewSlot(Slot::Kind::kExternal, value.size(), -1, param_by_data[d]);
+    } else if (onehot_by_data.count(d) > 0) {
+      const ag::DynamicNote& note = *onehot_by_data[d];
+      bool out_stream;
+      if (note.tod == spec.tod_in && note.dow == spec.dow_in) {
+        out_stream = false;
+      } else if (note.tod == spec.tod_out && note.dow == spec.dow_out) {
+        out_stream = true;
+      } else {
+        return core::Status::Internal(
+            "executor: calendar one-hot from unknown stream");
+      }
+      slot = NewSlot(Slot::Kind::kArena, value.size(), -1, t::Tensor());
+      DynamicFill fill;
+      fill.kind = ag::DynamicKind::kCalendarOnehot;
+      fill.slot = slot;
+      fill.out_stream = out_stream;
+      fill.onehot_rows = note.tensor.dim(0);
+      fill.onehot_dim = note.tensor.dim(1);
+      fill.steps_per_day = note.steps_per_day;
+      fills.push_back(fill);
+    } else if (additive_by_data.count(d) > 0) {
+      auto result = AdditiveSlot(*additive_by_data[d], value);
+      if (!result.ok()) return result.status();
+      slot = result.value();
+    } else {
+      // Request-independent tensor (e.g. the zeros broadcast helper in
+      // BottleneckAttention): bake a private copy.
+      slot = NewSlot(Slot::Kind::kExternal, value.size(), -1, value.Clone());
+    }
+    leaf_slot[d] = slot;
+    return slot;
+  }
+
+  core::StatusOr<int> SlotFor(const ag::NodePtr& node) {
+    auto it = node_slot.find(node.get());
+    if (it != node_slot.end()) return it->second;
+    auto result = LeafSlot(node->value);
+    if (!result.ok()) return result.status();
+    node_slot[node.get()] = result.value();
+    return result.value();
+  }
+};
+
+}  // namespace
+
+core::StatusOr<std::unique_ptr<Program>> Program::Compile(
+    const CompileSpec& spec) {
+  SSTBAN_CHECK(spec.records != nullptr && spec.output != nullptr);
+  Builder b(spec);
+
+  for (const ag::TraceRecord& rec : *spec.records) {
+    int64_t i = static_cast<int64_t>(b.instrs.size());
+    const std::string op = rec.op;
+    const t::Shape& out_shape = rec.node->value.shape();
+
+    if (op == "reshape") {
+      // Pure storage alias: the node shares its input's slot; downstream
+      // instructions bake the reshaped geometry anyway.
+      auto in = b.SlotFor(rec.inputs[0]);
+      if (!in.ok()) return in.status();
+      b.node_slot[rec.node.get()] = in.value();
+      b.Use(in.value(), i);  // keep the storage alive across the alias point
+      continue;
+    }
+
+    Instr ins;
+    bool known = true;
+    if (op == "add" || op == "mul") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      auto c = b.SlotFor(rec.inputs[1]);
+      if (!a.ok()) return a.status();
+      if (!c.ok()) return c.status();
+      ins.a = a.value();
+      ins.b = c.value();
+      const t::Shape& sa = rec.inputs[0]->value.shape();
+      const t::Shape& sb = rec.inputs[1]->value.shape();
+      if (sa == sb) {
+        ins.kind = op == "add" ? OpKind::kAddSame : OpKind::kMulSame;
+      } else {
+        ins.kind = op == "add" ? OpKind::kAddBcast : OpKind::kMulBcast;
+        ins.sa = BcastStrides(sa, out_shape);
+        ins.sb = BcastStrides(sb, out_shape);
+        ins.odims = out_shape.dims();
+        ins.rank = out_shape.rank();
+        ins.idx.resize(ins.rank);
+      }
+      ins.n = rec.node->value.size();
+    } else if (op == "add_scalar" || op == "mul_scalar") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      if (!a.ok()) return a.status();
+      ins.a = a.value();
+      ins.kind = op == "add_scalar" ? OpKind::kAddScalar : OpKind::kMulScalar;
+      ins.scalar = rec.attrs.scalar;
+      ins.n = rec.node->value.size();
+    } else if (op == "relu") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      if (!a.ok()) return a.status();
+      ins.a = a.value();
+      ins.kind = OpKind::kRelu;
+      ins.n = rec.node->value.size();
+    } else if (op == "matmul") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      auto c = b.SlotFor(rec.inputs[1]);
+      if (!a.ok()) return a.status();
+      if (!c.ok()) return c.status();
+      ins.kind = OpKind::kGemm;
+      ins.a = a.value();
+      ins.b = c.value();
+      ins.batch = 1;
+      ins.m = rec.inputs[0]->value.dim(0);
+      ins.k = rec.inputs[0]->value.dim(1);
+      ins.gemm_n = rec.inputs[1]->value.dim(1);
+    } else if (op == "bmm") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      auto c = b.SlotFor(rec.inputs[1]);
+      if (!a.ok()) return a.status();
+      if (!c.ok()) return c.status();
+      const t::Tensor& av = rec.inputs[0]->value;
+      const t::Tensor& bv = rec.inputs[1]->value;
+      ins.kind = OpKind::kGemm;
+      ins.a = a.value();
+      ins.b = c.value();
+      ins.ta = rec.attrs.transpose_a;
+      ins.tb = rec.attrs.transpose_b;
+      ins.batch = av.dim(0);
+      ins.m = ins.ta ? av.dim(2) : av.dim(1);
+      ins.k = ins.ta ? av.dim(1) : av.dim(2);
+      ins.gemm_n = ins.tb ? bv.dim(1) : bv.dim(2);
+      ins.a_stride = av.dim(1) * av.dim(2);
+      ins.b_stride = bv.dim(1) * bv.dim(2);
+    } else if (op == "permute") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      if (!a.ok()) return a.status();
+      ins.kind = OpKind::kPermute;
+      ins.a = a.value();
+      const std::vector<int>& perm = rec.attrs.perm;
+      int rank = static_cast<int>(perm.size());
+      std::vector<int64_t> in_strides = rec.inputs[0]->value.shape().Strides();
+      ins.new_dims = out_shape.dims();
+      ins.step.resize(rank);
+      for (int j = 0; j < rank; ++j) ins.step[j] = in_strides[perm[j]];
+      ins.n = rec.node->value.size();
+      int tail = 0;
+      while (tail < rank && perm[rank - 1 - tail] == rank - 1 - tail) ++tail;
+      if (tail > 0 && tail < rank) {
+        ins.run = 1;
+        for (int j = rank - tail; j < rank; ++j) ins.run *= ins.new_dims[j];
+        ins.outer_rank = rank - tail;
+        ins.idx.resize(ins.outer_rank);
+      } else {
+        ins.run = 0;
+        ins.outer_rank = rank;
+        ins.idx.resize(rank);
+      }
+    } else if (op == "concat") {
+      ins.kind = OpKind::kConcat;
+      int axis = rec.attrs.axis;
+      ins.outer = 1;
+      ins.inner = 1;
+      const std::vector<int64_t>& odims = out_shape.dims();
+      for (int j = 0; j < axis; ++j) ins.outer *= odims[j];
+      for (size_t j = axis + 1; j < odims.size(); ++j) ins.inner *= odims[j];
+      ins.axis_total = odims[axis];
+      for (const ag::NodePtr& part : rec.inputs) {
+        auto p = b.SlotFor(part);
+        if (!p.ok()) return p.status();
+        ins.parts.push_back(p.value());
+        ins.part_mid.push_back(part->value.shape().dims()[axis]);
+      }
+    } else if (op == "softmax") {
+      auto a = b.SlotFor(rec.inputs[0]);
+      if (!a.ok()) return a.status();
+      ins.a = a.value();
+      ins.cols = out_shape.dims()[out_shape.rank() - 1];
+      ins.rows = rec.node->value.size() / ins.cols;
+      ins.n = rec.node->value.size();
+      if (rec.attrs.softmax_mask.defined()) {
+        // The additive mask is not an op input; resolve it through the same
+        // leaf classifier (it must be an annotated dynamic mask).
+        auto mask = b.LeafSlot(rec.attrs.softmax_mask);
+        if (!mask.ok()) return mask.status();
+        if (b.slots[mask.value()].kind != Slot::Kind::kArena ||
+            b.def_idx[mask.value()] != -1) {
+          return core::Status::Internal(
+              "executor: softmax mask is not a dynamic input");
+        }
+        ins.kind = OpKind::kSoftmaxMasked;
+        ins.b = mask.value();
+      } else {
+        ins.kind = OpKind::kSoftmax;
+      }
+    } else {
+      known = false;
+    }
+    if (!known) {
+      return core::Status::Internal(std::string("executor: unsupported op '") +
+                                    rec.op + "'");
+    }
+
+    ins.out = b.NewSlot(Slot::Kind::kArena, rec.node->value.size(), i,
+                        t::Tensor());
+    b.node_slot[rec.node.get()] = ins.out;
+    if (ins.a >= 0) b.Use(ins.a, i);
+    if (ins.b >= 0) b.Use(ins.b, i);
+    for (int p : ins.parts) b.Use(p, i);
+    b.instrs.push_back(std::move(ins));
+  }
+
+  auto out_it = b.node_slot.find(spec.output.get());
+  if (out_it == b.node_slot.end()) {
+    return core::Status::Internal("executor: output node was never produced");
+  }
+  if (b.input_slot < 0) {
+    return core::Status::Internal("executor: model input never consumed");
+  }
+  if (spec.keep_data != nullptr && b.keep_slot < 0) {
+    return core::Status::Internal("executor: keep mask never consumed");
+  }
+
+  auto program = std::unique_ptr<Program>(new Program());
+  program->instrs_ = std::move(b.instrs);
+  program->fills_ = std::move(b.fills);
+  program->slots_ = std::move(b.slots);
+  program->input_slot_ = b.input_slot;
+  program->keep_slot_ = b.keep_slot;
+  program->output_slot_ = out_it->second;
+  program->input_shape_ =
+      t::Shape{spec.batch_size, spec.input_len, spec.num_nodes,
+               spec.num_features};
+  program->keep_shape_ =
+      t::Shape{spec.batch_size, spec.input_len, spec.num_nodes};
+  program->output_shape_ = spec.output->value.shape();
+
+  // Plan the arena from exact lifetimes. At each step, outputs born at that
+  // instruction are placed before inputs dying there are freed, so no
+  // instruction ever reads and writes overlapping storage.
+  int64_t n_instr = static_cast<int64_t>(program->instrs_.size());
+  int64_t n_slots = static_cast<int64_t>(program->slots_.size());
+  b.last_use[program->output_slot_] = n_instr;  // survives to the final copy
+  std::vector<std::vector<int>> born(n_instr + 1), dies(n_instr + 1);
+  for (int64_t s = 0; s < n_slots; ++s) {
+    if (program->slots_[s].kind != Slot::Kind::kArena) continue;
+    born[b.def_idx[s] + 1].push_back(static_cast<int>(s));
+    if (b.last_use[s] < n_instr) dies[b.last_use[s] + 1].push_back(
+        static_cast<int>(s));
+  }
+  ArenaPlanner planner;
+  for (int64_t step = 0; step <= n_instr; ++step) {
+    for (int s : born[step]) {
+      program->slots_[s].offset =
+          planner.Allocate(AlignUp(program->slots_[s].size));
+    }
+    for (int s : dies[step]) {
+      planner.Free(program->slots_[s].offset,
+                   AlignUp(program->slots_[s].size));
+    }
+  }
+  program->arena_ =
+      t::Tensor::Zeros(t::Shape{std::max<int64_t>(planner.peak(), 1)});
+
+  program->ptrs_.resize(n_slots);
+  for (int64_t s = 0; s < n_slots; ++s) {
+    Slot& slot = program->slots_[s];
+    program->ptrs_[s] = slot.kind == Slot::Kind::kArena
+                            ? program->arena_.data() + slot.offset
+                            : slot.backing.data();
+  }
+  return std::move(program);
+}
+
+namespace {
+
+void RunElementwise(const Instr& ins, const float* pa, const float* pb,
+                    float* po) {
+  switch (ins.kind) {
+    case OpKind::kAddSame:
+      t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+      });
+      break;
+    case OpKind::kMulSame:
+      t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+      });
+      break;
+    case OpKind::kAddScalar: {
+      float s = ins.scalar;
+      t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+      });
+      break;
+    }
+    case OpKind::kMulScalar: {
+      float s = ins.scalar;
+      t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+      });
+      break;
+    }
+    case OpKind::kRelu:
+      t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] > 0 ? pa[i] : 0.0f;
+      });
+      break;
+    default:
+      SSTBAN_CHECK(false) << "not an elementwise op";
+  }
+}
+
+// Sequential odometer matching the tape's general broadcast path bit for bit
+// (elementwise float ops are exactly rounded, so partitioning would not
+// matter either way).
+template <bool kMul>
+void RunBroadcast(const Instr& ins, const float* pa, const float* pb,
+                  float* po) {
+  std::fill(ins.idx.begin(), ins.idx.end(), 0);
+  int rank = ins.rank;
+  int64_t offset_a = 0, offset_b = 0;
+  for (int64_t i = 0; i < ins.n; ++i) {
+    po[i] = kMul ? pa[offset_a] * pb[offset_b] : pa[offset_a] + pb[offset_b];
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++ins.idx[axis];
+      offset_a += ins.sa[axis];
+      offset_b += ins.sb[axis];
+      if (ins.idx[axis] < ins.odims[axis]) break;
+      offset_a -= ins.sa[axis] * ins.odims[axis];
+      offset_b -= ins.sb[axis] * ins.odims[axis];
+      ins.idx[axis] = 0;
+    }
+  }
+}
+
+// Same two code paths as tensor::Permute: trailing-tail memcpy when the
+// innermost axes stay in place, full odometer otherwise.
+void RunPermute(const Instr& ins, const float* pa, float* po) {
+  std::fill(ins.idx.begin(), ins.idx.end(), 0);
+  if (ins.run > 0) {
+    int64_t in_offset = 0;
+    int64_t rows = ins.n / ins.run;
+    for (int64_t r = 0; r < rows; ++r) {
+      std::memcpy(po + r * ins.run, pa + in_offset,
+                  static_cast<size_t>(ins.run) * sizeof(float));
+      for (int axis = ins.outer_rank - 1; axis >= 0; --axis) {
+        ++ins.idx[axis];
+        in_offset += ins.step[axis];
+        if (ins.idx[axis] < ins.new_dims[axis]) break;
+        in_offset -= ins.step[axis] * ins.new_dims[axis];
+        ins.idx[axis] = 0;
+      }
+    }
+    return;
+  }
+  int64_t in_offset = 0;
+  int rank = ins.outer_rank;
+  for (int64_t i = 0; i < ins.n; ++i) {
+    po[i] = pa[in_offset];
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++ins.idx[axis];
+      in_offset += ins.step[axis];
+      if (ins.idx[axis] < ins.new_dims[axis]) break;
+      in_offset -= ins.step[axis] * ins.new_dims[axis];
+      ins.idx[axis] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
+                          const data::Batch& batch, t::Tensor* out) {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  SSTBAN_RETURN_IF_ERROR(core::FailPointStatus("exec_run"));
+  if (x_norm.shape() != input_shape_) {
+    return core::Status::InvalidArgument("executor: input shape mismatch");
+  }
+  if ((keep != nullptr) != masked()) {
+    return core::Status::InvalidArgument(
+        "executor: masked/unmasked program mismatch");
+  }
+  if (keep != nullptr && keep->shape() != keep_shape_) {
+    return core::Status::InvalidArgument("executor: keep mask shape mismatch");
+  }
+
+  std::memcpy(ptrs_[input_slot_], x_norm.data(),
+              static_cast<size_t>(x_norm.size()) * sizeof(float));
+  if (keep != nullptr) {
+    std::memcpy(ptrs_[keep_slot_], keep->data(),
+                static_cast<size_t>(keep->size()) * sizeof(float));
+  }
+
+  for (const DynamicFill& fill : fills_) {
+    float* po = ptrs_[fill.slot];
+    if (fill.kind == ag::DynamicKind::kCalendarOnehot) {
+      const std::vector<int64_t>& tod =
+          fill.out_stream ? batch.tod_out : batch.tod_in;
+      const std::vector<int64_t>& dow =
+          fill.out_stream ? batch.dow_out : batch.dow_in;
+      if (static_cast<int64_t>(tod.size()) != fill.onehot_rows ||
+          static_cast<int64_t>(dow.size()) != fill.onehot_rows) {
+        return core::Status::InvalidArgument(
+            "executor: calendar feature length mismatch");
+      }
+      std::fill_n(po, fill.onehot_rows * fill.onehot_dim, 0.0f);
+      for (int64_t r = 0; r < fill.onehot_rows; ++r) {
+        if (tod[r] < 0 || tod[r] >= fill.steps_per_day || dow[r] < 0 ||
+            dow[r] >= 7) {
+          return core::Status::InvalidArgument(
+              "executor: calendar index out of range");
+        }
+        po[r * fill.onehot_dim + tod[r]] = 1.0f;
+        po[r * fill.onehot_dim + fill.steps_per_day + dow[r]] = 1.0f;
+      }
+    } else if (fill.kind == ag::DynamicKind::kAdditiveKeyMask) {
+      // Rebuild the additive mask straight from the keep mask, fusing the
+      // tape's permute/reshape view with its >0.5 -> {0, -1e9} expansion:
+      // the written values are exact constants either way.
+      const float* keep_ptr = ptrs_[keep_slot_];
+      int64_t nodes = keep_shape_.dims()[2];
+      int64_t time = keep_shape_.dims()[1];
+      int64_t total_rows = slots_[fill.slot].size / fill.lk;
+      int64_t hq = fill.heads * fill.lq;
+      if (fill.spatial_layout) {
+        t::ParallelFor(0, total_rows, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            float* row = po + r * fill.lk;
+            const float* mrow = keep_ptr + (r / hq) * nodes;
+            for (int64_t j = 0; j < fill.lk; ++j) {
+              row[j] = mrow[j] > 0.5f ? 0.0f : -1e9f;
+            }
+          }
+        }, /*min_chunk=*/256);
+      } else {
+        t::ParallelFor(0, total_rows, [&](int64_t lo, int64_t hi) {
+          for (int64_t r = lo; r < hi; ++r) {
+            float* row = po + r * fill.lk;
+            int64_t bn = r / hq;
+            int64_t bb = bn / nodes;
+            int64_t node = bn % nodes;
+            for (int64_t j = 0; j < fill.lk; ++j) {
+              row[j] =
+                  keep_ptr[(bb * time + j) * nodes + node] > 0.5f ? 0.0f
+                                                                  : -1e9f;
+            }
+          }
+        }, /*min_chunk=*/256);
+      }
+    }
+  }
+
+  for (const Instr& ins : instrs_) {
+    const float* pa = ins.a >= 0 ? ptrs_[ins.a] : nullptr;
+    const float* pb = ins.b >= 0 ? ptrs_[ins.b] : nullptr;
+    float* po = ptrs_[ins.out];
+    switch (ins.kind) {
+      case OpKind::kAddSame:
+      case OpKind::kMulSame:
+      case OpKind::kAddScalar:
+      case OpKind::kMulScalar:
+      case OpKind::kRelu:
+        RunElementwise(ins, pa, pb, po);
+        break;
+      case OpKind::kAddBcast:
+        RunBroadcast<false>(ins, pa, pb, po);
+        break;
+      case OpKind::kMulBcast:
+        RunBroadcast<true>(ins, pa, pb, po);
+        break;
+      case OpKind::kGemm:
+        t::GemmBatchedInto(pa, pb, po, ins.batch, ins.m, ins.k, ins.gemm_n,
+                           ins.ta, ins.tb, ins.a_stride, ins.b_stride);
+        break;
+      case OpKind::kPermute:
+        RunPermute(ins, pa, po);
+        break;
+      case OpKind::kConcat: {
+        int64_t axis_offset = 0;
+        for (size_t p = 0; p < ins.parts.size(); ++p) {
+          const float* pp = ptrs_[ins.parts[p]];
+          int64_t mid = ins.part_mid[p];
+          for (int64_t o = 0; o < ins.outer; ++o) {
+            std::memcpy(
+                po + (o * ins.axis_total + axis_offset) * ins.inner,
+                pp + o * mid * ins.inner,
+                static_cast<size_t>(mid * ins.inner) * sizeof(float));
+          }
+          axis_offset += mid;
+        }
+        break;
+      }
+      case OpKind::kSoftmax:
+        t::SoftmaxRows(pa, po, ins.rows, ins.cols);
+        break;
+      case OpKind::kSoftmaxMasked:
+        // Matches the tape's SoftmaxWithMask = Softmax(Add(scores, mask));
+        // SoftmaxRows is in-place safe.
+        t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+        });
+        t::SoftmaxRows(po, po, ins.rows, ins.cols);
+        break;
+    }
+  }
+
+  if (!out->defined() || out->shape() != output_shape_) {
+    *out = t::Tensor::Empty(output_shape_);
+  }
+  std::memcpy(out->data(), ptrs_[output_slot_],
+              static_cast<size_t>(out->size()) * sizeof(float));
+  return core::Status::Ok();
+}
+
+}  // namespace sstban::exec

@@ -1,0 +1,164 @@
+#ifndef SSTBAN_EXEC_PROGRAM_H_
+#define SSTBAN_EXEC_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "autograd/trace.h"
+#include "core/status.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace sstban::exec {
+
+// A Program is one (B, P, Q, N, C[, masked]) shape specialization of the
+// model forward, compiled from a tape trace (autograd/trace.h) into a flat
+// list of enum-tagged instructions over integer tensor slots. All shapes,
+// strides, GEMM dims, and memcpy plans are baked at compile time; arena
+// slots are assigned from exact [def, last-use] lifetimes, so a steady-state
+// Run does no pool lookups and no heap allocations. Every instruction bottoms
+// out in the same kernels the tape uses (GemmBatchedInto, SoftmaxRows,
+// identical elementwise/odometer loops), which is what makes Run output
+// bitwise-identical to the tape forward — see DESIGN.md §13.
+
+// Where a slot's floats live.
+struct Slot {
+  enum class Kind : uint8_t {
+    kArena,     // planned offset in the program's arena tensor
+    kExternal,  // model parameter or baked constant; `backing` pins storage
+  };
+  Kind kind = Kind::kArena;
+  int64_t offset = 0;  // arena slots: offset in floats
+  int64_t size = 0;    // element count
+  tensor::Tensor backing;
+};
+
+enum class OpKind : uint8_t {
+  kAddSame,        // same-shape elementwise add
+  kMulSame,        // same-shape elementwise mul
+  kAddBcast,       // broadcast add (odometer, baked strides)
+  kMulBcast,       // broadcast mul
+  kAddScalar,
+  kMulScalar,
+  kRelu,
+  kGemm,           // matmul (batch == 1) and bmm
+  kPermute,
+  kConcat,
+  kSoftmax,        // softmax over the last axis
+  kSoftmaxMasked,  // add additive mask, then softmax in place
+};
+
+struct Instr {
+  OpKind kind;
+  int a = -1;    // input slots
+  int b = -1;    // second input (binary ops / additive mask)
+  int out = -1;
+  int64_t n = 0;           // elementwise size
+  float scalar = 0.0f;     // kAddScalar / kMulScalar
+  // kGemm
+  int64_t batch = 0, m = 0, k = 0, gemm_n = 0;
+  bool ta = false, tb = false;
+  int64_t a_stride = 0, b_stride = 0;
+  // kPermute: same descriptors as tensor::Permute (step[] converts a unit
+  // move along output axis i into an input-offset delta). run > 0 selects
+  // the trailing-tail memcpy fast path over `outer_rank` outer axes.
+  std::vector<int64_t> step;
+  std::vector<int64_t> new_dims;
+  int64_t run = 0;
+  int outer_rank = 0;
+  // kConcat memcpy plan
+  std::vector<int> parts;
+  std::vector<int64_t> part_mid;
+  int64_t outer = 0, inner = 0, axis_total = 0;
+  // kAddBcast / kMulBcast odometer
+  std::vector<int64_t> sa, sb, odims;
+  int rank = 0;
+  // kSoftmax / kSoftmaxMasked
+  int64_t rows = 0, cols = 0;
+  // Preallocated odometer scratch (zeroed at each use; Run is serialized by
+  // the program mutex so this is safe).
+  mutable std::vector<int64_t> idx;
+};
+
+// A request-dependent slot rebuilt at the start of every Run from the live
+// inputs, mirroring the raw loops the tape path runs (ste.cc one-hots,
+// attention.cc additive masks).
+struct DynamicFill {
+  autograd::DynamicKind kind;
+  int slot = -1;
+  // kCalendarOnehot
+  bool out_stream = false;  // tod_out/dow_out vs tod_in/dow_in
+  int64_t onehot_rows = 0, onehot_dim = 0, steps_per_day = 0;
+  // kAdditiveKeyMask: spatial layout reads the keep mask as [B*T, N] rows;
+  // temporal layout reads it as [B, T, N] transposed per node.
+  bool spatial_layout = false;
+  int64_t heads = 0, lq = 0, lk = 0;
+};
+
+// Everything Program::Compile needs to classify trace leaves and lower ops.
+struct CompileSpec {
+  const std::vector<autograd::TraceRecord>* records = nullptr;
+  const std::vector<autograd::DynamicNote>* notes = nullptr;
+  // Leaf identity, by storage pointer at trace time.
+  const float* input_data = nullptr;  // the traced x_norm
+  const float* keep_data = nullptr;   // the traced keep mask (masked only)
+  const std::vector<tensor::Tensor>* parameters = nullptr;
+  // Calendar vector addresses of the batch the trace ran against, to tell
+  // the input-window one-hot stream from the output-window one.
+  const std::vector<int64_t>* tod_in = nullptr;
+  const std::vector<int64_t>* dow_in = nullptr;
+  const std::vector<int64_t>* tod_out = nullptr;
+  const std::vector<int64_t>* dow_out = nullptr;
+  // Model dims: input [B, P, N, C], keep [B, P, N].
+  int64_t batch_size = 0, input_len = 0, num_nodes = 0, num_features = 0;
+  // The forward result node.
+  autograd::NodePtr output;
+};
+
+class Program {
+ public:
+  // Lowers a trace into a program. Fails with Internal (a structural,
+  // permanent condition — the caller should stop retrying this shape) when
+  // the trace contains an op or a dynamic input the executor cannot replay.
+  static core::StatusOr<std::unique_ptr<Program>> Compile(
+      const CompileSpec& spec);
+
+  // Replays the program: copies the inputs into their arena slots, rebuilds
+  // dynamic slots, runs the instruction list, and copies the result into
+  // `*out` (reused in place when already the right shape, so steady-state
+  // runs allocate nothing). `keep` must be non-null iff the program was
+  // compiled from a masked trace. Serialized internally; a Program is safe
+  // to share across threads.
+  core::Status Run(const tensor::Tensor& x_norm, const tensor::Tensor* keep,
+                   const data::Batch& batch, tensor::Tensor* out);
+
+  const tensor::Shape& output_shape() const { return output_shape_; }
+  bool masked() const { return keep_slot_ >= 0; }
+  int64_t arena_floats() const { return arena_.size(); }
+  int64_t num_instrs() const { return static_cast<int64_t>(instrs_.size()); }
+
+ private:
+  Program() = default;
+
+  const float* SlotPtr(int slot) const { return ptrs_[slot]; }
+  float* MutableSlotPtr(int slot) { return ptrs_[slot]; }
+
+  std::vector<Slot> slots_;
+  std::vector<float*> ptrs_;  // resolved base pointer per slot
+  std::vector<Instr> instrs_;
+  std::vector<DynamicFill> fills_;
+  tensor::Tensor arena_;
+  int input_slot_ = -1;
+  int keep_slot_ = -1;
+  int output_slot_ = -1;
+  tensor::Shape input_shape_;
+  tensor::Shape keep_shape_;
+  tensor::Shape output_shape_;
+  std::mutex run_mu_;
+};
+
+}  // namespace sstban::exec
+
+#endif  // SSTBAN_EXEC_PROGRAM_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "autograd/trace.h"
 #include "core/check.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
@@ -78,6 +79,16 @@ ag::Variable MultiHeadAttention::Forward(const ag::Variable& q,
         }
       }
     }, /*grain=*/256);
+    if (ag::TraceScope::Active()) {
+      ag::DynamicNote note;
+      note.kind = ag::DynamicKind::kAdditiveKeyMask;
+      note.tensor = additive;
+      note.mask_src = key_mask->data();
+      note.heads = num_heads_;
+      note.lq = lq;
+      note.lk = lk;
+      ag::TraceDynamicInput(std::move(note));
+    }
     attn = ag::SoftmaxWithMask(scores, additive);
   } else {
     attn = ag::Softmax(scores);

@@ -152,14 +152,20 @@ bool Batcher::RunPrimary(const ModelRegistry::Served& served,
   bool ok = injected.ok();
   if (ok) {
     try {
-      *denorm =
-          keep_pos.defined()
-              ? training::RunBatchedInferenceMasked(
-                    served.model.get(), served.normalizer, model_batch,
-                    keep_pos)
-              : training::RunBatchedInference(served.model.get(),
-                                              served.normalizer, model_batch);
-      ok = !tensor::HasNonFinite(*denorm);
+      if (keep_pos.defined()) {
+        core::StatusOr<tensor::Tensor> masked =
+            training::RunBatchedInferenceMasked(served.model.get(),
+                                                served.normalizer, model_batch,
+                                                keep_pos,
+                                                options_.executor_mode);
+        ok = masked.ok();
+        if (ok) *denorm = std::move(masked).value();
+      } else {
+        *denorm = training::RunBatchedInference(served.model.get(),
+                                                served.normalizer, model_batch,
+                                                options_.executor_mode);
+      }
+      ok = ok && !tensor::HasNonFinite(*denorm);
     } catch (const std::exception&) {
       ok = false;
     }

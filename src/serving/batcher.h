@@ -13,6 +13,7 @@
 #include "serving/request.h"
 #include "serving/request_queue.h"
 #include "serving/server_stats.h"
+#include "training/forecast_service.h"
 
 namespace sstban::serving {
 
@@ -26,6 +27,11 @@ struct BatcherOptions {
   int64_t input_len = 24;
   int64_t output_len = 24;
   int64_t steps_per_day = 96;
+  // Which forward implementation the primary model pass uses (kAuto defers
+  // to the SSTBAN_EXECUTOR environment variable). The static executor is a
+  // fast path only: any executor failure falls back to the tape inside
+  // RunBatchedInference, so the breaker/fallback semantics are unchanged.
+  training::ExecutorMode executor_mode = training::ExecutorMode::kAuto;
 };
 
 // The micro-batching worker: drains the request queue, coalesces up to

@@ -40,6 +40,9 @@ struct ServerOptions {
   // A batch in flight longer than this means the worker is wedged: the
   // readiness probe goes false and Submit fails fast with Unavailable.
   std::chrono::milliseconds stall_budget{2000};
+  // Which forward the batcher's primary pass uses: the autograd tape or the
+  // shape-specialized static executor (kAuto reads SSTBAN_EXECUTOR once).
+  training::ExecutorMode executor_mode = training::ExecutorMode::kAuto;
 };
 
 // The multi-client inference facade: Submit validates, sanitizes, and

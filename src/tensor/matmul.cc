@@ -337,6 +337,15 @@ void BatchedGemm(const float* pa, const float* pb, float* pc, int64_t batch,
 
 }  // namespace
 
+void GemmBatchedInto(const float* a, const float* b, float* c, int64_t batch,
+                     int64_t m, int64_t k, int64_t n, bool ta, bool tb,
+                     int64_t a_stride, int64_t b_stride) {
+  // Zero-fill first: the kernels accumulate into C, matching the
+  // Tensor::Zeros allocations in Matmul/Bmm bit for bit.
+  std::fill_n(c, batch * m * n, 0.0f);
+  BatchedGemm(a, b, c, batch, m, k, n, ta, tb, a_stride, b_stride);
+}
+
 Tensor Matmul(const Tensor& a, const Tensor& b) {
   SSTBAN_CHECK_EQ(a.rank(), 2);
   SSTBAN_CHECK_EQ(b.rank(), 2);

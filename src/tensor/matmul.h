@@ -16,6 +16,17 @@ Tensor Matmul(const Tensor& a, const Tensor& b);
 Tensor Bmm(const Tensor& a, const Tensor& b, bool transpose_a = false,
            bool transpose_b = false);
 
+// Raw-pointer entry point into the same batched GEMM driver that Matmul and
+// Bmm use: zero-fills `c` ([batch, m, n] contiguous) and accumulates
+// A ([batch, m, k] or [batch, k, m] when ta) x B ([batch, k, n] or
+// [batch, n, k] when tb) into it. `a_stride` / `b_stride` are per-batch
+// element strides (pass 0 to reuse one operand across the batch). Kernel
+// routing and partitioning depend only on (m, k, n, ta, tb), so results are
+// bitwise-identical to Matmul/Bmm on the same operands at any thread count.
+void GemmBatchedInto(const float* a, const float* b, float* c, int64_t batch,
+                     int64_t m, int64_t k, int64_t n, bool ta, bool tb,
+                     int64_t a_stride, int64_t b_stride);
+
 }  // namespace sstban::tensor
 
 #endif  // SSTBAN_TENSOR_MATMUL_H_

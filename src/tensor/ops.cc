@@ -418,17 +418,11 @@ Tensor RepeatAxis(const Tensor& a, int axis, int64_t repeats) {
   return out;
 }
 
-Tensor Softmax(const Tensor& a) {
-  SSTBAN_CHECK_GE(a.rank(), 1);
-  int64_t cols = a.shape().dims()[a.rank() - 1];
-  int64_t rows = a.size() / cols;
-  Tensor out = Tensor::Empty(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
+void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols) {
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      const float* row = pa + r * cols;
-      float* orow = po + r * cols;
+      const float* row = in + r * cols;
+      float* orow = out + r * cols;
       float m = row[0];
       for (int64_t c = 1; c < cols; ++c) m = std::max(m, row[c]);
       double denom = 0.0;
@@ -440,6 +434,14 @@ Tensor Softmax(const Tensor& a) {
       for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
     }
   }, /*min_chunk=*/64);
+}
+
+Tensor Softmax(const Tensor& a) {
+  SSTBAN_CHECK_GE(a.rank(), 1);
+  int64_t cols = a.shape().dims()[a.rank() - 1];
+  int64_t rows = a.size() / cols;
+  Tensor out = Tensor::Empty(a.shape());
+  SoftmaxRows(a.data(), out.data(), rows, cols);
   return out;
 }
 

@@ -1,0 +1,364 @@
+// Chaos and lifecycle tests for the static executor under the full serving
+// stack: injected trace/run faults must degrade to the tape forward (never
+// to a failed request), a registry hot-swap mid-stream must retrace on the
+// new model without torn programs, and shard-sliced executors must agree
+// bitwise with the unsharded static server when spatial mixing is off.
+//
+// The `exec_trace` / `exec_run` failpoints these tests arm programmatically
+// are the same ones the fault-injection and serving-chaos CI matrices arm
+// through SSTBAN_FAILPOINTS; strict engine-stat assertions are skipped when
+// the environment already armed failpoints so the chaos schedules can run
+// this binary too.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "core/rng.h"
+#include "data/normalizer.h"
+#include "data/synthetic_world.h"
+#include "exec/engine.h"
+#include "serving/forecast_server.h"
+#include "serving/model_registry.h"
+#include "sharding/fleet.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+
+namespace sstban {
+namespace {
+
+namespace t = ::sstban::tensor;
+namespace model_ns = ::sstban::sstban;
+namespace serving = ::sstban::serving;
+namespace sharding = ::sstban::sharding;
+
+constexpr int64_t kSteps = 6;
+constexpr int64_t kNodes = 8;
+constexpr int64_t kFeatures = 1;
+constexpr int64_t kStepsPerDay = 12;
+
+std::shared_ptr<data::TrafficDataset> SmallWorld() {
+  data::SyntheticWorldConfig config;
+  config.num_nodes = kNodes;
+  config.num_corridors = 2;
+  config.steps_per_day = kStepsPerDay;
+  config.num_days = 4;
+  config.seed = 19;
+  return std::make_shared<data::TrafficDataset>(
+      data::GenerateSyntheticWorld(config));
+}
+
+model_ns::SstbanConfig SmallConfig(bool spatial_mixing = true) {
+  model_ns::SstbanConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kSteps;
+  config.output_len = kSteps;
+  config.num_features = kFeatures;
+  config.steps_per_day = kStepsPerDay;
+  config.hidden_dim = 4;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.temporal_refs = 2;
+  config.spatial_refs = 2;
+  config.patch_len = 2;
+  config.spatial_mixing = spatial_mixing;
+  config.self_supervised = false;
+  config.seed = 9;
+  return config;
+}
+
+serving::ServerOptions StaticServerOptions() {
+  serving::ServerOptions options;
+  options.input_len = kSteps;
+  options.output_len = kSteps;
+  options.steps_per_day = kStepsPerDay;
+  options.num_nodes = kNodes;
+  options.num_features = kFeatures;
+  options.max_batch = 1;  // deterministic (B=1) shape key per request
+  options.max_wait = std::chrono::microseconds(0);
+  options.queue_capacity = 64;
+  options.executor_mode = training::ExecutorMode::kStatic;
+  return options;
+}
+
+// Submits one request for the window starting at `first_step` and requires a
+// successful (non-degraded-to-error) forecast.
+t::Tensor MustForecast(serving::ForecastServer* server,
+                       const data::TrafficDataset& dataset,
+                       int64_t first_step) {
+  serving::ForecastRequest request;
+  request.recent = t::Slice(dataset.signals, 0, first_step, kSteps).Clone();
+  request.first_step = first_step;
+  auto submitted = server->Submit(std::move(request));
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  serving::ForecastResult result = submitted.value().get();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value().forecast : t::Tensor();
+}
+
+struct ServerFixture {
+  explicit ServerFixture(const model_ns::SstbanConfig& config,
+                         const data::Normalizer& norm,
+                         serving::ServerOptions options)
+      : registry(
+            [config] { return std::make_unique<model_ns::SstbanModel>(config); },
+            norm) {
+    registry.Install(std::make_unique<model_ns::SstbanModel>(config));
+    server = std::make_unique<serving::ForecastServer>(options, &registry);
+  }
+  ~ServerFixture() { server->Shutdown(); }
+
+  exec::InferenceEngine* engine() {
+    return registry.current()->model->inference_engine();
+  }
+
+  serving::ModelRegistry registry;
+  std::unique_ptr<serving::ForecastServer> server;
+};
+
+// -- exec_trace / exec_run fault injection ------------------------------------
+
+TEST(ExecutorChaosTest, TraceFaultFallsBackToTapeThenRecovers) {
+  const bool env_armed = core::failpoint_internal::AnyArmed();
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  ServerFixture fixture(SmallConfig(), norm, StaticServerOptions());
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  // Every trace attempt faults: the static path must silently yield to the
+  // tape — requests keep succeeding, nothing gets cached or poisoned.
+  ASSERT_TRUE(core::FailPoint::Set("exec_trace", "error(kUnavailable)").ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, i).defined());
+  }
+  exec::InferenceEngine::Stats during = fixture.engine()->stats();
+  EXPECT_EQ(during.compiles, 0);
+  EXPECT_EQ(during.runs, 0);
+  EXPECT_GE(during.failures, 3);
+  EXPECT_EQ(during.poisoned, 0);
+
+  // Disarm: the very next request retries the trace and compiles — transient
+  // faults must not leave a permanent scar.
+  core::FailPoint::Clear("exec_trace");
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, i).defined());
+  }
+  if (!env_armed) {
+    exec::InferenceEngine::Stats after = fixture.engine()->stats();
+    EXPECT_EQ(after.compiles, 1);
+    EXPECT_GE(after.runs, 3);
+    EXPECT_EQ(after.poisoned, 0);
+  }
+}
+
+TEST(ExecutorChaosTest, RunFaultFallsBackToTapeThenRecovers) {
+  const bool env_armed = core::failpoint_internal::AnyArmed();
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  ServerFixture fixture(SmallConfig(), norm, StaticServerOptions());
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  // exec_run faults the compile-time self-check replay too, so while armed
+  // nothing completes a compile; requests are served by the tape.
+  ASSERT_TRUE(core::FailPoint::Set("exec_run", "error(kInternal)").ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, i).defined());
+  }
+  exec::InferenceEngine::Stats during = fixture.engine()->stats();
+  EXPECT_EQ(during.runs, 0);
+  EXPECT_GE(during.failures, 3);
+  EXPECT_EQ(during.poisoned, 0);
+
+  core::FailPoint::Clear("exec_run");
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, i).defined());
+  }
+  if (!env_armed) {
+    exec::InferenceEngine::Stats after = fixture.engine()->stats();
+    EXPECT_EQ(after.compiles, 1);
+    EXPECT_GE(after.runs, 3);
+  }
+}
+
+// A single injected run fault mid-steady-state: that one batch falls back to
+// the tape, the compiled program stays cached, and the next batch runs
+// static again.
+TEST(ExecutorChaosTest, TransientRunFaultDoesNotEvictTheProgram) {
+  const bool env_armed = core::failpoint_internal::AnyArmed();
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  ServerFixture fixture(SmallConfig(), norm, StaticServerOptions());
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, 0).defined());
+  ASSERT_TRUE(core::FailPoint::Set("exec_run", "error(kUnavailable)@1").ok());
+  EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, 1).defined());
+  EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, 2).defined());
+  core::FailPoint::Clear("exec_run");
+
+  if (!env_armed) {
+    exec::InferenceEngine::Stats stats = fixture.engine()->stats();
+    EXPECT_EQ(stats.compiles, 1);  // never recompiled
+    EXPECT_GE(stats.runs, 2);
+    EXPECT_GE(stats.failures, 1);
+  }
+}
+
+// -- Hot-swap lifecycle -------------------------------------------------------
+
+// A registry hot-swap while static-serving traffic is in flight: in-flight
+// batches finish on the pinned old snapshot (whose engine dies with the old
+// model), later batches trace the new model from scratch. No request fails,
+// no program is torn.
+TEST(ExecutorChaosTest, HotSwapMidStreamRetracesOnTheNewModel) {
+  const bool env_armed = core::failpoint_internal::AnyArmed();
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig();
+  ServerFixture fixture(config, norm, StaticServerOptions());
+  ASSERT_TRUE(fixture.server->Start().ok());
+
+  std::shared_ptr<const serving::ModelRegistry::Served> v1 =
+      fixture.registry.current();
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failed{0};
+  std::thread client([&] {
+    for (int i = 0; i < 16; ++i) {
+      serving::ForecastRequest request;
+      request.recent =
+          t::Slice(dataset->signals, 0, i % 8, kSteps).Clone();
+      request.first_step = i % 8;
+      auto submitted = fixture.server->Submit(std::move(request));
+      if (!submitted.ok() || !submitted.value().get().ok()) {
+        failed.fetch_add(1);
+      }
+      completed.fetch_add(1);
+    }
+  });
+
+  // Swap once a few static batches have run on v1.
+  while (completed.load() < 4) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  fixture.registry.Install(std::make_unique<model_ns::SstbanModel>(config));
+  client.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  // The post-swap snapshot serves from its own freshly traced engine.
+  std::shared_ptr<const serving::ModelRegistry::Served> v2 =
+      fixture.registry.current();
+  ASSERT_NE(v2->version, v1->version);
+  EXPECT_TRUE(MustForecast(fixture.server.get(), *dataset, 2).defined());
+  if (!env_armed) {
+    exec::InferenceEngine::Stats v1_stats =
+        v1->model->inference_engine()->stats();
+    exec::InferenceEngine::Stats v2_stats =
+        v2->model->inference_engine()->stats();
+    EXPECT_GE(v1_stats.compiles, 1);
+    EXPECT_GE(v2_stats.compiles, 1);  // retraced, not inherited
+    EXPECT_GE(v2_stats.runs, 1);
+    EXPECT_EQ(v1_stats.poisoned, 0);
+    EXPECT_EQ(v2_stats.poisoned, 0);
+  }
+}
+
+// -- Static serving == tape serving, end to end -------------------------------
+
+// Two full servers over bit-identical weights, one forced to the tape and
+// one to the static executor: every forecast must agree bitwise through the
+// whole serving stack (sanitizer, batcher, normalizer round-trip).
+TEST(ExecutorChaosTest, StaticServerMatchesTapeServerBitwise) {
+  const bool env_armed = core::failpoint_internal::AnyArmed();
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig();
+
+  serving::ServerOptions tape_options = StaticServerOptions();
+  tape_options.executor_mode = training::ExecutorMode::kTape;
+  ServerFixture tape_fixture(config, norm, tape_options);
+  ServerFixture static_fixture(config, norm, StaticServerOptions());
+  ASSERT_TRUE(tape_fixture.server->Start().ok());
+  ASSERT_TRUE(static_fixture.server->Start().ok());
+
+  for (int64_t first_step : {0, 5, 11}) {
+    t::Tensor a = MustForecast(tape_fixture.server.get(), *dataset, first_step);
+    t::Tensor b =
+        MustForecast(static_fixture.server.get(), *dataset, first_step);
+    ASSERT_TRUE(a.defined());
+    ASSERT_TRUE(b.defined());
+    ASSERT_TRUE(a.shape() == b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<size_t>(a.size()) * sizeof(float)),
+              0)
+        << "first_step=" << first_step;
+  }
+  if (!env_armed) {
+    // The static server really served static (not via silent tape fallback).
+    EXPECT_GE(static_fixture.engine()->stats().runs, 3);
+    EXPECT_EQ(tape_fixture.engine()->stats().runs, 0);
+  }
+}
+
+// -- Sharded static serving ---------------------------------------------------
+
+// With spatial mixing off the sharding exactness guarantee must survive the
+// executor swap: a K=3 fleet of shard-sliced static executors answers with
+// the bit-identical forecast of the unsharded static server (each shard
+// model traces its own sliced program; nothing is shared or re-derived).
+TEST(ExecutorChaosTest, ShardSlicedStaticExecutorsMatchUnshardedBitwise) {
+  auto dataset = SmallWorld();
+  data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
+  model_ns::SstbanConfig config = SmallConfig(/*spatial_mixing=*/false);
+
+  ServerFixture full(config, norm, StaticServerOptions());
+  ASSERT_TRUE(full.server->Start().ok());
+
+  model_ns::SstbanModel full_model(config);
+  sharding::FleetOptions fleet_options;
+  fleet_options.partition.num_shards = 3;
+  fleet_options.server = StaticServerOptions();
+  fleet_options.router.shard_timeout = std::chrono::milliseconds(3000);
+  auto fleet_or =
+      sharding::ShardedFleet::Create(*dataset->graph, full_model, norm,
+                                     fleet_options);
+  ASSERT_TRUE(fleet_or.ok()) << fleet_or.status().ToString();
+  std::unique_ptr<sharding::ShardedFleet>& fleet = fleet_or.value();
+  ASSERT_TRUE(fleet->Start().ok());
+
+  for (int64_t first_step : {0, 7}) {
+    t::Tensor window =
+        t::Slice(dataset->signals, 0, first_step, kSteps).Clone();
+
+    t::Tensor unsharded = MustForecast(full.server.get(), *dataset, first_step);
+    ASSERT_TRUE(unsharded.defined());
+
+    sharding::ShardedRequest request;
+    request.recent = window;
+    request.first_step = first_step;
+    auto submitted = fleet->router().Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    sharding::ShardedResult result = submitted.value().get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().failed_sensors.empty());
+
+    const t::Tensor& sharded = result.value().forecast;
+    ASSERT_TRUE(unsharded.shape() == sharded.shape());
+    EXPECT_EQ(std::memcmp(unsharded.data(), sharded.data(),
+                          static_cast<size_t>(unsharded.size()) * sizeof(float)),
+              0)
+        << "first_step=" << first_step;
+  }
+  fleet->Shutdown();
+}
+
+}  // namespace
+}  // namespace sstban

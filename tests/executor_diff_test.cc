@@ -1,0 +1,319 @@
+// Differential testing harness for the static inference executor: for a
+// grid of (B, P, N) shapes and every SstbanConfig toggle that changes the
+// traced graph (spatial_mixing, use_bottleneck, masked/unmasked input), the
+// compiled program's output must equal the autograd tape forward BIT FOR
+// BIT, at 1 worker thread and at 8. This is the executor's correctness
+// contract (DESIGN.md §13): it may skip the tape, never disagree with it.
+//
+// The default grid is sized for per-commit CI; setting SSTBAN_EXEC_DIFF_LARGE
+// in the environment (or running the `executor_diff_large` ctest target,
+// label `exec_diff`) expands it for the nightly sweep.
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "exec/engine.h"
+#include "sstban/config.h"
+#include "sstban/model.h"
+#include "tensor/ops.h"
+#include "training/forecast_service.h"
+
+namespace sstban {
+namespace {
+
+namespace t = ::sstban::tensor;
+namespace model_ns = ::sstban::sstban;
+
+constexpr int64_t kStepsPerDay = 8;
+
+model_ns::SstbanConfig DiffConfig(int64_t p, int64_t n, bool spatial_mixing,
+                                  bool use_bottleneck) {
+  model_ns::SstbanConfig config;
+  config.num_nodes = n;
+  config.input_len = p;
+  config.output_len = p;
+  config.num_features = 1;
+  config.steps_per_day = kStepsPerDay;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  config.encoder_blocks = 1;
+  config.decoder_blocks = 1;
+  config.temporal_refs = 2;
+  config.spatial_refs = 2;
+  config.patch_len = 2;
+  config.spatial_mixing = spatial_mixing;
+  config.use_bottleneck = use_bottleneck;
+  config.self_supervised = false;
+  config.seed = 11;
+  return config;
+}
+
+// Assembles a [B, P, N, 1] batch of deterministic pseudo-random "normalized"
+// signals with per-window calendar features, exactly as serving would.
+data::Batch MakeBatch(int64_t b, int64_t p, int64_t n, uint64_t seed) {
+  core::Rng rng(seed);
+  data::Batch batch;
+  batch.x = t::Tensor::RandomUniform(t::Shape{b, p, n, 1}, rng, -1.5f, 1.5f);
+  batch.y = t::Tensor::Zeros(t::Shape{b, p, n, 1});
+  for (int64_t i = 0; i < b; ++i) {
+    training::AppendCalendarFeatures(/*first_step=*/3 + 5 * i, p, p,
+                                     kStepsPerDay, &batch);
+  }
+  return batch;
+}
+
+// A keep mask with a deterministic scatter of dropped positions (roughly one
+// in four), never dropping everything.
+t::Tensor MakeKeepMask(int64_t b, int64_t p, int64_t n) {
+  t::Tensor keep = t::Tensor::Ones(t::Shape{b, p, n});
+  float* data = keep.data();
+  for (int64_t i = 0; i < keep.size(); i += 4) data[i] = 0.0f;
+  data[0] = 1.0f;  // keep at least the first position observed
+  return keep;
+}
+
+struct DiffCase {
+  int64_t b, p, n;
+  bool spatial_mixing;
+  bool use_bottleneck;
+  bool masked;
+};
+
+std::vector<DiffCase> GridCases() {
+  std::vector<DiffCase> cases;
+  // Shape grid: every toggle combination on a small shape, plus shape
+  // variation (batch > 1, longer windows, more nodes) on the default config.
+  const bool large = std::getenv("SSTBAN_EXEC_DIFF_LARGE") != nullptr;
+  std::vector<std::array<int64_t, 3>> shapes = {{1, 4, 3}, {2, 4, 3}};
+  if (large) {
+    shapes.push_back({3, 8, 5});
+    shapes.push_back({5, 6, 7});
+    shapes.push_back({8, 8, 4});
+  } else {
+    shapes.push_back({3, 6, 4});
+  }
+  for (const auto& shape : shapes) {
+    for (bool spatial : {false, true}) {
+      for (bool bottleneck : {false, true}) {
+        for (bool masked : {false, true}) {
+          cases.push_back(
+              {shape[0], shape[1], shape[2], spatial, bottleneck, masked});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const DiffCase& c) {
+  return "B" + std::to_string(c.b) + "_P" + std::to_string(c.p) + "_N" +
+         std::to_string(c.n) + (c.spatial_mixing ? "_spatial" : "_temporal") +
+         (c.use_bottleneck ? "_stba" : "_full") +
+         (c.masked ? "_masked" : "_clean");
+}
+
+// Runs one case at the current parallelism cap: tape forward and compiled
+// program on identical inputs, byte-compared.
+void RunCase(const DiffCase& c) {
+  SCOPED_TRACE(CaseName(c));
+  model_ns::SstbanConfig config =
+      DiffConfig(c.p, c.n, c.spatial_mixing, c.use_bottleneck);
+  model_ns::SstbanModel model(config);
+  model.SetTraining(false);
+  data::Batch batch = MakeBatch(c.b, c.p, c.n, /*seed=*/c.b * 100 + c.n);
+  t::Tensor keep = MakeKeepMask(c.b, c.p, c.n);
+
+  t::Tensor tape;
+  {
+    autograd::NoGradGuard no_grad;
+    tape = c.masked ? model.PredictMasked(batch.x, keep, batch).value()
+                    : model.Predict(batch.x, batch).value();
+  }
+
+  exec::InferenceEngine* engine = model.inference_engine();
+  ASSERT_NE(engine, nullptr);
+  // Two executor runs: the first compiles (trace + arena planning +
+  // self-check), the second replays the cached program — both must agree
+  // with the tape bitwise.
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    t::Tensor out;
+    core::Status status = c.masked ? engine->RunMasked(batch.x, keep, batch, &out)
+                                   : engine->Run(batch.x, batch, &out);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_TRUE(out.shape() == tape.shape())
+        << out.shape().ToString() << " vs " << tape.shape().ToString();
+    EXPECT_EQ(std::memcmp(out.data(), tape.data(),
+                          static_cast<size_t>(out.size()) * sizeof(float)),
+              0);
+  }
+  exec::InferenceEngine::Stats stats = engine->stats();
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.runs, 2);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_EQ(stats.poisoned, 0);
+}
+
+TEST(ExecutorDiffTest, GridMatchesTapeBitwiseSingleThread) {
+  core::SetParallelismCapForTesting(1);
+  for (const DiffCase& c : GridCases()) RunCase(c);
+  core::SetParallelismCapForTesting(0);
+}
+
+TEST(ExecutorDiffTest, GridMatchesTapeBitwiseEightThreads) {
+  core::SetParallelismCapForTesting(8);
+  for (const DiffCase& c : GridCases()) RunCase(c);
+  core::SetParallelismCapForTesting(0);
+}
+
+// The same model instance must hold independent compiled programs per shape:
+// serving traffic mixes batch sizes, and a (B=1) program must not be replayed
+// for a (B=3) batch.
+TEST(ExecutorDiffTest, OneEngineServesMultipleShapes) {
+  model_ns::SstbanConfig config = DiffConfig(4, 3, /*spatial_mixing=*/true,
+                                             /*use_bottleneck=*/true);
+  model_ns::SstbanModel model(config);
+  model.SetTraining(false);
+  exec::InferenceEngine* engine = model.inference_engine();
+  ASSERT_NE(engine, nullptr);
+  for (int64_t b : {1, 2, 4, 2, 1}) {
+    SCOPED_TRACE("B=" + std::to_string(b));
+    data::Batch batch = MakeBatch(b, 4, 3, /*seed=*/7 + b);
+    t::Tensor tape;
+    {
+      autograd::NoGradGuard no_grad;
+      tape = model.Predict(batch.x, batch).value();
+    }
+    t::Tensor out;
+    ASSERT_TRUE(engine->Run(batch.x, batch, &out).ok());
+    EXPECT_EQ(std::memcmp(out.data(), tape.data(),
+                          static_cast<size_t>(out.size()) * sizeof(float)),
+              0);
+  }
+  exec::InferenceEngine::Stats stats = engine->stats();
+  EXPECT_EQ(stats.compiles, 3);  // B in {1, 2, 4}; repeats hit the cache
+  EXPECT_EQ(stats.runs, 5);
+}
+
+// Masked and unmasked programs for the same geometry are distinct cache
+// entries; interleaving them must not cross wires.
+TEST(ExecutorDiffTest, MaskedAndUnmaskedProgramsCoexist) {
+  model_ns::SstbanConfig config = DiffConfig(4, 3, /*spatial_mixing=*/true,
+                                             /*use_bottleneck=*/true);
+  model_ns::SstbanModel model(config);
+  model.SetTraining(false);
+  data::Batch batch = MakeBatch(2, 4, 3, /*seed=*/23);
+  t::Tensor keep = MakeKeepMask(2, 4, 3);
+  t::Tensor tape_clean, tape_masked;
+  {
+    autograd::NoGradGuard no_grad;
+    tape_clean = model.Predict(batch.x, batch).value();
+    tape_masked = model.PredictMasked(batch.x, keep, batch).value();
+  }
+  exec::InferenceEngine* engine = model.inference_engine();
+  for (int round = 0; round < 2; ++round) {
+    t::Tensor out_clean, out_masked;
+    ASSERT_TRUE(engine->Run(batch.x, batch, &out_clean).ok());
+    ASSERT_TRUE(engine->RunMasked(batch.x, keep, batch, &out_masked).ok());
+    EXPECT_EQ(std::memcmp(out_clean.data(), tape_clean.data(),
+                          static_cast<size_t>(out_clean.size()) * sizeof(float)),
+              0);
+    EXPECT_EQ(
+        std::memcmp(out_masked.data(), tape_masked.data(),
+                    static_cast<size_t>(out_masked.size()) * sizeof(float)),
+        0);
+  }
+  EXPECT_EQ(engine->stats().compiles, 2);
+}
+
+// A fresh keep mask (same shape, different dropout pattern) must be re-read
+// on every run, not baked into the compiled program.
+TEST(ExecutorDiffTest, KeepMaskContentsAreReadPerRun) {
+  model_ns::SstbanConfig config = DiffConfig(4, 3, /*spatial_mixing=*/true,
+                                             /*use_bottleneck=*/true);
+  model_ns::SstbanModel model(config);
+  model.SetTraining(false);
+  data::Batch batch = MakeBatch(1, 4, 3, /*seed=*/5);
+  exec::InferenceEngine* engine = model.inference_engine();
+
+  t::Tensor keep_a = MakeKeepMask(1, 4, 3);
+  t::Tensor keep_b = t::Tensor::Ones(t::Shape{1, 4, 3});
+  keep_b.data()[5] = 0.0f;
+  keep_b.data()[9] = 0.0f;
+
+  for (const t::Tensor& keep : {keep_a, keep_b}) {
+    t::Tensor tape;
+    {
+      autograd::NoGradGuard no_grad;
+      tape = model.PredictMasked(batch.x, keep, batch).value();
+    }
+    t::Tensor out;
+    ASSERT_TRUE(engine->RunMasked(batch.x, keep, batch, &out).ok());
+    EXPECT_EQ(std::memcmp(out.data(), tape.data(),
+                          static_cast<size_t>(out.size()) * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(engine->stats().compiles, 1);  // one shape, one program
+}
+
+// Likewise the input window and calendar features: same shape, new contents.
+TEST(ExecutorDiffTest, InputAndCalendarContentsAreReadPerRun) {
+  model_ns::SstbanConfig config = DiffConfig(4, 3, /*spatial_mixing=*/true,
+                                             /*use_bottleneck=*/true);
+  model_ns::SstbanModel model(config);
+  model.SetTraining(false);
+  exec::InferenceEngine* engine = model.inference_engine();
+  for (uint64_t seed : {40u, 41u, 42u}) {
+    data::Batch batch = MakeBatch(2, 4, 3, seed);
+    t::Tensor tape;
+    {
+      autograd::NoGradGuard no_grad;
+      tape = model.Predict(batch.x, batch).value();
+    }
+    t::Tensor out;
+    ASSERT_TRUE(engine->Run(batch.x, batch, &out).ok());
+    EXPECT_EQ(std::memcmp(out.data(), tape.data(),
+                          static_cast<size_t>(out.size()) * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(engine->stats().compiles, 1);
+}
+
+// -- RunBatchedInferenceMasked keep-mask validation (the serving bugfix) ------
+
+TEST(MaskedInferenceValidationTest, MismatchedKeepDimsAreRejected) {
+  model_ns::SstbanConfig config = DiffConfig(4, 3, /*spatial_mixing=*/true,
+                                             /*use_bottleneck=*/true);
+  model_ns::SstbanModel model(config);
+  data::Batch batch = MakeBatch(2, 4, 3, /*seed=*/1);
+  data::Normalizer norm = data::Normalizer::Fit(batch.x);
+
+  // Wrong in every dimension that matters: batch, window length, node count.
+  for (const t::Shape& bad :
+       {t::Shape{1, 4, 3}, t::Shape{2, 5, 3}, t::Shape{2, 4, 4},
+        t::Shape{2, 4}}) {
+    auto result = training::RunBatchedInferenceMasked(
+        &model, norm, batch, t::Tensor::Ones(bad),
+        training::ExecutorMode::kTape);
+    EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument)
+        << bad.ToString() << ": " << result.status().ToString();
+  }
+
+  // The matching mask still goes through.
+  auto ok_result = training::RunBatchedInferenceMasked(
+      &model, norm, batch, t::Tensor::Ones(t::Shape{2, 4, 3}),
+      training::ExecutorMode::kTape);
+  EXPECT_TRUE(ok_result.ok()) << ok_result.status().ToString();
+}
+
+}  // namespace
+}  // namespace sstban

@@ -433,9 +433,11 @@ TEST(DegradedInferenceTest, ServerMatchesDirectMaskedCallBitwise) {
   training::AppendCalendarFeatures(first_step, kSteps, kSteps, kStepsPerDay,
                                    &batch);
   batch.y = t::Tensor::Zeros(t::Shape{1, kSteps, kNodes, kFeatures});
-  t::Tensor expected = training::RunBatchedInferenceMasked(
+  auto expected_or = training::RunBatchedInferenceMasked(
       &direct_model, norm, batch,
       sanitized.value().keep_pos.Reshape(t::Shape{1, kSteps, kNodes}));
+  ASSERT_TRUE(expected_or.ok()) << expected_or.status().ToString();
+  t::Tensor expected = std::move(expected_or).value();
 
   // Server path: same seed => bit-identical weights; batch of one.
   ModelRegistry registry(

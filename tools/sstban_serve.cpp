@@ -8,7 +8,7 @@
 //                [--clients 4] [--requests 32] [--deadline-ms 0]
 //                [--max-batch 8] [--max-wait-us 2000] [--queue-cap 256]
 //                [--swap 1] [--json 0] [--degrade-pct 0] [--fallback 1]
-//                [--var-lag 3] [--stall-ms 2000]
+//                [--var-lag 3] [--stall-ms 2000] [--executor auto]
 //                [--shards 0] [--replicas 1] [--halo-hops 0] [--rate-rps 50]
 //
 // Trains a checkpoint if --ckpt does not exist yet (plus a second version
@@ -22,6 +22,11 @@
 // health probe line is printed after the run. SSTBAN_FAILPOINTS (see
 // src/core/failpoint.h) injects serving faults: serve_enqueue,
 // serve_batch_run, serve_fallback, registry_get.
+//
+// `--executor static|tape|auto` picks the forward implementation for the
+// primary model pass: the shape-specialized static executor (src/exec), the
+// autograd tape, or deference to the SSTBAN_EXECUTOR environment variable
+// (the default).
 //
 // `--shards K` (K >= 1) serves the checkpoint as a horizontally sharded
 // fleet instead: the sensor graph is partitioned corridor-aware into K
@@ -208,6 +213,7 @@ int main(int argc, char** argv) {
   bool fallback_enabled = flags.GetInt("fallback", 1) != 0;
   int64_t var_lag = flags.GetInt("var-lag", 3);
   int64_t stall_ms = flags.GetInt("stall-ms", 2000);
+  std::string executor = flags.GetString("executor", "auto");
   int64_t shards = flags.GetInt("shards", 0);
   int64_t replicas = flags.GetInt("replicas", 1);
   int64_t halo_hops = flags.GetInt("halo-hops", 0);
@@ -253,6 +259,15 @@ int main(int argc, char** argv) {
   }
   options.fallback.enabled = fallback_enabled;
   options.stall_budget = std::chrono::milliseconds(stall_ms);
+  if (executor == "static") {
+    options.executor_mode = training::ExecutorMode::kStatic;
+  } else if (executor == "tape") {
+    options.executor_mode = training::ExecutorMode::kTape;
+  } else if (executor != "auto") {
+    std::fprintf(stderr, "unknown --executor '%s' (use static|tape|auto)\n",
+                 executor.c_str());
+    return 2;
+  }
 
   if (shards > 0) {
     namespace sharding = ::sstban::sharding;
