@@ -23,6 +23,17 @@ constexpr int64_t kDim = 16;
 constexpr int64_t kHeads = 4;
 constexpr int64_t kRefs = 3;
 
+// Attaches roofline-style counters: attention GFLOP/s (rate) and best-case
+// bytes/FLOP of the score GEMMs, so the scaling curves can be read against
+// the machine's compute/bandwidth balance. `madds` counts the two attention
+// GEMMs (scores + context); projections are the same on both paths.
+void SetRooflineCounters(benchmark::State& state, double madds,
+                         double tensor_bytes) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * madds * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bytes/FLOP"] = tensor_bytes / (2.0 * madds);
+}
+
 void BM_BottleneckForward(benchmark::State& state) {
   int64_t len = state.range(0);
   sstban::core::Rng rng(1);
@@ -33,6 +44,10 @@ void BM_BottleneckForward(benchmark::State& state) {
     benchmark::DoNotOptimize(attn.Forward(x).value().data());
   }
   state.SetComplexityN(len);
+  // Bottleneck: L x R scores both directions, per head (dk = kDim / kHeads).
+  double madds = 2.0 * kHeads * len * kRefs * (kDim / kHeads) * 2.0;
+  double bytes = sizeof(float) * (2.0 * len * kDim + 2.0 * kRefs * kDim);
+  SetRooflineCounters(state, madds, bytes);
 }
 BENCHMARK(BM_BottleneckForward)->RangeMultiplier(2)->Range(32, 512)->Complexity();
 
@@ -46,6 +61,10 @@ void BM_FullAttentionForward(benchmark::State& state) {
     benchmark::DoNotOptimize(attn.Forward(x).value().data());
   }
   state.SetComplexityN(len);
+  // Full self-attention: L x L scores + context, per head.
+  double madds = kHeads * (double)len * len * (kDim / kHeads) * 2.0;
+  double bytes = sizeof(float) * (3.0 * len * kDim);
+  SetRooflineCounters(state, madds, bytes);
 }
 BENCHMARK(BM_FullAttentionForward)->RangeMultiplier(2)->Range(32, 512)->Complexity();
 

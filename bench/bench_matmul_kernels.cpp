@@ -1,53 +1,41 @@
-// Kernel microbenchmark: sequential vs pool-parallel tiled matmul/Bmm at
-// STBA-representative shapes. Sequential runs force the kernels inline via
-// the parallelism cap, so both paths execute the identical tiled code and
-// differ only in work partitioning — which also lets us assert the
-// bitwise-equality guarantee on every shape measured.
+// Kernel microbenchmark for the SIMD dispatch layer (DESIGN.md §14):
 //
-// Shapes mirror the hot paths of a PEMS-scale SSTBAN step (B=16, N=170,
-// d=64, h=8 => per-head dk=8, L=48): attention scores QK^T, context AV,
-// the batched projection GEMMs, and one square reference point.
+//   1. Scalar vs AVX2 micro-kernel, single thread, on 256/512/1024 square
+//      GEMMs — the ISSUE 8 acceptance gate requires >= 2x GFLOP/s from the
+//      AVX2 tier. Roofline-style bytes/FLOP is reported per shape so the
+//      numbers can be read against the machine's compute/bandwidth balance.
+//   2. Sequential vs pool-parallel on STBA-representative shapes (attention
+//      scores QK^T, context AV, projection GEMMs), asserting the bitwise
+//      1-vs-N-thread guarantee on every shape measured.
+//
+// All timings are min-of-K repetitions alongside the mean (bench/common/
+// timing.h) so snapshot numbers gate on the noise floor. Emits JSON on
+// stdout (snapshot: bench/BENCH_simd_kernels.json); pass a path as argv[1]
+// to also write it there. Exits nonzero if a bitwise check fails or AVX2
+// hardware is present but misses the 2x gate.
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/timing.h"
+#include "core/cpu_features.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "tensor/matmul.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace {
 
 namespace t = ::sstban::tensor;
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-struct BenchCase {
-  std::string name;
-  std::function<t::Tensor()> run;
-  double madds;  // multiply-adds per invocation
-};
-
-// Times fn with an adaptive iteration count targeting ~0.3s of work.
-double TimePerCall(const std::function<t::Tensor()>& fn) {
-  fn();  // warm up (thread pool spin-up, pack-buffer allocation)
-  int iters = 1;
-  for (;;) {
-    double start = NowSeconds();
-    for (int i = 0; i < iters; ++i) fn();
-    double elapsed = NowSeconds() - start;
-    if (elapsed > 0.3 || iters >= 1 << 14) return elapsed / iters;
-    iters *= 4;
-  }
-}
+using sstban::bench::MeasureSeconds;
+using sstban::bench::Timing;
+using sstban::core::SimdLevel;
 
 bool BitwiseEqual(const t::Tensor& a, const t::Tensor& b) {
   if (a.shape() != b.shape()) return false;
@@ -57,12 +45,78 @@ bool BitwiseEqual(const t::Tensor& a, const t::Tensor& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   sstban::core::Rng rng(7);
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"simd_kernels\",\n";
+
+  const sstban::core::CpuFeatures& features =
+      sstban::core::DetectCpuFeatures();
+  const bool have_avx2 = features.avx2 && features.fma;
+  json << "  \"cpu\": {\"avx2\": " << (features.avx2 ? "true" : "false")
+       << ", \"fma\": " << (features.fma ? "true" : "false") << "},\n";
+
+  // --- 1. Scalar vs AVX2 tier, single thread, square shapes. ---
+  std::printf("single-thread GEMM, scalar vs AVX2 tier\n");
+  std::printf("%-8s %12s %12s %10s %10s %8s %12s\n", "shape", "scalar GF/s",
+              "avx2 GF/s", "scalar ms", "avx2 ms", "speedup", "bytes/FLOP");
+  json << "  \"square_gemm_single_thread\": [\n";
+  bool gate_failed = false;
+  sstban::core::SetParallelismCapForTesting(1);
+  for (int64_t dim : {256, 512, 1024}) {
+    t::Tensor a = t::Tensor::RandomNormal(t::Shape{dim, dim}, rng);
+    t::Tensor b = t::Tensor::RandomNormal(t::Shape{dim, dim}, rng);
+    const double flops = 2.0 * dim * dim * dim;
+    // Roofline arithmetic intensity of the untiled problem: three matrices
+    // touched once each vs 2*M*K*N flops. The tiled kernel re-reads panels,
+    // so this is the *best case* intensity the cache blocking chases.
+    const double bytes_per_flop = 3.0 * dim * dim * sizeof(float) / flops;
+
+    sstban::core::SetSimdLevelForTesting(SimdLevel::kScalar);
+    t::Tensor scalar_out = t::Matmul(a, b);
+    Timing scalar_t = MeasureSeconds([&] { t::Matmul(a, b); });
+
+    SimdLevel granted = sstban::core::SetSimdLevelForTesting(SimdLevel::kAvx2);
+    t::Tensor simd_out = t::Matmul(a, b);
+    Timing simd_t = MeasureSeconds([&] { t::Matmul(a, b); });
+    sstban::core::SetSimdLevelForTesting(sstban::core::ActiveSimdLevel());
+
+    const bool tiers_differ = granted == SimdLevel::kAvx2;
+    double scalar_gfs = flops / scalar_t.min_s * 1e-9;
+    double simd_gfs = flops / simd_t.min_s * 1e-9;
+    double speedup = scalar_t.min_s / simd_t.min_s;
+    std::printf("%-8lld %12.2f %12.2f %10.3f %10.3f %7.2fx %12.5f\n",
+                static_cast<long long>(dim), scalar_gfs, simd_gfs,
+                scalar_t.min_s * 1e3, simd_t.min_s * 1e3, speedup,
+                bytes_per_flop);
+    if (tiers_differ && speedup < 2.0) gate_failed = true;
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"dim\": %lld, \"scalar_gflops\": %.2f, "
+                  "\"avx2_gflops\": %.2f, \"scalar_ms_min\": %.3f, "
+                  "\"scalar_ms_mean\": %.3f, \"avx2_ms_min\": %.3f, "
+                  "\"avx2_ms_mean\": %.3f, \"speedup\": %.2f, "
+                  "\"bytes_per_flop\": %.5f}%s\n",
+                  static_cast<long long>(dim), scalar_gfs, simd_gfs,
+                  scalar_t.min_s * 1e3, scalar_t.mean_s * 1e3,
+                  simd_t.min_s * 1e3, simd_t.mean_s * 1e3, speedup,
+                  bytes_per_flop, dim == 1024 ? "" : ",");
+    json << row;
+    // Tiers round differently (FMA contraction) but must agree numerically.
+    if (!t::AllClose(scalar_out, simd_out, 1e-3f, 1e-3f)) {
+      std::fprintf(stderr, "FATAL: scalar and AVX2 GEMM disagree at %lld\n",
+                   static_cast<long long>(dim));
+      return 1;
+    }
+  }
+  json << "  ],\n";
+  sstban::core::SetParallelismCapForTesting(0);
+
+  // --- 2. Sequential vs parallel on STBA-representative shapes. ---
   const int64_t kDim = 64, kHeads = 8, kLen = 48;
-  const int64_t kDk = kDim / kHeads;  // per-head width
-  const int64_t kStreams = 512;      // B*h attention streams after head split
-  const int64_t kRows = 16320;       // B*L*N rows hitting each projection
+  const int64_t kDk = kDim / kHeads;
+  const int64_t kStreams = 512;  // B*h attention streams after head split
+  const int64_t kRows = 16320;   // B*L*N rows hitting each projection
 
   t::Tensor qh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
   t::Tensor kh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
@@ -70,45 +124,76 @@ int main() {
   t::Tensor vh = t::Tensor::RandomNormal(t::Shape{kStreams, kLen, kDk}, rng);
   t::Tensor act = t::Tensor::RandomNormal(t::Shape{kRows, kDim}, rng);
   t::Tensor weight = t::Tensor::RandomNormal(t::Shape{kDim, kDim}, rng);
-  t::Tensor sq_a = t::Tensor::RandomNormal(t::Shape{512, 512}, rng);
-  t::Tensor sq_b = t::Tensor::RandomNormal(t::Shape{512, 512}, rng);
 
+  struct BenchCase {
+    std::string name;
+    std::string key;
+    std::function<t::Tensor()> run;
+    double madds;
+  };
   std::vector<BenchCase> cases;
-  cases.push_back({"bmm scores  [512,48,8]x[512,48,8]^T",
+  cases.push_back({"bmm scores  [512,48,8]x[512,48,8]^T", "bmm_scores",
                    [&] { return t::Bmm(qh, kh, false, true); },
                    static_cast<double>(kStreams * kLen * kDk * kLen)});
-  cases.push_back({"bmm context [512,48,48]x[512,48,8]",
+  cases.push_back({"bmm context [512,48,48]x[512,48,8]", "bmm_context",
                    [&] { return t::Bmm(probs, vh, false, false); },
                    static_cast<double>(kStreams * kLen * kLen * kDk)});
-  cases.push_back({"matmul linear [16320,64]x[64,64]",
+  cases.push_back({"matmul linear [16320,64]x[64,64]", "matmul_linear",
                    [&] { return t::Matmul(act, weight); },
                    static_cast<double>(kRows * kDim * kDim)});
-  cases.push_back({"matmul square [512,512]x[512,512]",
-                   [&] { return t::Matmul(sq_a, sq_b); },
-                   512.0 * 512.0 * 512.0});
 
-  std::printf("pool threads: %d (SSTBAN_NUM_THREADS to override)\n\n",
+  std::printf("\npool threads: %d (SSTBAN_NUM_THREADS to override)\n",
               sstban::core::EffectiveParallelism());
-  std::printf("%-44s %10s %10s %8s %9s %9s  %s\n", "case", "seq ms", "par ms",
+  std::printf("%-40s %10s %10s %8s %9s %9s  %s\n", "case", "seq ms", "par ms",
               "speedup", "seq GF/s", "par GF/s", "bitwise");
-
-  for (const BenchCase& bench : cases) {
+  json << "  \"stba_shapes_seq_vs_par\": [\n";
+  bool all_equal = true;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const BenchCase& bench = cases[ci];
     sstban::core::SetParallelismCapForTesting(1);
     t::Tensor seq_out = bench.run();
-    double seq_s = TimePerCall(bench.run);
+    Timing seq_t = MeasureSeconds([&] { bench.run(); });
     sstban::core::SetParallelismCapForTesting(0);
     t::Tensor par_out = bench.run();
-    double par_s = TimePerCall(bench.run);
+    Timing par_t = MeasureSeconds([&] { bench.run(); });
     bool equal = BitwiseEqual(seq_out, par_out);
+    all_equal = all_equal && equal;
     double flops = 2.0 * bench.madds;
-    std::printf("%-44s %10.3f %10.3f %7.2fx %9.2f %9.2f  %s\n",
-                bench.name.c_str(), seq_s * 1e3, par_s * 1e3, seq_s / par_s,
-                flops / seq_s * 1e-9, flops / par_s * 1e-9,
-                equal ? "equal" : "DIFFER");
-    if (!equal) {
-      std::printf("FATAL: parallel result differs from sequential\n");
-      return 1;
-    }
+    std::printf("%-40s %10.3f %10.3f %7.2fx %9.2f %9.2f  %s\n",
+                bench.name.c_str(), seq_t.min_s * 1e3, par_t.min_s * 1e3,
+                seq_t.min_s / par_t.min_s, flops / seq_t.min_s * 1e-9,
+                flops / par_t.min_s * 1e-9, equal ? "equal" : "DIFFER");
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"case\": \"%s\", \"seq_ms_min\": %.3f, "
+                  "\"seq_ms_mean\": %.3f, \"par_ms_min\": %.3f, "
+                  "\"par_ms_mean\": %.3f, \"seq_gflops\": %.2f, "
+                  "\"par_gflops\": %.2f, \"bitwise\": %s}%s\n",
+                  bench.key.c_str(), seq_t.min_s * 1e3, seq_t.mean_s * 1e3,
+                  par_t.min_s * 1e3, par_t.mean_s * 1e3,
+                  flops / seq_t.min_s * 1e-9, flops / par_t.min_s * 1e-9,
+                  equal ? "true" : "false",
+                  ci + 1 == cases.size() ? "" : ",");
+    json << row;
+  }
+  json << "  ],\n  \"avx2_2x_gate\": "
+       << (have_avx2 ? (gate_failed ? "\"FAIL\"" : "\"PASS\"")
+                     : "\"SKIPPED (no AVX2)\"")
+       << "\n}\n";
+
+  std::fputs(json.str().c_str(), stdout);
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json.str();
+  }
+  if (!all_equal) {
+    std::fprintf(stderr, "FATAL: parallel result differs from sequential\n");
+    return 1;
+  }
+  if (have_avx2 && gate_failed) {
+    std::fprintf(stderr,
+                 "FATAL: AVX2 tier under 2x scalar on a square shape\n");
+    return 1;
   }
   return 0;
 }

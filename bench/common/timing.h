@@ -1,0 +1,59 @@
+#ifndef SSTBAN_BENCH_COMMON_TIMING_H_
+#define SSTBAN_BENCH_COMMON_TIMING_H_
+
+#include <algorithm>
+#include <chrono>
+
+namespace sstban::bench {
+
+// Repetition-based timing for the BENCH_*.json snapshots. A single adaptive
+// run (what several benches did originally) is noisy: one scheduler hiccup
+// lands in the snapshot forever. Instead each measurement runs `reps`
+// independent repetitions — every repetition adaptively iterated to a target
+// wall time — and reports BOTH the min-of-K (the noise floor, what perf
+// comparisons should gate on) and the mean (what users see on average).
+struct Timing {
+  double mean_s = 0.0;  // mean per-call seconds across repetitions
+  double min_s = 0.0;   // fastest repetition's per-call seconds
+  int reps = 0;
+  int iters = 0;  // iterations per repetition after calibration
+};
+
+inline double BenchNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename Fn>
+Timing MeasureSeconds(Fn&& fn, int reps = 5,
+                      double target_rep_seconds = 0.05) {
+  fn();  // warm-up: thread-pool spin-up, pack-buffer/arena allocation
+  // Calibrate the per-repetition iteration count.
+  int iters = 1;
+  for (;;) {
+    double start = BenchNowSeconds();
+    for (int i = 0; i < iters; ++i) fn();
+    double elapsed = BenchNowSeconds() - start;
+    if (elapsed > target_rep_seconds || iters >= 1 << 16) break;
+    iters *= 4;
+  }
+  Timing timing;
+  timing.reps = reps;
+  timing.iters = iters;
+  double total = 0.0, best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    double start = BenchNowSeconds();
+    for (int i = 0; i < iters; ++i) fn();
+    double per_call = (BenchNowSeconds() - start) / iters;
+    total += per_call;
+    best = r == 0 ? per_call : std::min(best, per_call);
+  }
+  timing.mean_s = total / reps;
+  timing.min_s = best;
+  return timing;
+}
+
+}  // namespace sstban::bench
+
+#endif  // SSTBAN_BENCH_COMMON_TIMING_H_

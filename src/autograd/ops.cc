@@ -6,6 +6,7 @@
 
 #include "autograd/trace.h"
 #include "core/check.h"
+#include "tensor/fused_attention.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 
@@ -365,6 +366,44 @@ Variable Softmax(const Variable& a) {
 Variable SoftmaxWithMask(const Variable& a, const t::Tensor& additive_mask) {
   return SoftmaxImpl(a, t::SoftmaxWithMask(a.value(), additive_mask),
                      &additive_mask);
+}
+
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const t::Tensor* key_mask,
+                        int64_t mask_heads, float scale) {
+  NodePtr nq = q.node(), nk = k.node(), nv = v.node();
+  TraceAttrs attrs;
+  const TraceAttrs* pattrs = nullptr;
+  if (TraceScope::Active()) {
+    attrs.scalar = scale;
+    attrs.attn_heads = mask_heads;
+    if (key_mask != nullptr) attrs.softmax_mask = *key_mask;
+    pattrs = &attrs;
+  }
+  // Copy the mask so the backward closure does not dangle if the caller's
+  // tensor goes away before Backward runs.
+  t::Tensor mask_copy = key_mask != nullptr ? *key_mask : t::Tensor();
+  t::Tensor value =
+      t::FusedAttention(q.value(), k.value(), v.value(), key_mask, mask_heads,
+                        scale);
+  return MakeOp("fused_attention", std::move(value), {q, k, v},
+                [nq, nk, nv, mask_copy, mask_heads, scale](Node& n) {
+    const t::Tensor& qv = nq->value;
+    const t::Tensor& kv = nk->value;
+    const t::Tensor& vv = nv->value;
+    int64_t batch = qv.dim(0), lq = qv.dim(1), dk = qv.dim(2), lk = kv.dim(1);
+    t::Tensor gq = t::Tensor::Empty(qv.shape());
+    t::Tensor gk = t::Tensor::Empty(kv.shape());
+    t::Tensor gv = t::Tensor::Empty(vv.shape());
+    t::FusedAttentionBackward(
+        qv.data(), kv.data(), vv.data(),
+        mask_copy.defined() ? mask_copy.data() : nullptr, mask_heads,
+        n.grad.data(), gq.data(), gk.data(), gv.data(), batch, lq, lk, dk,
+        scale);
+    Accumulate(nq, gq);
+    Accumulate(nk, gk);
+    Accumulate(nv, gv);
+  }, pattrs);
 }
 
 Variable Dropout(const Variable& a, float p, core::Rng& rng, bool training) {

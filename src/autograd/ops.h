@@ -68,6 +68,17 @@ Variable Softmax(const Variable& a);
 // paper's "set masked values to -inf in the softmax input".
 Variable SoftmaxWithMask(const Variable& a, const tensor::Tensor& additive_mask);
 
+// -- Fused attention ------------------------------------------------------
+// softmax(scale * q k^T + mask) v in one streaming pass over [B, L, dk]
+// head-batched operands; the [B, Lq, Lk] score tensor is never materialized
+// (tensor/fused_attention.h; bitwise-identical to the unfused chain when
+// Lk <= kFusedAttentionExactMaxKeys). `key_mask` is an optional
+// [B / mask_heads, Lk] keep mask constant (no grad flows into it); backward
+// recomputes the probabilities per row block.
+Variable FusedAttention(const Variable& q, const Variable& k,
+                        const Variable& v, const tensor::Tensor* key_mask,
+                        int64_t mask_heads, float scale);
+
 // -- Regularization -------------------------------------------------------
 // Inverted dropout: keeps elements with probability 1-p and rescales by
 // 1/(1-p). Identity when !training or p == 0.

@@ -26,7 +26,10 @@ struct TraceAttrs {
   int axis = 0;                    // concat / slice (canonical)
   int64_t start = 0;               // slice
   int64_t length = 0;              // slice
-  tensor::Tensor softmax_mask;     // additive mask (softmax-with-mask only)
+  tensor::Tensor softmax_mask;     // additive mask (softmax-with-mask only);
+                                   // for fused_attention: the [B', lk] keep
+                                   // mask the kernel expands on the fly
+  int64_t attn_heads = 0;          // fused_attention: batch / mask rows
 };
 
 struct TraceRecord {

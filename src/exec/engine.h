@@ -30,6 +30,10 @@ struct EngineConfig {
                                    const data::Batch& batch)>
       masked_forward;
   std::vector<tensor::Tensor> parameters;
+  // Numeric mode for compiled programs (exec/precision.h). fp32 programs
+  // must replay the trace bitwise; reduced-precision programs are held to a
+  // tolerance instead (see the self-check in GetOrCompile).
+  PrecisionMode precision = PrecisionMode::kFp32;
 };
 
 // Shape-specialized inference executor: traces the tape forward once per
@@ -55,6 +59,13 @@ class InferenceEngine {
   core::Status RunMasked(const tensor::Tensor& x_norm,
                          const tensor::Tensor& keep_pos,
                          const data::Batch& batch, tensor::Tensor* out);
+
+  // Int8-mode calibration: compiles the program for this shape if needed and
+  // runs one calibration pass over the batch (see Program::Calibrate). In
+  // fp32/bf16 modes this just warms the cache.
+  core::Status Calibrate(const tensor::Tensor& x_norm,
+                         const tensor::Tensor* keep_pos,
+                         const data::Batch& batch);
 
   struct Stats {
     int64_t compiles = 0;   // successful trace+compile cycles

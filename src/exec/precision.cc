@@ -1,0 +1,52 @@
+#include "exec/precision.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace sstban::exec {
+
+namespace {
+
+// -1 = unresolved; otherwise a PrecisionMode value.
+std::atomic<int> g_mode{-1};
+
+int ResolveFromEnv() {
+  const char* env = std::getenv("SSTBAN_PRECISION");
+  if (env == nullptr) return static_cast<int>(PrecisionMode::kFp32);
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "bf16") return static_cast<int>(PrecisionMode::kBf16);
+  if (v == "int8") return static_cast<int>(PrecisionMode::kInt8);
+  return static_cast<int>(PrecisionMode::kFp32);
+}
+
+}  // namespace
+
+const char* PrecisionModeName(PrecisionMode mode) {
+  switch (mode) {
+    case PrecisionMode::kBf16: return "bf16";
+    case PrecisionMode::kInt8: return "int8";
+    default: return "fp32";
+  }
+}
+
+PrecisionMode ResolvePrecisionMode() {
+  int v = g_mode.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = ResolveFromEnv();
+    g_mode.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<PrecisionMode>(v);
+}
+
+void SetPrecisionModeForTesting(PrecisionMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ResetPrecisionModeForTesting() {
+  g_mode.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace sstban::exec

@@ -1,0 +1,34 @@
+#ifndef SSTBAN_EXEC_PRECISION_H_
+#define SSTBAN_EXEC_PRECISION_H_
+
+#include <cstdint>
+
+namespace sstban::exec {
+
+// Numeric mode for the static executor's serving forward. Reduced-precision
+// modes rewrite the weight side of eligible parameter GEMMs at compile time
+// (Linear layers: batch == 1, no transposes, external weight slot); every
+// other instruction runs in fp32 unchanged. All three modes are bitwise
+// deterministic at any thread count — see DESIGN.md §14.
+//   kFp32: the default; programs replay the tape bit for bit.
+//   kBf16: weights stored as bfloat16 (round-to-nearest-even) and expanded
+//          back to fp32 (exact) before each GEMM; activations stay fp32.
+//   kInt8: weights quantized per output channel to int8; activations
+//          quantized per row on the fly (or with a per-tensor static scale
+//          after calibration); products accumulate exactly in int32.
+enum class PrecisionMode : uint8_t { kFp32, kBf16, kInt8 };
+
+const char* PrecisionModeName(PrecisionMode mode);
+
+// Reads SSTBAN_PRECISION once: "bf16" / "int8" select the reduced modes,
+// anything else (or unset) is fp32.
+PrecisionMode ResolvePrecisionMode();
+
+// Testing override: pass a mode to force it, or nullptr-like reset via
+// ResetPrecisionModeForTesting to re-read the environment.
+void SetPrecisionModeForTesting(PrecisionMode mode);
+void ResetPrecisionModeForTesting();
+
+}  // namespace sstban::exec
+
+#endif  // SSTBAN_EXEC_PRECISION_H_

@@ -1,6 +1,7 @@
 #include "exec/program.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <unordered_map>
@@ -8,9 +9,11 @@
 
 #include "core/check.h"
 #include "core/failpoint.h"
+#include "tensor/fused_attention.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
+#include "tensor/simd/kernels.h"
 
 namespace sstban::exec {
 
@@ -25,6 +28,24 @@ constexpr int64_t kSlotAlignFloats = 16;
 
 int64_t AlignUp(int64_t n) {
   return (n + kSlotAlignFloats - 1) / kSlotAlignFloats * kSlotAlignFloats;
+}
+
+// bfloat16 <-> fp32. Encoding rounds to nearest-even; decoding is an exact
+// bit shift, so dequantized weights are identical no matter how the expand
+// loop is chunked — the bf16 mode's determinism rests on this.
+uint16_t Bf16FromFloat(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7fffu + lsb;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+float FloatFromBf16(uint16_t h) {
+  uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
 }
 
 // Same rule as tensor/ops.cc BroadcastStrides: broadcast axes get stride 0.
@@ -138,6 +159,18 @@ struct Builder {
   int input_slot = -1;
   int keep_slot = -1;
 
+  // The keep mask's slot, created on demand: the fused-attention peephole can
+  // need it (spatial mask) before any recorded op consumes the keep tensor.
+  int KeepSlot() {
+    if (keep_slot < 0) {
+      keep_slot = NewSlot(
+          Slot::Kind::kArena,
+          spec.batch_size * spec.input_len * spec.num_nodes, -1, t::Tensor());
+      leaf_slot[spec.keep_data] = keep_slot;
+    }
+    return keep_slot;
+  }
+
   int NewSlot(Slot::Kind kind, int64_t size, int64_t def, t::Tensor backing) {
     Slot slot;
     slot.kind = kind;
@@ -151,6 +184,40 @@ struct Builder {
 
   void Use(int slot, int64_t instr_index) {
     last_use[slot] = std::max(last_use[slot], instr_index);
+  }
+
+  // Slot for a materialized [B*N, T] transpose of the keep mask (mask_t in
+  // stba_block.cc), rebuilt from the keep slot at each Run.
+  core::StatusOr<int> MaskViewSlot(const ag::DynamicNote& note) {
+    auto hit = leaf_slot.find(note.tensor.data());
+    if (hit != leaf_slot.end()) return hit->second;
+    if (note.view_src != spec.keep_data ||
+        note.view_batch != spec.batch_size ||
+        note.view_time != spec.input_len ||
+        note.view_nodes != spec.num_nodes) {
+      return core::Status::Internal(
+          "executor: keep-mask view geometry mismatch");
+    }
+    int slot = NewSlot(Slot::Kind::kArena, note.tensor.size(), -1, t::Tensor());
+    DynamicFill fill;
+    fill.kind = ag::DynamicKind::kKeepMaskView;
+    fill.slot = slot;
+    fills.push_back(fill);
+    leaf_slot[note.tensor.data()] = slot;
+    return slot;
+  }
+
+  // Resolves a fused-attention key mask by storage identity: either the keep
+  // mask itself (the spatial reshape aliases its storage) or an annotated
+  // transposed view of it.
+  core::StatusOr<int> FusedMaskSlot(const float* mask_data) {
+    if (spec.keep_data != nullptr && mask_data == spec.keep_data) {
+      return KeepSlot();
+    }
+    auto it = view_by_data.find(mask_data);
+    if (it != view_by_data.end()) return MaskViewSlot(*it->second);
+    return core::Status::Internal(
+        "executor: fused attention mask with unknown source");
   }
 
   core::StatusOr<int> AdditiveSlot(const ag::DynamicNote& note,
@@ -222,6 +289,10 @@ struct Builder {
       fill.onehot_dim = note.tensor.dim(1);
       fill.steps_per_day = note.steps_per_day;
       fills.push_back(fill);
+    } else if (view_by_data.count(d) > 0) {
+      auto result = MaskViewSlot(*view_by_data[d]);
+      if (!result.ok()) return result.status();
+      slot = result.value();
     } else if (additive_by_data.count(d) > 0) {
       auto result = AdditiveSlot(*additive_by_data[d], value);
       if (!result.ok()) return result.status();
@@ -251,11 +322,105 @@ core::StatusOr<std::unique_ptr<Program>> Program::Compile(
     const CompileSpec& spec) {
   SSTBAN_CHECK(spec.records != nullptr && spec.output != nullptr);
   Builder b(spec);
+  const std::vector<ag::TraceRecord>& records = *spec.records;
 
-  for (const ag::TraceRecord& rec : *spec.records) {
+  // Recorded-consumer counts, for the attention peephole: an intermediate
+  // may only be fused away when exactly one recorded op reads it and it is
+  // not the program output.
+  std::unordered_map<const ag::Node*, int> consumers;
+  for (const ag::TraceRecord& rec : records) {
+    for (const ag::NodePtr& in : rec.inputs) consumers[in.get()]++;
+  }
+  auto fusable = [&](const ag::NodePtr& node) {
+    return consumers[node.get()] == 1 && node.get() != spec.output.get();
+  };
+  const bool fuse_attention = t::FusedAttentionEnabled();
+
+  for (size_t ri = 0; ri < records.size(); ++ri) {
+    const ag::TraceRecord& rec = records[ri];
     int64_t i = static_cast<int64_t>(b.instrs.size());
     const std::string op = rec.op;
     const t::Shape& out_shape = rec.node->value.shape();
+
+    // Peephole: collapse the unfused attention chain
+    //   bmm(q, k, tb) -> mul_scalar -> softmax[_masked] -> bmm(probs, v)
+    // into one kFusedAttention instruction, so the [B, Lq, Lk] score tensor
+    // is never materialized. Restricted to the exact regime
+    // (Lk <= kFusedAttentionExactMaxKeys) where the fused kernel is bitwise
+    // identical to the chain it replaces — the engine's compile-time
+    // self-check compares against the unfused trace output byte for byte.
+    if (fuse_attention && ri + 3 < records.size() && op == "bmm" &&
+        !rec.attrs.transpose_a && rec.attrs.transpose_b) {
+      const ag::TraceRecord& r_scale = records[ri + 1];
+      const ag::TraceRecord& r_soft = records[ri + 2];
+      const ag::TraceRecord& r_ctx = records[ri + 3];
+      const t::Tensor& qv = rec.inputs[0]->value;
+      const t::Tensor& kv = rec.inputs[1]->value;
+      bool match =
+          std::string(r_scale.op) == "mul_scalar" &&
+          r_scale.inputs.size() == 1 && r_scale.inputs[0] == rec.node &&
+          fusable(rec.node) && std::string(r_soft.op) == "softmax" &&
+          r_soft.inputs.size() == 1 && r_soft.inputs[0] == r_scale.node &&
+          fusable(r_scale.node) && std::string(r_ctx.op) == "bmm" &&
+          !r_ctx.attrs.transpose_a && !r_ctx.attrs.transpose_b &&
+          r_ctx.inputs.size() == 2 && r_ctx.inputs[0] == r_soft.node &&
+          fusable(r_soft.node) && kv.dim(1) <= t::kFusedAttentionExactMaxKeys;
+      if (match) {
+        const t::Tensor& vv = r_ctx.inputs[1]->value;
+        match = vv.dim(0) == qv.dim(0) && vv.dim(1) == kv.dim(1) &&
+                vv.dim(2) == qv.dim(2);
+      }
+      int mask_slot = -1;
+      int64_t mask_heads = 1;
+      if (match && r_soft.attrs.softmax_mask.defined()) {
+        // The chain's additive mask must trace back to the keep mask so the
+        // fused kernel can re-expand it on the fly.
+        auto note_it =
+            b.additive_by_data.find(r_soft.attrs.softmax_mask.data());
+        if (note_it == b.additive_by_data.end()) {
+          match = false;
+        } else {
+          const ag::DynamicNote& note = *note_it->second;
+          core::StatusOr<int> slot = b.FusedMaskSlot(note.mask_src);
+          if (!slot.ok()) {
+            match = false;  // fall back to the unfused lowering
+          } else {
+            mask_slot = slot.value();
+            mask_heads = note.heads;
+          }
+        }
+      }
+      if (match) {
+        auto q = b.SlotFor(rec.inputs[0]);
+        auto k = b.SlotFor(rec.inputs[1]);
+        auto v = b.SlotFor(r_ctx.inputs[1]);
+        if (!q.ok()) return q.status();
+        if (!k.ok()) return k.status();
+        if (!v.ok()) return v.status();
+        Instr f;
+        f.kind = OpKind::kFusedAttention;
+        f.a = q.value();
+        f.b = k.value();
+        f.c = v.value();
+        f.mask = mask_slot;
+        f.heads = mask_heads;
+        f.scalar = r_scale.attrs.scalar;
+        f.batch = qv.dim(0);
+        f.m = qv.dim(1);
+        f.k = qv.dim(2);
+        f.gemm_n = kv.dim(1);
+        f.out = b.NewSlot(Slot::Kind::kArena, r_ctx.node->value.size(), i,
+                          t::Tensor());
+        b.node_slot[r_ctx.node.get()] = f.out;
+        b.Use(f.a, i);
+        b.Use(f.b, i);
+        b.Use(f.c, i);
+        if (f.mask >= 0) b.Use(f.mask, i);
+        b.instrs.push_back(std::move(f));
+        ri += 3;
+        continue;
+      }
+    }
 
     if (op == "reshape") {
       // Pure storage alias: the node shares its input's slot; downstream
@@ -371,6 +536,30 @@ core::StatusOr<std::unique_ptr<Program>> Program::Compile(
         ins.parts.push_back(p.value());
         ins.part_mid.push_back(part->value.shape().dims()[axis]);
       }
+    } else if (op == "fused_attention") {
+      auto q = b.SlotFor(rec.inputs[0]);
+      auto k = b.SlotFor(rec.inputs[1]);
+      auto v = b.SlotFor(rec.inputs[2]);
+      if (!q.ok()) return q.status();
+      if (!k.ok()) return k.status();
+      if (!v.ok()) return v.status();
+      const t::Tensor& qv = rec.inputs[0]->value;
+      const t::Tensor& kv = rec.inputs[1]->value;
+      ins.kind = OpKind::kFusedAttention;
+      ins.a = q.value();
+      ins.b = k.value();
+      ins.c = v.value();
+      ins.scalar = rec.attrs.scalar;
+      ins.heads = rec.attrs.attn_heads > 0 ? rec.attrs.attn_heads : 1;
+      ins.batch = qv.dim(0);
+      ins.m = qv.dim(1);
+      ins.k = qv.dim(2);
+      ins.gemm_n = kv.dim(1);
+      if (rec.attrs.softmax_mask.defined()) {
+        auto mask = b.FusedMaskSlot(rec.attrs.softmax_mask.data());
+        if (!mask.ok()) return mask.status();
+        ins.mask = mask.value();
+      }
     } else if (op == "softmax") {
       auto a = b.SlotFor(rec.inputs[0]);
       if (!a.ok()) return a.status();
@@ -406,6 +595,8 @@ core::StatusOr<std::unique_ptr<Program>> Program::Compile(
     b.node_slot[rec.node.get()] = ins.out;
     if (ins.a >= 0) b.Use(ins.a, i);
     if (ins.b >= 0) b.Use(ins.b, i);
+    if (ins.c >= 0) b.Use(ins.c, i);
+    if (ins.mask >= 0) b.Use(ins.mask, i);
     for (int p : ins.parts) b.Use(p, i);
     b.instrs.push_back(std::move(ins));
   }
@@ -469,41 +660,101 @@ core::StatusOr<std::unique_ptr<Program>> Program::Compile(
                             ? program->arena_.data() + slot.offset
                             : slot.backing.data();
   }
-  return std::move(program);
+
+  // Reduced-precision weight rewrite: every parameter GEMM of the Linear
+  // shape (batch == 1, no transposes, external weight slot) gets a quantized
+  // weight copy; everything else stays fp32. Each instruction owns its copy
+  // so int8 calibration can track per-call-site activation ranges even when
+  // two call sites share one weight tensor.
+  program->precision_ = spec.precision;
+  if (spec.precision != PrecisionMode::kFp32) {
+    int64_t max_stage = 0, max_act = 0;
+    for (Instr& ins : program->instrs_) {
+      if (ins.kind != OpKind::kGemm || ins.batch != 1 || ins.ta || ins.tb) {
+        continue;
+      }
+      const Slot& wslot = program->slots_[ins.b];
+      if (wslot.kind != Slot::Kind::kExternal ||
+          wslot.backing.size() != ins.k * ins.gemm_n) {
+        continue;
+      }
+      const float* wd = wslot.backing.data();
+      LowPrecGemm lp;
+      lp.k = ins.k;
+      lp.n = ins.gemm_n;
+      if (spec.precision == PrecisionMode::kBf16) {
+        lp.bf16.resize(static_cast<size_t>(lp.k * lp.n));
+        for (int64_t i = 0; i < lp.k * lp.n; ++i) {
+          lp.bf16[i] = Bf16FromFloat(wd[i]);
+        }
+      } else {
+        lp.q.resize(static_cast<size_t>(lp.k * lp.n));
+        lp.col_scale.resize(static_cast<size_t>(lp.n));
+        for (int64_t j = 0; j < lp.n; ++j) {
+          float wmax = 0.0f;
+          for (int64_t p = 0; p < lp.k; ++p) {
+            wmax = std::max(wmax, std::fabs(wd[p * lp.n + j]));
+          }
+          float scale = wmax > 0.0f ? wmax / 127.0f : 1.0f;
+          lp.col_scale[j] = scale;
+          float inv = 1.0f / scale;
+          for (int64_t p = 0; p < lp.k; ++p) {
+            float x = wd[p * lp.n + j] * inv;
+            x = std::min(127.0f, std::max(-127.0f, x));
+            lp.q[p * lp.n + j] = static_cast<int8_t>(std::lrintf(x));
+          }
+        }
+      }
+      ins.lowprec = static_cast<int>(program->lowprec_.size());
+      program->lowprec_.push_back(std::move(lp));
+      max_stage = std::max(max_stage, ins.k * ins.gemm_n);
+      max_act = std::max(max_act, ins.m * ins.k);
+    }
+    if (spec.precision == PrecisionMode::kBf16) {
+      program->staging_.resize(static_cast<size_t>(max_stage));
+    } else {
+      program->act_q_.resize(static_cast<size_t>(max_act));
+    }
+  }
+  return program;
 }
 
 namespace {
 
+// Routed through the same runtime-dispatched simd kernels the tensor ops
+// use. Elementwise float add/mul are exactly rounded, so the bitwise
+// equivalence with the tape path holds at every simd level.
 void RunElementwise(const Instr& ins, const float* pa, const float* pb,
                     float* po) {
+  const t::simd::SimdKernels& ks = t::simd::Kernels();
   switch (ins.kind) {
     case OpKind::kAddSame:
       t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+        ks.add(pa + lo, pb + lo, po + lo, hi - lo);
       });
       break;
     case OpKind::kMulSame:
       t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+        ks.mul(pa + lo, pb + lo, po + lo, hi - lo);
       });
       break;
     case OpKind::kAddScalar: {
       float s = ins.scalar;
       t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + s;
+        ks.add_scalar(pa + lo, s, po + lo, hi - lo);
       });
       break;
     }
     case OpKind::kMulScalar: {
       float s = ins.scalar;
       t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * s;
+        ks.mul_scalar(pa + lo, s, po + lo, hi - lo);
       });
       break;
     }
     case OpKind::kRelu:
       t::ParallelFor(0, ins.n, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] > 0 ? pa[i] : 0.0f;
+        ks.relu(pa + lo, po + lo, hi - lo);
       });
       break;
     default:
@@ -572,6 +823,25 @@ void RunPermute(const Instr& ins, const float* pa, float* po) {
 
 core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
                           const data::Batch& batch, t::Tensor* out) {
+  return RunInternal(x_norm, keep, batch, out, /*calibrate=*/false);
+}
+
+core::Status Program::Calibrate(const t::Tensor& x_norm, const t::Tensor* keep,
+                                const data::Batch& batch) {
+  t::Tensor scratch;
+  SSTBAN_RETURN_IF_ERROR(
+      RunInternal(x_norm, keep, batch, &scratch, /*calibrate=*/true));
+  std::lock_guard<std::mutex> lock(run_mu_);
+  for (LowPrecGemm& lp : lowprec_) {
+    if (lp.calib_amax > 0.0f) lp.static_scale = lp.calib_amax / 127.0f;
+  }
+  return core::Status::Ok();
+}
+
+core::Status Program::RunInternal(const t::Tensor& x_norm,
+                                  const t::Tensor* keep,
+                                  const data::Batch& batch, t::Tensor* out,
+                                  bool calibrate) {
   std::lock_guard<std::mutex> lock(run_mu_);
   SSTBAN_RETURN_IF_ERROR(core::FailPointStatus("exec_run"));
   if (x_norm.shape() != input_shape_) {
@@ -614,6 +884,24 @@ core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
         po[r * fill.onehot_dim + tod[r]] = 1.0f;
         po[r * fill.onehot_dim + fill.steps_per_day + dow[r]] = 1.0f;
       }
+    } else if (fill.kind == ag::DynamicKind::kKeepMaskView) {
+      // The [B*N, T] transpose of the keep mask, value-for-value the tensor
+      // the tape materializes via Permute + Reshape (raw 0/1 floats; the
+      // fused kernel applies its own > 0.5 expansion).
+      const float* keep_ptr = ptrs_[keep_slot_];
+      int64_t nodes = keep_shape_.dims()[2];
+      int64_t time = keep_shape_.dims()[1];
+      int64_t bn = keep_shape_.dims()[0] * nodes;
+      t::ParallelFor(0, bn, [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          int64_t bb = r / nodes;
+          int64_t node = r % nodes;
+          float* row = po + r * time;
+          for (int64_t j = 0; j < time; ++j) {
+            row[j] = keep_ptr[(bb * time + j) * nodes + node];
+          }
+        }
+      }, /*min_chunk=*/256);
     } else if (fill.kind == ag::DynamicKind::kAdditiveKeyMask) {
       // Rebuild the additive mask straight from the keep mask, fusing the
       // tape's permute/reshape view with its >0.5 -> {0, -1e9} expansion:
@@ -670,8 +958,12 @@ core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
         RunBroadcast<true>(ins, pa, pb, po);
         break;
       case OpKind::kGemm:
-        t::GemmBatchedInto(pa, pb, po, ins.batch, ins.m, ins.k, ins.gemm_n,
-                           ins.ta, ins.tb, ins.a_stride, ins.b_stride);
+        if (ins.lowprec >= 0) {
+          RunLowPrecGemm(ins, lowprec_[ins.lowprec], pa, po, calibrate);
+        } else {
+          t::GemmBatchedInto(pa, pb, po, ins.batch, ins.m, ins.k, ins.gemm_n,
+                             ins.ta, ins.tb, ins.a_stride, ins.b_stride);
+        }
         break;
       case OpKind::kPermute:
         RunPermute(ins, pa, po);
@@ -702,6 +994,12 @@ core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
         });
         t::SoftmaxRows(po, po, ins.rows, ins.cols);
         break;
+      case OpKind::kFusedAttention:
+        t::FusedAttentionInto(pa, pb, ptrs_[ins.c],
+                              ins.mask >= 0 ? ptrs_[ins.mask] : nullptr,
+                              ins.heads, po, ins.batch, /*lq=*/ins.m,
+                              /*lk=*/ins.gemm_n, /*dk=*/ins.k, ins.scalar);
+        break;
     }
   }
 
@@ -711,6 +1009,73 @@ core::Status Program::Run(const t::Tensor& x_norm, const t::Tensor* keep,
   std::memcpy(out->data(), ptrs_[output_slot_],
               static_cast<size_t>(out->size()) * sizeof(float));
   return core::Status::Ok();
+}
+
+void Program::RunLowPrecGemm(const Instr& ins, LowPrecGemm& lp,
+                             const float* pa, float* po, bool calibrate) {
+  const int64_t m = ins.m, k = ins.k, n = ins.gemm_n;
+  if (precision_ == PrecisionMode::kBf16) {
+    // Expand the bf16 weights into the shared staging buffer (exact: decode
+    // is a bit shift) and run the normal fp32 GEMM, so the result is bitwise
+    // identical at any thread count just like the fp32 path.
+    const uint16_t* w = lp.bf16.data();
+    float* stage = staging_.data();
+    t::ParallelFor(0, k * n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) stage[i] = FloatFromBf16(w[i]);
+    }, /*min_chunk=*/4096);
+    t::GemmBatchedInto(pa, stage, po, 1, m, k, n, false, false, 0, 0);
+    return;
+  }
+  // int8: per-row activation scale (dynamic, or the calibrated per-tensor
+  // static scale), exact int32 accumulation, fp32 rescale on write-out.
+  // Rows are quantized and accumulated independently in a fixed order, so
+  // the result is bitwise deterministic at any thread count.
+  if (calibrate) {
+    float amax = lp.calib_amax;
+    for (int64_t i = 0; i < m * k; ++i) {
+      amax = std::max(amax, std::fabs(pa[i]));
+    }
+    lp.calib_amax = amax;
+  }
+  const bool use_static = !calibrate && lp.static_scale > 0.0f;
+  const int8_t* wq = lp.q.data();
+  const float* cs = lp.col_scale.data();
+  int8_t* aq = act_q_.data();
+  const int64_t min_chunk = std::max<int64_t>(1, (1 << 16) / std::max<int64_t>(1, k * n));
+  t::ParallelFor(0, m, [&](int64_t lo, int64_t hi) {
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* arow = pa + r * k;
+      int8_t* qrow = aq + r * k;
+      float scale;
+      if (use_static) {
+        scale = lp.static_scale;
+      } else {
+        float amax = 0.0f;
+        for (int64_t p = 0; p < k; ++p) amax = std::max(amax, std::fabs(arow[p]));
+        scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+      }
+      const float inv = 1.0f / scale;
+      for (int64_t p = 0; p < k; ++p) {
+        float x = arow[p] * inv;
+        x = std::min(127.0f, std::max(-127.0f, x));
+        qrow[p] = static_cast<int8_t>(std::lrintf(x));
+      }
+      std::fill(acc.begin(), acc.end(), 0);
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t av = qrow[p];
+        if (av == 0) continue;
+        const int8_t* wrow = wq + p * n;
+        for (int64_t j = 0; j < n; ++j) {
+          acc[j] += av * static_cast<int32_t>(wrow[j]);
+        }
+      }
+      float* orow = po + r * n;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] = static_cast<float>(acc[j]) * (scale * cs[j]);
+      }
+    }
+  }, min_chunk);
 }
 
 }  // namespace sstban::exec

@@ -9,6 +9,7 @@
 #include "autograd/trace.h"
 #include "core/status.h"
 #include "data/dataset.h"
+#include "exec/precision.h"
 #include "tensor/tensor.h"
 
 namespace sstban::exec {
@@ -48,12 +49,15 @@ enum class OpKind : uint8_t {
   kConcat,
   kSoftmax,        // softmax over the last axis
   kSoftmaxMasked,  // add additive mask, then softmax in place
+  kFusedAttention, // softmax(scale * a b^T + mask) c in one streaming pass
 };
 
 struct Instr {
   OpKind kind;
   int a = -1;    // input slots
   int b = -1;    // second input (binary ops / additive mask)
+  int c = -1;    // third input (kFusedAttention: the value tensor)
+  int mask = -1; // kFusedAttention: [batch/heads, lk] keep-mask slot, or -1
   int out = -1;
   int64_t n = 0;           // elementwise size
   float scalar = 0.0f;     // kAddScalar / kMulScalar
@@ -77,6 +81,13 @@ struct Instr {
   int rank = 0;
   // kSoftmax / kSoftmaxMasked
   int64_t rows = 0, cols = 0;
+  // kFusedAttention: mask-batch divisor (attention batch / mask rows); the
+  // GEMM dims reuse batch/m/k/gemm_n as (batch, lq, dk, lk) and `scalar`
+  // holds the softmax scale.
+  int64_t heads = 0;
+  // Index into the program's reduced-precision weight table, or -1 when this
+  // GEMM runs in fp32 (always -1 for non-kGemm instructions).
+  int lowprec = -1;
   // Preallocated odometer scratch (zeroed at each use; Run is serialized by
   // the program mutex so this is safe).
   mutable std::vector<int64_t> idx;
@@ -113,6 +124,8 @@ struct CompileSpec {
   const std::vector<int64_t>* dow_out = nullptr;
   // Model dims: input [B, P, N, C], keep [B, P, N].
   int64_t batch_size = 0, input_len = 0, num_nodes = 0, num_features = 0;
+  // Numeric mode for eligible parameter GEMMs (exec/precision.h).
+  PrecisionMode precision = PrecisionMode::kFp32;
   // The forward result node.
   autograd::NodePtr output;
 };
@@ -134,17 +147,50 @@ class Program {
   core::Status Run(const tensor::Tensor& x_norm, const tensor::Tensor* keep,
                    const data::Batch& batch, tensor::Tensor* out);
 
+  // Int8-mode calibration pass: identical to Run (dynamic per-row activation
+  // scales) but additionally records the running max |activation| feeding
+  // each quantized GEMM; afterwards those maxima become static per-tensor
+  // activation scales used by every subsequent Run. Call once per batch of
+  // the calibration split. No-op beyond a plain Run in fp32/bf16 modes.
+  core::Status Calibrate(const tensor::Tensor& x_norm,
+                         const tensor::Tensor* keep, const data::Batch& batch);
+
   const tensor::Shape& output_shape() const { return output_shape_; }
   bool masked() const { return keep_slot_ >= 0; }
   int64_t arena_floats() const { return arena_.size(); }
   int64_t num_instrs() const { return static_cast<int64_t>(instrs_.size()); }
+  PrecisionMode precision() const { return precision_; }
+  int64_t num_lowprec_gemms() const {
+    return static_cast<int64_t>(lowprec_.size());
+  }
 
  private:
   Program() = default;
 
+  // One eligible parameter GEMM's reduced-precision weight copy.
+  struct LowPrecGemm {
+    int64_t k = 0, n = 0;            // weight dims [k, n]
+    std::vector<uint16_t> bf16;      // kBf16: row-major bfloat16 weights
+    std::vector<int8_t> q;           // kInt8: row-major int8 weights
+    std::vector<float> col_scale;    // kInt8: per-output-channel scales [n]
+    float calib_amax = 0.0f;         // running max |A| over Calibrate runs
+    float static_scale = 0.0f;       // > 0 once calibrated: per-tensor scale
+  };
+
+  core::Status RunInternal(const tensor::Tensor& x_norm,
+                           const tensor::Tensor* keep,
+                           const data::Batch& batch, tensor::Tensor* out,
+                           bool calibrate);
+  void RunLowPrecGemm(const Instr& ins, LowPrecGemm& lp, const float* pa,
+                      float* po, bool calibrate);
+
   const float* SlotPtr(int slot) const { return ptrs_[slot]; }
   float* MutableSlotPtr(int slot) { return ptrs_[slot]; }
 
+  PrecisionMode precision_ = PrecisionMode::kFp32;
+  std::vector<LowPrecGemm> lowprec_;
+  std::vector<float> staging_;       // shared bf16 dequant buffer
+  std::vector<int8_t> act_q_;        // shared int8 activation buffer
   std::vector<Slot> slots_;
   std::vector<float*> ptrs_;  // resolved base pointer per slot
   std::vector<Instr> instrs_;

@@ -5,6 +5,7 @@
 #include "autograd/ops.h"
 #include "autograd/trace.h"
 #include "core/check.h"
+#include "tensor/fused_attention.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 
@@ -55,6 +56,25 @@ ag::Variable MultiHeadAttention::Forward(const ag::Variable& q,
   ag::Variable vh = split_heads(wv_->Forward(v), lk);
 
   float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Inference fast path: stream scores through the fused kernel instead of
+  // materializing the [B*h, Lq, Lk] tensor. Kept off the training path so
+  // gradient numerics are unchanged (the fused op's recompute backward
+  // reorders accumulations), and off when the caller wants the probabilities.
+  if (t::FusedAttentionEnabled() && attention_probs == nullptr &&
+      !ag::NoGradGuard::GradEnabled()) {
+    if (key_mask != nullptr) {
+      SSTBAN_CHECK_EQ(key_mask->rank(), 2);
+      SSTBAN_CHECK_EQ(key_mask->dim(0), batch);
+      SSTBAN_CHECK_EQ(key_mask->dim(1), lk);
+    }
+    ag::Variable context =
+        ag::FusedAttention(qh, kh, vh, key_mask, num_heads_, scale);
+    context = ag::Reshape(context, t::Shape{batch, num_heads_, lq, head_dim_});
+    context = ag::Permute(context, {0, 2, 1, 3});  // [B, Lq, h, dk]
+    context = ag::Reshape(context, t::Shape{batch, lq, num_heads_ * head_dim_});
+    return wo_->Forward(context);
+  }
   ag::Variable scores =
       ag::MulScalar(ag::Bmm(qh, kh, /*transpose_a=*/false, /*transpose_b=*/true),
                     scale);  // [B*h, Lq, Lk]

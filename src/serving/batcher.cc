@@ -152,6 +152,9 @@ bool Batcher::RunPrimary(const ModelRegistry::Served& served,
   bool ok = injected.ok();
   if (ok) {
     try {
+      // No-op when unchanged; on a hot-swap the fresh model picks the
+      // configured mode up here before its first compiled program.
+      served.model->set_inference_precision(options_.precision);
       if (keep_pos.defined()) {
         core::StatusOr<tensor::Tensor> masked =
             training::RunBatchedInferenceMasked(served.model.get(),

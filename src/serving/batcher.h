@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/precision.h"
+
 #include "serving/fallback.h"
 #include "serving/health.h"
 #include "serving/model_registry.h"
@@ -32,6 +34,11 @@ struct BatcherOptions {
   // fast path only: any executor failure falls back to the tape inside
   // RunBatchedInference, so the breaker/fallback semantics are unchanged.
   training::ExecutorMode executor_mode = training::ExecutorMode::kAuto;
+  // Numeric mode for the static executor's compiled programs (defaults to
+  // what SSTBAN_PRECISION resolves to). Applied to the served model before
+  // each primary pass, so hot-swapped models inherit it. Reduced-precision
+  // modes only affect the executor fast path; the tape fallback stays fp32.
+  exec::PrecisionMode precision = exec::ResolvePrecisionMode();
 };
 
 // The micro-batching worker: drains the request queue, coalesces up to

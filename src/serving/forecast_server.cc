@@ -17,6 +17,7 @@ BatcherOptions MakeBatcherOptions(const ServerOptions& options) {
   batcher.output_len = options.output_len;
   batcher.steps_per_day = options.steps_per_day;
   batcher.executor_mode = options.executor_mode;
+  batcher.precision = options.precision;
   return batcher;
 }
 

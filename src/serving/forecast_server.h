@@ -43,6 +43,9 @@ struct ServerOptions {
   // Which forward the batcher's primary pass uses: the autograd tape or the
   // shape-specialized static executor (kAuto reads SSTBAN_EXECUTOR once).
   training::ExecutorMode executor_mode = training::ExecutorMode::kAuto;
+  // Numeric mode for the executor fast path (defaults to SSTBAN_PRECISION);
+  // see BatcherOptions::precision.
+  exec::PrecisionMode precision = exec::ResolvePrecisionMode();
 };
 
 // The multi-client inference facade: Submit validates, sanitizes, and

@@ -7,6 +7,7 @@
 #include "core/check.h"
 #include "core/thread_pool.h"
 #include "tensor/parallel.h"
+#include "tensor/simd/kernels.h"
 
 namespace sstban::tensor {
 
@@ -25,13 +26,14 @@ namespace {
 
 // Rows of C per parallel task. Also the unit the tiled path packs A in, so
 // block boundaries are a pure function of M.
-constexpr int64_t kRowBlock = 64;
+constexpr int64_t kRowBlock = kGemmRowBlock;
 // Packed-panel extents: one B panel (kKC x kNC floats = 256 KiB) plus the
-// kMR x kKC A strip stay resident in L2 while the micro-kernel streams C.
+// mr x kKC A strip stay resident in L2 while the micro-kernel streams C.
 constexpr int64_t kKC = 256;
 constexpr int64_t kNC = 256;
-// Micro-kernel height: rows of C updated together per packed A strip.
-constexpr int64_t kMR = 4;
+// Upper bound on any tier's micro-kernel height (scalar uses 4, AVX2 6);
+// sizes the packing scratch so it never depends on the dispatched tier.
+constexpr int64_t kMaxPackMR = 8;
 // Below this many multiply-adds per GEMM the packed/tiled path loses to the
 // plain loops (packing cost dominates).
 constexpr int64_t kTiledMaddCutoff = 1 << 13;
@@ -39,40 +41,11 @@ constexpr int64_t kTiledMaddCutoff = 1 << 13;
 constexpr int64_t kParallelMaddCutoff = 1 << 15;
 
 // ---------------------------------------------------------------------------
-// Small-shape kernels (the pre-tiling implementations). They remain the best
-// choice for the floods of tiny GEMMs attention produces (head_dim and
-// reference-point counts of 1-8) where packing overhead dominates.
+// Small-shape kernels. The !ta variants (attention scores QK^T and context
+// P*V, plus any problem under the tiled cutoff) live in the dispatched
+// kernel table (simd/kernels.h) so the AVX2 tier can vectorize them; the
+// transposed-A variants below only appear on backward paths and stay scalar.
 // ---------------------------------------------------------------------------
-
-// C[M,N] += A[M,K] * B[K,N], all row-major contiguous. i-k-j loop order:
-// the inner j-loop streams both B's row and C's row, which vectorizes well.
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      float aval = arow[p];
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
-}
-
-// C[M,N] += A[M,K] * B[N,K]^T. The inner loop is a contiguous dot product
-// over K for both operands (the natural layout for Q*K^T attention scores).
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] += acc;
-    }
-  }
-}
 
 // C[M,N] += A[K,M]^T * B[K,N].
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
@@ -101,61 +74,12 @@ void GemmTT(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
-// Attention on small models produces floods of tiny GEMMs (head_dim and
-// reference-point counts of 1-8); compile-time-unrolled kernels for those
-// shapes remove most of the per-element loop overhead.
-template <int K>
-void GemmNTFixedK(const float* a, const float* b, float* c, int64_t m,
-                  int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * K;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * K;
-      float acc = 0.0f;
-      for (int p = 0; p < K; ++p) acc += arow[p] * brow[p];
-      c[i * n + j] += acc;
-    }
-  }
-}
-
-template <int N>
-void GemmNNFixedN(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float acc[N] = {};
-    for (int64_t p = 0; p < k; ++p) {
-      float aval = arow[p];
-      const float* brow = b + p * N;
-      for (int j = 0; j < N; ++j) acc[j] += aval * brow[j];
-    }
-    float* crow = c + i * N;
-    for (int j = 0; j < N; ++j) crow[j] += acc[j];
-  }
-}
-
 void GemmDispatch(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n, bool ta, bool tb) {
   if (!ta && !tb) {
-    switch (n) {
-      case 1: GemmNNFixedN<1>(a, b, c, m, k); return;
-      case 2: GemmNNFixedN<2>(a, b, c, m, k); return;
-      case 3: GemmNNFixedN<3>(a, b, c, m, k); return;
-      case 4: GemmNNFixedN<4>(a, b, c, m, k); return;
-      case 6: GemmNNFixedN<6>(a, b, c, m, k); return;
-      case 8: GemmNNFixedN<8>(a, b, c, m, k); return;
-      default: GemmNN(a, b, c, m, k, n); return;
-    }
+    simd::Kernels().gemm_nn_small(a, b, c, m, k, n);
   } else if (!ta && tb) {
-    switch (k) {
-      case 1: GemmNTFixedK<1>(a, b, c, m, n); return;
-      case 2: GemmNTFixedK<2>(a, b, c, m, n); return;
-      case 3: GemmNTFixedK<3>(a, b, c, m, n); return;
-      case 4: GemmNTFixedK<4>(a, b, c, m, n); return;
-      case 6: GemmNTFixedK<6>(a, b, c, m, n); return;
-      case 8: GemmNTFixedK<8>(a, b, c, m, n); return;
-      default: GemmNT(a, b, c, m, k, n); return;
-    }
+    simd::Kernels().gemm_nt_small(a, b, c, m, k, n);
   } else if (ta && !tb) {
     GemmTN(a, b, c, m, k, n);
   } else {
@@ -210,23 +134,6 @@ void PackA(const float* a, int64_t lda, bool ta, int64_t i0, int64_t p0,
   }
 }
 
-// C[r][j] += sum_p Ap[p][r] * Bp[p][j] for an MR x nc tile. Accumulates
-// directly into C in ascending-k order so results never depend on how rows
-// were assigned to threads or on panel boundaries.
-template <int MR>
-void MicroKernel(const float* ap, const float* bp, float* c, int64_t ldc,
-                 int64_t kc, int64_t nc) {
-  for (int64_t p = 0; p < kc; ++p) {
-    const float* brow = bp + p * nc;
-    const float* av = ap + p * MR;
-    for (int r = 0; r < MR; ++r) {
-      float aval = av[r];
-      float* crow = c + r * ldc;
-      for (int64_t j = 0; j < nc; ++j) crow[j] += aval * brow[j];
-    }
-  }
-}
-
 // Per-thread packing scratch, reused across GEMM calls.
 struct PackBuffers {
   std::vector<float> a;
@@ -236,29 +143,44 @@ thread_local PackBuffers tl_pack;
 
 // Computes C rows [i0, i1) of the full GEMM via packed panels. The loop nest
 // is j-panel > k-panel > row-strip, so each C element accumulates its k
-// contributions strictly in ascending order.
+// contributions strictly in ascending order. The micro-kernel comes from the
+// process-wide SIMD dispatch table (tensor/simd/kernels.h); its tile height
+// is a constant of the active tier, so strip boundaries stay a pure function
+// of the shape. The steady-state loop only ever issues full-height tiles —
+// the sub-tile remainder (at most one per row range) runs once after it,
+// keeping the per-iteration height branch out of the hot loop.
+//
+// Pointer convention (see GemmRowRangeAccumulate): for !ta, `a` points at
+// logical row i0 of A; for ta it is the full stored [K, M] matrix. `c`
+// points at row i0 of C.
 void TiledRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
                bool ta, bool tb, int64_t lda, int64_t ldb, int64_t i0,
                int64_t i1) {
+  const simd::SimdKernels& ks = simd::Kernels();
+  const int64_t mr_full = ks.gemm_mr;
+  SSTBAN_CHECK(mr_full <= kMaxPackMR);
   std::vector<float>& apack = tl_pack.a;
   std::vector<float>& bpack = tl_pack.b;
-  if (apack.size() < static_cast<size_t>(kMR * kKC)) apack.resize(kMR * kKC);
+  if (apack.size() < static_cast<size_t>(kMaxPackMR * kKC)) {
+    apack.resize(kMaxPackMR * kKC);
+  }
   if (bpack.size() < static_cast<size_t>(kKC * kNC)) bpack.resize(kKC * kNC);
   for (int64_t j0 = 0; j0 < n; j0 += kNC) {
     int64_t nc = std::min(kNC, n - j0);
     for (int64_t p0 = 0; p0 < k; p0 += kKC) {
       int64_t kc = std::min(kKC, k - p0);
       PackB(b, ldb, tb, p0, j0, kc, nc, bpack.data());
-      for (int64_t i = i0; i < i1; i += kMR) {
-        int64_t mr = std::min(kMR, i1 - i);
-        PackA(a, lda, ta, i, p0, mr, kc, apack.data());
-        float* ctile = c + i * n + j0;
-        switch (mr) {
-          case 4: MicroKernel<4>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
-          case 3: MicroKernel<3>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
-          case 2: MicroKernel<2>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
-          default: MicroKernel<1>(apack.data(), bpack.data(), ctile, n, kc, nc); break;
-        }
+      int64_t i = i0;
+      for (; i + mr_full <= i1; i += mr_full) {
+        PackA(a, lda, ta, ta ? i : i - i0, p0, mr_full, kc, apack.data());
+        ks.gemm_tile(apack.data(), bpack.data(), c + (i - i0) * n + j0, n, kc,
+                     nc);
+      }
+      if (i < i1) {
+        int64_t mr = i1 - i;
+        PackA(a, lda, ta, ta ? i : i - i0, p0, mr, kc, apack.data());
+        ks.gemm_tail(apack.data(), bpack.data(), c + (i - i0) * n + j0, n, kc,
+                     nc, mr);
       }
     }
   }
@@ -288,7 +210,9 @@ int64_t RowBlocksFor(int64_t m, int64_t k, int64_t n, bool ta, bool tb) {
 // Computes C rows [i0, i1) for one GEMM, routing to the tiled or small-shape
 // kernel. The route depends only on the full (m, k, n, ta, tb) problem, not
 // on the row range, so every row takes the same code path regardless of how
-// the work was partitioned.
+// the work was partitioned. Block-pointer convention: for !ta, `a` points at
+// logical row i0 of A; for ta it is the full stored matrix. `c` points at
+// row i0 of C.
 void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
               int64_t n, bool ta, bool tb, int64_t i0, int64_t i1) {
   if (i0 >= i1 || n == 0) return;
@@ -299,8 +223,7 @@ void GemmRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
     return;
   }
   if (!ta) {
-    // Row-major A: a row range is just a pointer offset.
-    GemmDispatch(a + i0 * k, b, c + i0 * n, i1 - i0, k, n, ta, tb);
+    GemmDispatch(a, b, c, i1 - i0, k, n, ta, tb);
   } else {
     SSTBAN_CHECK(i0 == 0 && i1 == m);
     GemmDispatch(a, b, c, m, k, n, ta, tb);
@@ -328,7 +251,8 @@ void BatchedGemm(const float* pa, const float* pb, float* pc, int64_t batch,
           int64_t blk = idx % row_blocks;
           int64_t i0 = blk * kRowBlock;
           int64_t i1 = row_blocks == 1 ? m : std::min(m, i0 + kRowBlock);
-          GemmRows(pa + bi * a_stride, pb + bi * b_stride, pc + bi * o_stride,
+          const float* a_base = pa + bi * a_stride + (ta ? 0 : i0 * k);
+          GemmRows(a_base, pb + bi * b_stride, pc + bi * o_stride + i0 * n,
                    m, k, n, ta, tb, i0, i1);
         }
       },
@@ -336,6 +260,13 @@ void BatchedGemm(const float* pa, const float* pb, float* pc, int64_t batch,
 }
 
 }  // namespace
+
+void GemmRowRangeAccumulate(const float* a_block, const float* b,
+                            float* c_block, int64_t m, int64_t k, int64_t n,
+                            bool ta, bool tb, int64_t i0, int64_t i1) {
+  SSTBAN_CHECK(!ta || i0 == 0);
+  GemmRows(a_block, b, c_block, m, k, n, ta, tb, i0, i1);
+}
 
 void GemmBatchedInto(const float* a, const float* b, float* c, int64_t batch,
                      int64_t m, int64_t k, int64_t n, bool ta, bool tb,

@@ -7,10 +7,36 @@
 
 #include "core/check.h"
 #include "tensor/parallel.h"
+#include "tensor/simd/kernels.h"
 
 namespace sstban::tensor {
 
 namespace {
+
+// Same-shape elementwise ops route through the SIMD dispatch table. The
+// vector kernels are exactly rounded per element, so the result is bitwise
+// identical to the scalar loops in every tier; the indirection exists to
+// keep Debug/sanitizer builds fast and the kernel layer in one place.
+Tensor SameShapeBinary(const Tensor& a, const Tensor& b, simd::BinaryFn fn) {
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, out.size(), [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, pb + lo, po + lo, hi - lo);
+  });
+  return out;
+}
+
+Tensor ScalarMap(const Tensor& a, float s, simd::ScalarMapFn fn) {
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, out.size(), [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, s, po + lo, hi - lo);
+  });
+  return out;
+}
 
 // Strides for iterating `shape` as if broadcast to `out_shape`: broadcast
 // axes get stride 0.
@@ -125,12 +151,14 @@ Shape ReducedShape(const Shape& shape, int axis, bool keepdim) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return SameShapeBinary(a, b, simd::Kernels().add);
   return BinaryOp(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return SameShapeBinary(a, b, simd::Kernels().mul);
   return BinaryOp(a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
@@ -144,10 +172,10 @@ Tensor Minimum(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return ScalarMap(a, s, simd::Kernels().add_scalar);
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return ScalarMap(a, s, simd::Kernels().mul_scalar);
 }
 
 Tensor Neg(const Tensor& a) {
@@ -172,7 +200,14 @@ Tensor Square(const Tensor& a) {
   return UnaryOp(a, [](float x) { return x * x; });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.0f; });
+  const simd::UnaryFn fn = simd::Kernels().relu;
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, out.size(), [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, po + lo, hi - lo);
+  });
+  return out;
 }
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
@@ -419,19 +454,10 @@ Tensor RepeatAxis(const Tensor& a, int axis, int64_t repeats) {
 }
 
 void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols) {
+  const simd::SoftmaxRowFn fn = simd::Kernels().softmax_row;
   ParallelFor(0, rows, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      const float* row = in + r * cols;
-      float* orow = out + r * cols;
-      float m = row[0];
-      for (int64_t c = 1; c < cols; ++c) m = std::max(m, row[c]);
-      double denom = 0.0;
-      for (int64_t c = 0; c < cols; ++c) {
-        orow[c] = std::exp(row[c] - m);
-        denom += orow[c];
-      }
-      float inv = static_cast<float>(1.0 / denom);
-      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+      fn(in + r * cols, out + r * cols, cols);
     }
   }, /*min_chunk=*/64);
 }

@@ -1,0 +1,82 @@
+#ifndef SSTBAN_TENSOR_SIMD_KERNELS_H_
+#define SSTBAN_TENSOR_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "core/cpu_features.h"
+
+namespace sstban::tensor::simd {
+
+// Runtime-dispatched kernel table (DESIGN.md §14). One table is selected for
+// the whole process from core::ActiveSimdLevel(); every hot loop in the
+// tensor layer (packed GEMM micro-kernel, softmax rows, elementwise ops,
+// fused attention) indirects through it. Two invariants make this safe under
+// the repo's bitwise determinism contracts:
+//   1. The table choice is a process-wide constant — kernel routing never
+//      depends on thread count, partition, or call site.
+//   2. Every kernel processes its elements in a fixed order that depends
+//      only on the problem shape, so results are identical no matter how
+//      the surrounding ParallelFor partitioned the work.
+// Results *across* tables differ (FMA contraction, vectorized exp); a given
+// process never mixes tables, so each mode is self-consistent.
+
+// Packed-GEMM micro-kernel: C[r][j] += sum_p ap[p*mr + r] * bp[p*nc + j]
+// for a full-height (mr == gemm_mr) tile. Accumulates into C ascending-p.
+using GemmTileFn = void (*)(const float* ap, const float* bp, float* c,
+                            int64_t ldc, int64_t kc, int64_t nc);
+// Remainder tile with runtime height 1 <= mr < gemm_mr.
+using GemmTailFn = void (*)(const float* ap, const float* bp, float* c,
+                            int64_t ldc, int64_t kc, int64_t nc, int64_t mr);
+
+// Unpacked attention-shape GEMMs: the small-inner-dimension problems
+// UseTiledPath (matmul.cc) keeps out of the packed path. gemm_nt_small is
+// C[M,N] += A[M,K] * B[N,K]^T (attention scores QK^T, K = head_dim);
+// gemm_nn_small is C[M,N] += A[M,K] * B[K,N] (context P*V, N = head_dim).
+// Every C element accumulates its K contributions in ascending order.
+using GemmSmallFn = void (*)(const float* a, const float* b, float* c,
+                             int64_t m, int64_t k, int64_t n);
+
+using BinaryFn = void (*)(const float* a, const float* b, float* o, int64_t n);
+using ScalarMapFn = void (*)(const float* a, float s, float* o, int64_t n);
+using UnaryFn = void (*)(const float* a, float* o, int64_t n);
+// Max over n elements (n >= 1).
+using ReduceMaxFn = float (*)(const float* a, int64_t n);
+// o[i] = exp(a[i] - m); returns sum of the written values in double, summed
+// in ascending order (scalar) or a fixed lane order (vector).
+using ExpSumFn = double (*)(const float* a, float m, float* o, int64_t n);
+// Full numerically-stable softmax of one row; in == out allowed.
+using SoftmaxRowFn = void (*)(const float* in, float* out, int64_t n);
+
+struct SimdKernels {
+  const char* name;
+  int64_t gemm_mr;  // full micro-tile height the packed path uses
+  GemmTileFn gemm_tile;
+  GemmTailFn gemm_tail;
+  GemmSmallFn gemm_nt_small;
+  GemmSmallFn gemm_nn_small;
+  BinaryFn add;
+  BinaryFn mul;
+  ScalarMapFn add_scalar;
+  ScalarMapFn mul_scalar;
+  UnaryFn relu;
+  ReduceMaxFn reduce_max;
+  ExpSumFn exp_sum;
+  SoftmaxRowFn softmax_row;
+};
+
+// Table for the process-wide active level (resolved once, then cached by
+// the caller-side of hot loops; cheap enough to call per op).
+const SimdKernels& Kernels();
+
+// Table for an explicit level — bench/test comparisons only.
+const SimdKernels& KernelsFor(core::SimdLevel level);
+
+namespace internal {
+const SimdKernels& ScalarKernels();
+// nullptr when the AVX2 translation unit is compiled out (non-x86 builds).
+const SimdKernels* Avx2Kernels();
+}  // namespace internal
+
+}  // namespace sstban::tensor::simd
+
+#endif  // SSTBAN_TENSOR_SIMD_KERNELS_H_

@@ -1,0 +1,352 @@
+// AVX2 + FMA kernel tier. This translation unit is compiled with
+// -mavx2 -mfma regardless of the global flags (see tensor/CMakeLists.txt);
+// nothing here executes unless the runtime dispatcher (core/cpu_features.h)
+// confirmed hardware support, so the binary stays safe on plain-SSE x86.
+//
+// Numerics: FMA keeps qk-products unrounded inside the micro-kernel and the
+// vectorized exp is a Cephes-style polynomial (~2 ulp), so this tier's
+// results differ from the scalar tier's at the rounding level. Within the
+// tier everything is deterministic: lane order, tail handling, and tile
+// geometry are pure functions of the problem shape.
+
+#include "tensor/simd/kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sstban::tensor::simd {
+
+namespace {
+
+constexpr int64_t kAvx2MR = 6;  // 6x16 register block: 12 accumulator ymms
+
+// ---------------------------------------------------------------------------
+// Packed-GEMM micro-kernel: 6 rows x 16 columns of C held in registers for
+// the whole kc loop (the scalar tier re-loads/stores C every p step, which
+// caps it at store throughput; keeping C resident is where the speedup
+// comes from). Column tails fall to 8-wide then scalar loops; each C element
+// still accumulates its k contributions in ascending order.
+// ---------------------------------------------------------------------------
+
+template <int MR>
+void MicroKernelAvx2(const float* ap, const float* bp, float* c, int64_t ldc,
+                     int64_t kc, int64_t nc) {
+  int64_t j = 0;
+  for (; j + 16 <= nc; j += 16) {
+    __m256 acc0[MR], acc1[MR];
+    for (int r = 0; r < MR; ++r) {
+      acc0[r] = _mm256_loadu_ps(c + r * ldc + j);
+      acc1[r] = _mm256_loadu_ps(c + r * ldc + j + 8);
+    }
+    const float* brow = bp + j;
+    const float* av = ap;
+    for (int64_t p = 0; p < kc; ++p, brow += nc, av += MR) {
+      __m256 b0 = _mm256_loadu_ps(brow);
+      __m256 b1 = _mm256_loadu_ps(brow + 8);
+      for (int r = 0; r < MR; ++r) {
+        __m256 a = _mm256_broadcast_ss(av + r);
+        acc0[r] = _mm256_fmadd_ps(a, b0, acc0[r]);
+        acc1[r] = _mm256_fmadd_ps(a, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      _mm256_storeu_ps(c + r * ldc + j, acc0[r]);
+      _mm256_storeu_ps(c + r * ldc + j + 8, acc1[r]);
+    }
+  }
+  for (; j + 8 <= nc; j += 8) {
+    __m256 acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc + j);
+    const float* brow = bp + j;
+    const float* av = ap;
+    for (int64_t p = 0; p < kc; ++p, brow += nc, av += MR) {
+      __m256 b0 = _mm256_loadu_ps(brow);
+      for (int r = 0; r < MR; ++r) {
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(av + r), b0, acc[r]);
+      }
+    }
+    for (int r = 0; r < MR; ++r) _mm256_storeu_ps(c + r * ldc + j, acc[r]);
+  }
+  // Scalar column tail; std::fmaf keeps the contraction behavior of the
+  // vector lanes so a column's numerics depend only on its own index.
+  for (; j < nc; ++j) {
+    for (int r = 0; r < MR; ++r) {
+      float acc = c[r * ldc + j];
+      for (int64_t p = 0; p < kc; ++p) {
+        acc = std::fmaf(ap[p * MR + r], bp[p * nc + j], acc);
+      }
+      c[r * ldc + j] = acc;
+    }
+  }
+}
+
+void GemmTileAvx2(const float* ap, const float* bp, float* c, int64_t ldc,
+                  int64_t kc, int64_t nc) {
+  MicroKernelAvx2<kAvx2MR>(ap, bp, c, ldc, kc, nc);
+}
+
+void GemmTailAvx2(const float* ap, const float* bp, float* c, int64_t ldc,
+                  int64_t kc, int64_t nc, int64_t mr) {
+  switch (mr) {
+    case 5: MicroKernelAvx2<5>(ap, bp, c, ldc, kc, nc); break;
+    case 4: MicroKernelAvx2<4>(ap, bp, c, ldc, kc, nc); break;
+    case 3: MicroKernelAvx2<3>(ap, bp, c, ldc, kc, nc); break;
+    case 2: MicroKernelAvx2<2>(ap, bp, c, ldc, kc, nc); break;
+    default: MicroKernelAvx2<1>(ap, bp, c, ldc, kc, nc); break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unpacked attention-shape GEMMs. The packed path never sees these problems
+// (head_dim-sized inner dimensions, see UseTiledPath in matmul.cc), and the
+// scalar QK^T loop is a length-K dot product with a horizontal reduction per
+// score — the slowest shape in the attention forward. Both kernels instead
+// stream register-resident strips of a C row with broadcast-FMA over k in
+// ascending order, so an element's value depends only on the problem shape.
+// ---------------------------------------------------------------------------
+
+// Shared inner routine: C[M,N] += A[M,K] * B'[K,N] with B' row-major. Strip
+// widths 8 -> 4 -> scalar fmaf are a pure function of (j, n).
+void BroadcastFmaRows(const float* a, const float* bp, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (int64_t p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + p),
+                              _mm256_loadu_ps(bp + p * n + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m128 acc = _mm_loadu_ps(crow + j);
+      for (int64_t p = 0; p < k; ++p) {
+        acc = _mm_fmadd_ps(_mm_broadcast_ss(arow + p),
+                           _mm_loadu_ps(bp + p * n + j), acc);
+      }
+      _mm_storeu_ps(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = crow[j];
+      for (int64_t p = 0; p < k; ++p) {
+        acc = std::fmaf(arow[p], bp[p * n + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+void GemmNNSmallAvx2(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  BroadcastFmaRows(a, b, c, m, k, n);
+}
+
+void GemmNTSmallAvx2(const float* a, const float* b, float* c, int64_t m,
+                     int64_t k, int64_t n) {
+  // Transpose B ([N,K] row-major) into a [K,N] panel once per call; the
+  // QK^T scores then take the same streaming broadcast-FMA form as the NN
+  // case instead of one horizontal reduction per element. The panel is tiny
+  // (K is a head_dim) and amortizes over every row of the block.
+  thread_local std::vector<float> bt;
+  if (bt.size() < static_cast<size_t>(k * n)) {
+    bt.resize(static_cast<size_t>(k * n));
+  }
+  float* panel = bt.data();
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) panel[p * n + j] = b[j * k + p];
+  }
+  BroadcastFmaRows(a, panel, c, m, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise maps. Exactly-rounded per element, so these agree bitwise with
+// the scalar tier; they exist to keep Debug/sanitizer builds (no -O3
+// autovectorization) from crawling and to make the dispatch table complete.
+// ---------------------------------------------------------------------------
+
+void AddAvx2(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void MulAvx2(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void AddConstAvx2(const float* a, float s, float* o, int64_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = a[i] + s;
+}
+
+void MulConstAvx2(const float* a, float s, float* o, int64_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) o[i] = a[i] * s;
+}
+
+void ReluAvx2(const float* a, float* o, int64_t n) {
+  __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0 ? a[i] : 0.0f;
+}
+
+// ---------------------------------------------------------------------------
+// Softmax row primitives.
+// ---------------------------------------------------------------------------
+
+float ReduceMaxAvx2(const float* a, int64_t n) {
+  if (n < 8) {
+    float m = a[0];
+    for (int64_t i = 1; i < n; ++i) m = std::max(m, a[i]);
+    return m;
+  }
+  __m256 vm = _mm256_loadu_ps(a);
+  int64_t i = 8;
+  for (; i + 8 <= n; i += 8) vm = _mm256_max_ps(vm, _mm256_loadu_ps(a + i));
+  // Horizontal max (max is associative/commutative, order is irrelevant).
+  __m128 lo = _mm256_castps256_ps128(vm);
+  __m128 hi = _mm256_extractf128_ps(vm, 1);
+  __m128 m4 = _mm_max_ps(lo, hi);
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ps(m4, _mm_shuffle_ps(m4, m4, 0x55));
+  float m = _mm_cvtss_f32(m4);
+  for (; i < n; ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+// Cephes-style vector expf: exp(x) = 2^k * exp(r) with r in [-ln2/2, ln2/2]
+// and a degree-5 polynomial for exp(r). Max error ~2 ulp over the clamped
+// domain. Inputs are clamped to [-87.33, 88.37]; softmax feeds x - max <= 0,
+// so the low clamp only engages for hard-masked keys (score -1e9), where the
+// result underflows to a ~1e-38 weight that vanishes after normalization.
+inline __m256 Exp256(__m256 x) {
+  const __m256 kHi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 kLo = _mm256_set1_ps(-87.3365478515625f);
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kHalf = _mm256_set1_ps(0.5f);
+  const __m256 kLn2Hi = _mm256_set1_ps(0.693359375f);
+  const __m256 kLn2Lo = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(_mm256_max_ps(x, kLo), kHi);
+
+  // k = floor(x * log2(e) + 0.5)
+  __m256 fx = _mm256_fmadd_ps(x, kLog2e, kHalf);
+  fx = _mm256_floor_ps(fx);
+  // r = x - k * ln2, in two pieces for accuracy.
+  __m256 r = _mm256_fnmadd_ps(fx, kLn2Hi, x);
+  r = _mm256_fnmadd_ps(fx, kLn2Lo, r);
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(5.0000001201e-1f));
+  __m256 r2 = _mm256_mul_ps(r, r);
+  y = _mm256_fmadd_ps(y, r2, _mm256_add_ps(r, kOne));
+
+  // 2^k via exponent-field construction.
+  __m256i k = _mm256_cvttps_epi32(fx);
+  k = _mm256_add_epi32(k, _mm256_set1_epi32(127));
+  __m256 pow2k = _mm256_castsi256_ps(_mm256_slli_epi32(k, 23));
+  return _mm256_mul_ps(y, pow2k);
+}
+
+double ExpSumAvx2(const float* a, float m, float* o, int64_t n) {
+  __m256 vm = _mm256_set1_ps(m);
+  // Four double accumulators (two per 8-lane block), combined in a fixed
+  // order at the end — deterministic regardless of n's alignment.
+  __m256d sum_lo = _mm256_setzero_pd();
+  __m256d sum_hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(a + i), vm));
+    _mm256_storeu_ps(o + i, e);
+    sum_lo = _mm256_add_pd(sum_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(e)));
+    sum_hi = _mm256_add_pd(sum_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(e, 1)));
+  }
+  __m256d vsum = _mm256_add_pd(sum_lo, sum_hi);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vsum);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    // Scalar tail uses the same polynomial (single active lane) so a given
+    // element's value does not depend on the row length's alignment.
+    __m256 e = Exp256(_mm256_set1_ps(a[i] - m));
+    float ef = _mm256_cvtss_f32(e);
+    o[i] = ef;
+    sum += ef;
+  }
+  return sum;
+}
+
+void SoftmaxRowAvx2(const float* in, float* out, int64_t n) {
+  float m = ReduceMaxAvx2(in, n);
+  double denom = ExpSumAvx2(in, m, out, n);
+  float inv = static_cast<float>(1.0 / denom);
+  MulConstAvx2(out, inv, out, n);
+}
+
+}  // namespace
+
+namespace internal {
+
+const SimdKernels* Avx2Kernels() {
+  static const SimdKernels table = {
+      /*name=*/"avx2",
+      /*gemm_mr=*/kAvx2MR,
+      /*gemm_tile=*/GemmTileAvx2,
+      /*gemm_tail=*/GemmTailAvx2,
+      /*gemm_nt_small=*/GemmNTSmallAvx2,
+      /*gemm_nn_small=*/GemmNNSmallAvx2,
+      /*add=*/AddAvx2,
+      /*mul=*/MulAvx2,
+      /*add_scalar=*/AddConstAvx2,
+      /*mul_scalar=*/MulConstAvx2,
+      /*relu=*/ReluAvx2,
+      /*reduce_max=*/ReduceMaxAvx2,
+      /*exp_sum=*/ExpSumAvx2,
+      /*softmax_row=*/SoftmaxRowAvx2,
+  };
+  return &table;
+}
+
+}  // namespace internal
+
+}  // namespace sstban::tensor::simd
+
+#else  // non-x86 builds: the dispatcher falls back to the scalar tier.
+
+namespace sstban::tensor::simd::internal {
+const SimdKernels* Avx2Kernels() { return nullptr; }
+}  // namespace sstban::tensor::simd::internal
+
+#endif

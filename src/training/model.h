@@ -8,6 +8,7 @@
 #include "core/rng.h"
 #include "data/dataset.h"
 #include "data/normalizer.h"
+#include "exec/precision.h"
 #include "nn/module.h"
 
 namespace sstban::exec {
@@ -83,9 +84,16 @@ class TrafficModel : public nn::Module {
   // new model starts with an empty cache and retraces on first use.
   exec::InferenceEngine* inference_engine();
 
+  // Numeric mode for the engine's compiled programs (default: what
+  // SSTBAN_PRECISION resolves to). Takes effect on the next engine build —
+  // call before the first inference_engine() use, or after a hot-swap.
+  void set_inference_precision(exec::PrecisionMode mode);
+  exec::PrecisionMode inference_precision() const;
+
  private:
-  std::mutex engine_mu_;
+  mutable std::mutex engine_mu_;
   std::unique_ptr<exec::InferenceEngine> engine_;
+  exec::PrecisionMode precision_ = exec::ResolvePrecisionMode();
 };
 
 }  // namespace sstban::training

@@ -11,16 +11,20 @@
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
+#include "core/cpu_features.h"
 #include "core/rng.h"
 #include "core/storage_pool.h"
 #include "core/thread_pool.h"
 #include "data/dataset.h"
+#include "exec/engine.h"
+#include "exec/precision.h"
 #include "sstban/config.h"
 #include "sstban/masking.h"
 #include "sstban/model.h"
 #include "sstban/stba_block.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
+#include "training/forecast_service.h"
 
 namespace sstban {
 namespace {
@@ -315,6 +319,84 @@ TEST(DeterminismProperty, TrainingStepIsBitwiseIdenticalAcrossThreadCounts) {
 // bit-identical losses and gradients with the pool on or off — including a
 // warm pool whose buffers carry stale values from the previous run — and
 // independently of the thread count.
+// -- Serving-forward determinism per numeric mode ----------------------------
+
+// ISSUE 8 acceptance: the bitwise 1-vs-N-thread property must hold
+// *independently* in every numeric mode of the serving forward — fp32 on the
+// scalar kernel tier, fp32 on the active SIMD tier, bf16, and int8. Modes
+// produce different numbers from each other; within a mode, thread count
+// must not change a single bit.
+t::Tensor RunServingForward(exec::PrecisionMode precision,
+                            core::SimdLevel level, int parallelism_cap) {
+  core::SimdLevel prior = core::ActiveSimdLevel();
+  core::SetSimdLevelForTesting(level);
+  core::SetParallelismCapForTesting(parallelism_cap);
+  sstban::SstbanConfig c;
+  c.num_nodes = 6;
+  c.input_len = 8;
+  c.output_len = 8;
+  c.num_features = 1;
+  c.steps_per_day = 12;
+  c.hidden_dim = 8;
+  c.num_heads = 2;
+  c.encoder_blocks = 1;
+  c.decoder_blocks = 1;
+  c.temporal_refs = 2;
+  c.spatial_refs = 2;
+  c.patch_len = 2;
+  c.self_supervised = false;
+  c.seed = 77;
+  sstban::SstbanModel model(c);
+  model.SetTraining(false);
+  model.set_inference_precision(precision);
+  core::Rng rng(99);
+  data::Batch batch;
+  batch.x = t::Tensor::RandomUniform(
+      t::Shape{2, c.input_len, c.num_nodes, c.num_features}, rng, -1.5f, 1.5f);
+  batch.y = t::Tensor::Zeros(t::Shape{2, c.output_len, c.num_nodes, 1});
+  for (int64_t i = 0; i < 2; ++i) {
+    training::AppendCalendarFeatures(/*first_step=*/4 + 3 * i, c.input_len,
+                                     c.output_len, c.steps_per_day, &batch);
+  }
+  exec::InferenceEngine* engine = model.inference_engine();
+  EXPECT_NE(engine, nullptr);
+  t::Tensor out;
+  core::Status status = engine->Run(batch.x, batch, &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  core::SetParallelismCapForTesting(0);
+  core::SetSimdLevelForTesting(prior);
+  return out;
+}
+
+TEST(DeterminismProperty, ServingForwardIsBitwiseIdenticalPerNumericMode) {
+  struct Mode {
+    std::string name;
+    exec::PrecisionMode precision;
+    core::SimdLevel level;
+  };
+  std::vector<Mode> modes = {
+      {"fp32-scalar", exec::PrecisionMode::kFp32, core::SimdLevel::kScalar},
+      {"bf16", exec::PrecisionMode::kBf16, core::ActiveSimdLevel()},
+      {"int8", exec::PrecisionMode::kInt8, core::ActiveSimdLevel()},
+  };
+  const core::CpuFeatures& f = core::DetectCpuFeatures();
+  if (f.avx2 && f.fma) {
+    modes.push_back(
+        {"fp32-simd", exec::PrecisionMode::kFp32, core::SimdLevel::kAvx2});
+  }
+  for (const Mode& mode : modes) {
+    SCOPED_TRACE(mode.name);
+    t::Tensor seq = RunServingForward(mode.precision, mode.level, 1);
+    t::Tensor par = RunServingForward(mode.precision, mode.level, 8);
+    ASSERT_EQ(seq.shape(), par.shape());
+    EXPECT_FALSE(t::HasNonFinite(seq));
+    for (int64_t i = 0; i < seq.size(); ++i) {
+      ASSERT_EQ(seq.data()[i], par.data()[i])
+          << mode.name << " element " << i;
+    }
+  }
+}
+
 TEST(DeterminismProperty, TrainingStepIsBitwiseIdenticalPoolOnVsOff) {
   core::StoragePool& pool = core::StoragePool::Global();
   pool.SetEnabledForTesting(true);

@@ -1,0 +1,276 @@
+// Tests for the runtime-dispatched SIMD kernel layer (tensor/simd/kernels.h)
+// and the tiled GEMM's edge-tile handling:
+//   - odd M/N/K shapes (full-tile + remainder split in the micro-kernel)
+//     against a naive triple-loop reference, on every available tier;
+//   - bitwise 1-vs-8-thread determinism per tier;
+//   - the elementwise kernels are exactly rounded, so the scalar and AVX2
+//     tables agree bit for bit (only GEMM/softmax may differ across tiers);
+//   - dispatch + the SSTBAN_SIMD kill-switch override machinery.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_features.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/simd/kernels.h"
+#include "tensor/tensor.h"
+
+namespace sstban {
+namespace {
+
+namespace t = ::sstban::tensor;
+using core::SimdLevel;
+
+std::vector<SimdLevel> AvailableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (t::simd::internal::Avx2Kernels() != nullptr &&
+      core::DetectCpuFeatures().avx2 && core::DetectCpuFeatures().fma) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+// RAII tier override so a failing assertion cannot leak a forced level.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) {
+    previous_ = core::ActiveSimdLevel();
+    active_ = core::SetSimdLevelForTesting(level);
+  }
+  ~ScopedSimdLevel() { core::SetSimdLevelForTesting(previous_); }
+  SimdLevel active() const { return active_; }
+
+ private:
+  SimdLevel previous_;
+  SimdLevel active_;
+};
+
+t::Tensor NaiveMatmul(const t::Tensor& a, const t::Tensor& b, bool ta,
+                      bool tb) {
+  int64_t m = ta ? a.dim(1) : a.dim(0);
+  int64_t k = ta ? a.dim(0) : a.dim(1);
+  int64_t n = tb ? b.dim(0) : b.dim(1);
+  t::Tensor c = t::Tensor::Zeros(t::Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        float av = ta ? pa[p * m + i] : pa[i * k + p];
+        float bv = tb ? pb[j * k + p] : pb[p * n + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void ExpectClose(const t::Tensor& got, const t::Tensor& want,
+                 const std::string& what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (int64_t i = 0; i < got.size(); ++i) {
+    float g = got.data()[i], w = want.data()[i];
+    // fp32 tiled accumulation vs double-accumulated reference: allow a few
+    // ulps scaled by the magnitude of the dot products involved.
+    float tol = 1e-4f + 2e-5f * std::fabs(w);
+    ASSERT_NEAR(g, w, tol) << what << " element " << i;
+  }
+}
+
+// -- Edge-tile regression: odd M/N/K vs the naive reference ------------------
+
+TEST(SimdGemmTest, OddShapesMatchNaiveReferenceOnEveryTier) {
+  // Shapes straddling the micro-tile sizes (scalar MR=4, AVX2 MR=6/NR=16)
+  // and the KC=256/NC=256 cache blocks, so every full-tile + remainder
+  // combination of the split loops executes.
+  struct Case { int64_t m, k, n; };
+  const std::vector<Case> cases = {
+      {1, 1, 1},   {3, 5, 7},    {5, 3, 17},  {6, 8, 16},  {7, 9, 15},
+      {13, 31, 33}, {63, 65, 31}, {65, 257, 19}, {100, 129, 47},
+  };
+  core::Rng rng(17);
+  for (SimdLevel level : AvailableLevels()) {
+    ScopedSimdLevel scoped(level);
+    ASSERT_EQ(scoped.active(), level);
+    for (const Case& c : cases) {
+      for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+          SCOPED_TRACE(std::string(core::SimdLevelName(level)) + " m=" +
+                       std::to_string(c.m) + " k=" + std::to_string(c.k) +
+                       " n=" + std::to_string(c.n) + (ta ? " ta" : "") +
+                       (tb ? " tb" : ""));
+          t::Tensor a = t::Tensor::RandomNormal(
+              ta ? t::Shape{c.k, c.m} : t::Shape{c.m, c.k}, rng);
+          t::Tensor b = t::Tensor::RandomNormal(
+              tb ? t::Shape{c.n, c.k} : t::Shape{c.k, c.n}, rng);
+          t::Tensor got = t::Bmm(a.Reshape(t::Shape{1, a.dim(0), a.dim(1)}),
+                                 b.Reshape(t::Shape{1, b.dim(0), b.dim(1)}),
+                                 ta, tb)
+                              .Reshape(t::Shape{c.m, c.n});
+          ExpectClose(got, NaiveMatmul(a, b, ta, tb), "bmm");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdGemmTest, OddShapesAreBitwiseDeterministicOneVsEightThreads) {
+  core::Rng rng(29);
+  for (SimdLevel level : AvailableLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (int64_t m : {1, 7, 63, 100, 130}) {
+      SCOPED_TRACE(std::string(core::SimdLevelName(level)) + " m=" +
+                   std::to_string(m));
+      t::Tensor a = t::Tensor::RandomNormal(t::Shape{m, 65}, rng);
+      t::Tensor b = t::Tensor::RandomNormal(t::Shape{65, 33}, rng);
+      core::SetParallelismCapForTesting(1);
+      t::Tensor seq = t::Matmul(a, b);
+      core::SetParallelismCapForTesting(8);
+      t::Tensor par = t::Matmul(a, b);
+      core::SetParallelismCapForTesting(0);
+      ASSERT_EQ(std::memcmp(seq.data(), par.data(),
+                            static_cast<size_t>(seq.size()) * sizeof(float)),
+                0);
+    }
+  }
+}
+
+// -- Elementwise kernels: exactly rounded, so identical across tiers ---------
+
+TEST(SimdKernelsTest, ElementwiseKernelsAgreeBitwiseAcrossTiers) {
+  const t::simd::SimdKernels& scalar = t::simd::internal::ScalarKernels();
+  const t::simd::SimdKernels* avx2 = t::simd::internal::Avx2Kernels();
+  if (avx2 == nullptr || !core::DetectCpuFeatures().avx2) {
+    GTEST_SKIP() << "AVX2 table not available on this machine";
+  }
+  core::Rng rng(5);
+  // Lengths around the 8-lane vector width so remainders are exercised.
+  for (int64_t n : {1, 7, 8, 9, 31, 64, 1000, 1027}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    t::Tensor a = t::Tensor::RandomNormal(t::Shape{n}, rng);
+    t::Tensor b = t::Tensor::RandomNormal(t::Shape{n}, rng);
+    t::Tensor o1 = t::Tensor::Empty(t::Shape{n});
+    t::Tensor o2 = t::Tensor::Empty(t::Shape{n});
+    auto expect_same = [&](const char* what) {
+      ASSERT_EQ(std::memcmp(o1.data(), o2.data(),
+                            static_cast<size_t>(n) * sizeof(float)),
+                0)
+          << what;
+    };
+    scalar.add(a.data(), b.data(), o1.data(), n);
+    avx2->add(a.data(), b.data(), o2.data(), n);
+    expect_same("add");
+    scalar.mul(a.data(), b.data(), o1.data(), n);
+    avx2->mul(a.data(), b.data(), o2.data(), n);
+    expect_same("mul");
+    scalar.add_scalar(a.data(), 0.37f, o1.data(), n);
+    avx2->add_scalar(a.data(), 0.37f, o2.data(), n);
+    expect_same("add_scalar");
+    scalar.mul_scalar(a.data(), -1.91f, o1.data(), n);
+    avx2->mul_scalar(a.data(), -1.91f, o2.data(), n);
+    expect_same("mul_scalar");
+    scalar.relu(a.data(), o1.data(), n);
+    avx2->relu(a.data(), o2.data(), n);
+    expect_same("relu");
+    EXPECT_EQ(scalar.reduce_max(a.data(), n), avx2->reduce_max(a.data(), n));
+  }
+}
+
+TEST(SimdKernelsTest, SoftmaxRowMatchesReferenceWithinTolerance) {
+  core::Rng rng(11);
+  for (SimdLevel level : AvailableLevels()) {
+    for (int64_t n : {1, 5, 8, 17, 200, 513}) {
+      SCOPED_TRACE(std::string(core::SimdLevelName(level)) + " n=" +
+                   std::to_string(n));
+      const t::simd::SimdKernels& ks = t::simd::KernelsFor(level);
+      t::Tensor a = t::Tensor::RandomUniform(t::Shape{n}, rng, -10.f, 10.f);
+      t::Tensor out = t::Tensor::Empty(t::Shape{n});
+      ks.softmax_row(a.data(), out.data(), n);
+      // Reference in double precision.
+      double mx = a.data()[0];
+      for (int64_t i = 1; i < n; ++i) mx = std::max(mx, (double)a.data()[i]);
+      double denom = 0.0;
+      for (int64_t i = 0; i < n; ++i) denom += std::exp(a.data()[i] - mx);
+      double total = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        double want = std::exp(a.data()[i] - mx) / denom;
+        // The AVX2 exp is ~2 ulp; softmax normalization keeps the relative
+        // error of the same order.
+        ASSERT_NEAR(out.data()[i], want, 1e-6 + 1e-5 * want) << "i=" << i;
+        total += out.data()[i];
+      }
+      EXPECT_NEAR(total, 1.0, 1e-5);
+      // In-place operation must give the identical bytes.
+      t::Tensor inplace = a.Clone();
+      ks.softmax_row(inplace.data(), inplace.data(), n);
+      EXPECT_EQ(std::memcmp(inplace.data(), out.data(),
+                            static_cast<size_t>(n) * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ExpSumMatchesSoftmaxPieces) {
+  core::Rng rng(13);
+  for (SimdLevel level : AvailableLevels()) {
+    const t::simd::SimdKernels& ks = t::simd::KernelsFor(level);
+    for (int64_t n : {3, 8, 40}) {
+      t::Tensor a = t::Tensor::RandomNormal(t::Shape{n}, rng);
+      float m = ks.reduce_max(a.data(), n);
+      t::Tensor e = t::Tensor::Empty(t::Shape{n});
+      double sum = ks.exp_sum(a.data(), m, e.data(), n);
+      double check = 0.0;
+      for (int64_t i = 0; i < n; ++i) check += e.data()[i];
+      EXPECT_NEAR(sum, check, 1e-6 * std::max(1.0, check));
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(e.data()[i], std::exp(a.data()[i] - m),
+                    1e-6 + 1e-5 * std::exp(a.data()[i] - m));
+      }
+    }
+  }
+}
+
+// -- Dispatch machinery -------------------------------------------------------
+
+TEST(SimdDispatchTest, TablesCarryTheirNames) {
+  EXPECT_STREQ(t::simd::KernelsFor(SimdLevel::kScalar).name, "scalar");
+  EXPECT_EQ(t::simd::KernelsFor(SimdLevel::kScalar).gemm_mr, 4);
+  if (t::simd::internal::Avx2Kernels() != nullptr) {
+    EXPECT_STREQ(t::simd::internal::Avx2Kernels()->name, "avx2");
+  }
+}
+
+TEST(SimdDispatchTest, ForcedScalarLevelRoutesTheActiveTable) {
+  ScopedSimdLevel scoped(SimdLevel::kScalar);
+  EXPECT_EQ(scoped.active(), SimdLevel::kScalar);
+  EXPECT_STREQ(t::simd::Kernels().name, "scalar");
+}
+
+TEST(SimdDispatchTest, Avx2RequestDegradesGracefullyWithoutHardware) {
+  // On AVX2 hardware the request sticks; elsewhere it must be ignored and
+  // the active level stays scalar — never a crash or an invalid table.
+  SimdLevel previous = core::ActiveSimdLevel();
+  SimdLevel got = core::SetSimdLevelForTesting(SimdLevel::kAvx2);
+  const core::CpuFeatures& f = core::DetectCpuFeatures();
+  if (f.avx2 && f.fma && t::simd::internal::Avx2Kernels() != nullptr) {
+    EXPECT_EQ(got, SimdLevel::kAvx2);
+    EXPECT_STREQ(t::simd::Kernels().name, "avx2");
+  } else {
+    EXPECT_EQ(got, SimdLevel::kScalar);
+    EXPECT_STREQ(t::simd::Kernels().name, "scalar");
+  }
+  core::SetSimdLevelForTesting(previous);
+}
+
+}  // namespace
+}  // namespace sstban
