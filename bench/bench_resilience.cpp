@@ -123,6 +123,20 @@ int main(int argc, char** argv) {
     g_sink += core::FailPointStatus("bench_resilience_probe").ok() ? 1 : 0;
   });
 
+  // 1b. The five streaming sites (ingest_append, adapt_step, shadow_eval,
+  //     promote_swap, adapt_ckpt_write), probed disarmed in sequence — the
+  //     ingest site sits on the per-slice hot path, the rest on the
+  //     adaptation control loop; all must stay branch-cheap. One op = all
+  //     five probes.
+  static const char* kStreamingSites[] = {
+      "ingest_append", "adapt_step", "shadow_eval", "promote_swap",
+      "adapt_ckpt_write"};
+  Measurement fp_streaming = Measure(kFailpointIters / 5, [] {
+    for (const char* site : kStreamingSites) {
+      g_sink += core::FailPointStatus(site).ok() ? 1 : 0;
+    }
+  });
+
   // 2. Same probe while an unrelated failpoint is armed: the guard opens and
   //    every hit takes the registry lock. Reported, not gated — this is the
   //    chaos-testing configuration, never production.
@@ -180,6 +194,8 @@ int main(int argc, char** argv) {
       "{\n"
       "  \"bench\": \"resilience\",\n"
       "  \"failpoint_disarmed\": {\"ns_per_op\": %.2f, \"allocs\": %lld},\n"
+      "  \"streaming_sites_disarmed_x5\": {\"ns_per_op\": %.2f, \"allocs\": "
+      "%lld},\n"
       "  \"failpoint_armed_elsewhere\": {\"ns_per_op\": %.2f, \"allocs\": "
       "%lld},\n"
       "  \"breaker_closed\": {\"ns_per_op\": %.2f, \"allocs\": %lld},\n"
@@ -187,7 +203,8 @@ int main(int argc, char** argv) {
       "%lld},\n"
       "  \"watchdog_marks\": {\"ns_per_op\": %.2f, \"allocs\": %lld}\n"
       "}\n",
-      fp_disarmed.ns_per_op, fp_disarmed.allocs, fp_armed_other.ns_per_op,
+      fp_disarmed.ns_per_op, fp_disarmed.allocs, fp_streaming.ns_per_op,
+      fp_streaming.allocs, fp_armed_other.ns_per_op,
       fp_armed_other.allocs, breaker_closed.ns_per_op, breaker_closed.allocs,
       sanitize_clean.ns_per_op, sanitize_clean.allocs,
       watchdog_marks.ns_per_op, watchdog_marks.allocs);
@@ -206,6 +223,7 @@ int main(int argc, char** argv) {
     }
   };
   gate_allocs("disarmed failpoint", fp_disarmed);
+  gate_allocs("disarmed streaming sites", fp_streaming);
   gate_allocs("closed breaker hot path", breaker_closed);
   gate_allocs("clean sanitizer scan", sanitize_clean);
   gate_allocs("watchdog marks", watchdog_marks);
@@ -214,6 +232,14 @@ int main(int argc, char** argv) {
   if (fp_disarmed.ns_per_op > 200.0) {
     std::fprintf(stderr, "FAIL: disarmed failpoint costs %.1fns (gate 200)\n",
                  fp_disarmed.ns_per_op);
+    failed = true;
+  }
+  // Five probes per op, so five times the single-probe gate.
+  if (fp_streaming.ns_per_op > 1000.0) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed streaming sites cost %.1fns per 5 probes "
+                 "(gate 1000)\n",
+                 fp_streaming.ns_per_op);
     failed = true;
   }
   // The breaker holds a mutex briefly; anything near microseconds is a bug.

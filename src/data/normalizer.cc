@@ -32,6 +32,17 @@ Normalizer Normalizer::Fit(const tensor::Tensor& signals) {
   return norm;
 }
 
+Normalizer Normalizer::FromMoments(std::vector<float> mean,
+                                   std::vector<float> stddev) {
+  SSTBAN_CHECK_EQ(mean.size(), stddev.size());
+  SSTBAN_CHECK_GT(mean.size(), 0u);
+  for (float& s : stddev) s = std::max(s, 1e-4f);
+  Normalizer norm;
+  norm.mean_ = std::move(mean);
+  norm.std_ = std::move(stddev);
+  return norm;
+}
+
 tensor::Tensor Normalizer::Transform(const tensor::Tensor& x) const {
   int64_t feats = num_features();
   SSTBAN_CHECK_EQ(x.dim(x.rank() - 1), feats);

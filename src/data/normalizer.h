@@ -18,6 +18,12 @@ class Normalizer {
   // feature axis (e.g. [T, N, C] or [B, P, N, C]).
   static Normalizer Fit(const tensor::Tensor& signals);
 
+  // Builds a normalizer from externally maintained per-feature moments (the
+  // streaming ingestor's drift-aware running statistics). Standard deviations
+  // are floored at 1e-4 so a constant feature cannot divide by zero.
+  static Normalizer FromMoments(std::vector<float> mean,
+                                std::vector<float> stddev);
+
   // (x - mean) / std, elementwise along the last axis.
   tensor::Tensor Transform(const tensor::Tensor& x) const;
 

@@ -183,4 +183,115 @@ TrafficDataset GenerateSyntheticWorld(const SyntheticWorldConfig& config) {
   return dataset;
 }
 
+TrafficDataset ApplySensorRecalibration(const TrafficDataset& base,
+                                        int64_t from_step,
+                                        double node_fraction, double gain,
+                                        double offset, uint64_t seed) {
+  SSTBAN_CHECK_GE(from_step, 0);
+  SSTBAN_CHECK(node_fraction > 0.0 && node_fraction <= 1.0);
+  const int64_t t_total = base.num_steps();
+  const int64_t n = base.num_nodes();
+  const int64_t feats = base.num_features();
+
+  TrafficDataset out = base;
+  out.signals = base.signals.Clone();
+
+  core::Rng rng(seed);
+  int64_t k = std::max<int64_t>(1, static_cast<int64_t>(
+                                       std::llround(node_fraction * n)));
+  std::vector<int64_t> nodes = rng.SampleWithoutReplacement(n, k);
+
+  float* data = out.signals.data();
+  for (int64_t t = std::min(from_step, t_total); t < t_total; ++t) {
+    for (int64_t v : nodes) {
+      float* cell = data + (t * n + v) * feats;
+      for (int64_t f = 0; f < feats; ++f) {
+        cell[f] = static_cast<float>(gain * cell[f] + offset);
+      }
+    }
+  }
+  return out;
+}
+
+TrafficDataset ApplySeasonalShift(const TrafficDataset& base,
+                                  int64_t from_step, double amplitude,
+                                  int64_t ramp_steps) {
+  SSTBAN_CHECK_GE(from_step, 0);
+  SSTBAN_CHECK_GE(ramp_steps, 1);
+  const int64_t t_total = base.num_steps();
+  const int64_t per_step = base.num_nodes() * base.num_features();
+
+  TrafficDataset out = base;
+  out.signals = base.signals.Clone();
+
+  float* data = out.signals.data();
+  for (int64_t t = std::min(from_step, t_total); t < t_total; ++t) {
+    double ramp = std::min(1.0, static_cast<double>(t - from_step + 1) /
+                                    static_cast<double>(ramp_steps));
+    float scale = static_cast<float>(1.0 + amplitude * ramp);
+    float* row = data + t * per_step;
+    for (int64_t i = 0; i < per_step; ++i) row[i] *= scale;
+  }
+  return out;
+}
+
+TrafficDataset AttachNewSensors(const TrafficDataset& base, int64_t extra,
+                                uint64_t seed) {
+  SSTBAN_CHECK_GE(extra, 1);
+  SSTBAN_CHECK(base.graph != nullptr);
+  const int64_t t_total = base.num_steps();
+  const int64_t n = base.num_nodes();
+  const int64_t feats = base.num_features();
+  const int64_t n_new = n + extra;
+
+  core::Rng rng(seed);
+
+  // Each new sensor chains off a donor corridor node, placed slightly
+  // offset so the geometry stays plausible.
+  std::vector<std::pair<double, double>> coords = base.graph->coords();
+  std::vector<int64_t> donors(extra);
+  for (int64_t i = 0; i < extra; ++i) {
+    donors[i] = rng.NextBelow(static_cast<uint32_t>(n));
+    auto [x, y] = coords[donors[i]];
+    coords.emplace_back(x + 0.3 + 0.2 * rng.NextDouble(),
+                        y + 0.1 * rng.NextGaussian());
+  }
+  auto graph = std::make_shared<graph::TrafficGraph>(n_new, std::move(coords));
+  for (const auto& [from, to, weight] : base.graph->edges()) {
+    graph->AddEdge(from, to, weight);
+  }
+  for (int64_t i = 0; i < extra; ++i) {
+    graph->AddEdge(donors[i], n + i, 1.0f);  // spliced downstream of donor
+  }
+
+  TrafficDataset out;
+  out.name = base.name + "+sensors";
+  out.graph = std::move(graph);
+  out.time_of_day = base.time_of_day;
+  out.day_of_week = base.day_of_week;
+  out.steps_per_day = base.steps_per_day;
+  out.signals = tensor::Tensor::Zeros({t_total, n_new, feats});
+
+  const float* src = base.signals.data();
+  float* dst = out.signals.data();
+  for (int64_t t = 0; t < t_total; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      const float* from_cell = src + (t * n + v) * feats;
+      float* to_cell = dst + (t * n_new + v) * feats;
+      for (int64_t f = 0; f < feats; ++f) to_cell[f] = from_cell[f];
+    }
+    // New sensors report a noisy copy of their donor: a freshly installed
+    // detector on the same corridor sees nearly the donor's traffic.
+    for (int64_t i = 0; i < extra; ++i) {
+      const float* donor_cell = src + (t * n + donors[i]) * feats;
+      float* to_cell = dst + (t * n_new + n + i) * feats;
+      for (int64_t f = 0; f < feats; ++f) {
+        to_cell[f] = static_cast<float>(
+            std::max(0.0, donor_cell[f] * (1.0 + 0.05 * rng.NextGaussian())));
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace sstban::data

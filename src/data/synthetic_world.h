@@ -40,6 +40,35 @@ SyntheticWorldConfig Pems08LikeConfig();
 // Generates the full recording. Deterministic in config.seed.
 TrafficDataset GenerateSyntheticWorld(const SyntheticWorldConfig& config);
 
+// --- Drift scenario transforms (ROADMAP robustness item) ---------------
+// Each takes a base recording and returns a modified copy whose statistics
+// change partway through — the raw material for testing online adaptation.
+// All are deterministic in their seed and leave `base` untouched.
+
+// Sudden sensor recalibration: at `from_step`, a `node_fraction` subset of
+// sensors (chosen by `seed`) starts reporting gain * x + offset instead of
+// x — a maintenance crew swapped detector hardware. Abrupt, permanent, and
+// affine, so a model can recover by adapting its input statistics.
+TrafficDataset ApplySensorRecalibration(const TrafficDataset& base,
+                                        int64_t from_step,
+                                        double node_fraction, double gain,
+                                        double offset, uint64_t seed);
+
+// Seasonal demand shift: starting at `from_step`, all signals scale toward
+// (1 + amplitude) over a linear ramp of `ramp_steps` slices, then hold —
+// school term starting, a stadium opening. Gradual and network-wide.
+TrafficDataset ApplySeasonalShift(const TrafficDataset& base,
+                                  int64_t from_step, double amplitude,
+                                  int64_t ramp_steps);
+
+// Growing city: returns a recording with `extra` additional sensors spliced
+// into the graph (each chained off an existing corridor node chosen by
+// `seed`, with a noisy copy of its donor's signal). The node count changes,
+// which online adaptation must *refuse* — model geometry is fixed at
+// training time; this is a retrain-and-redeploy event.
+TrafficDataset AttachNewSensors(const TrafficDataset& base, int64_t extra,
+                                uint64_t seed);
+
 }  // namespace sstban::data
 
 #endif  // SSTBAN_DATA_SYNTHETIC_WORLD_H_

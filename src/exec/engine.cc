@@ -167,4 +167,13 @@ InferenceEngine::Stats InferenceEngine::stats() const {
   return stats_;
 }
 
+int64_t InferenceEngine::cached_programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t live = 0;
+  for (const auto& [key, program] : cache_) {
+    if (program != nullptr) ++live;
+  }
+  return live;
+}
+
 }  // namespace sstban::exec

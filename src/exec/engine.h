@@ -75,6 +75,11 @@ class InferenceEngine {
   };
   Stats stats() const;
 
+  // Number of shape keys with a live compiled program (poisoned keys
+  // excluded). The promotion gate uses this to verify a candidate model was
+  // prewarmed — its retrace paid — before it is installed for serving.
+  int64_t cached_programs() const;
+
  private:
   using Key = std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, bool>;
 

@@ -258,6 +258,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
   }
 
   std::vector<tensor::Tensor> slices(static_cast<size_t>(b));
+  std::vector<int64_t> cache_ages;  // filled only on the cache tier
   if (primary_ok) {
     // Cutting the batched output back into per-request slices is one memcpy
     // per request; fan it out and fulfil the promises in arrival order after.
@@ -265,11 +266,19 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
       slices[static_cast<size_t>(i)] =
           tensor::Slice(denorm, 0, i, 1).Reshape(tensor::Shape{q, n, c});
     });
-    fallback_->cache().Update(slices.back());
+    // The cache entry's logical timestamp is the producing request's
+    // first_step; staleness of later fallback serves is measured against it.
+    fallback_->cache().Update(slices.back(),
+                              batch.back().request.first_step);
   } else if (fallback_->enabled()) {
+    std::vector<int64_t> first_steps;
+    first_steps.reserve(batch.size());
+    for (const PendingRequest& req : batch) {
+      first_steps.push_back(req.request.first_step);
+    }
     core::Status degraded = fallback_->Run(
         model_batch, served != nullptr ? &served->normalizer : nullptr, q,
-        &slices, &served_by);
+        first_steps, &slices, &served_by, &cache_ages);
     if (!degraded.ok()) {
       // The chain itself faulted (serve_fallback injection): the one path
       // where a request terminates Unavailable instead of degraded-Ok.
@@ -307,6 +316,9 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
     response.served_by = served_by;
     response.masked_positions = req.masked_positions;
     response.model_version = version;
+    if (!cache_ages.empty()) {
+      response.cache_age_steps = cache_ages[static_cast<size_t>(i)];
+    }
     req.promise.set_value(std::move(response));
     stats_->RecordCompleted();
     stats_->RecordDegradation(req.degradation);

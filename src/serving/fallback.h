@@ -22,24 +22,42 @@ namespace sstban::serving {
 // observed reading repeated across the horizon — so assembly is infallible.
 class LastGoodCache {
  public:
-  // Records a successful [Q, N, C] raw-scale forecast.
-  void Update(const tensor::Tensor& forecast);
+  // Records a successful [Q, N, C] raw-scale forecast. `logical_step` is the
+  // first forecast step's absolute slice index (the producing request's
+  // first_step) — the timestamp staleness is measured against.
+  void Update(const tensor::Tensor& forecast, int64_t logical_step = 0);
 
   // Builds a [Q, N, C] forecast for a request whose raw [P, N, C] window is
-  // `recent`: the cached column where one exists, persistence otherwise.
-  tensor::Tensor Assemble(const tensor::Tensor& recent, int64_t output_len) const;
+  // `recent`: the cached column where one exists *and is fresh enough*,
+  // persistence otherwise. `now_step` is the requesting window's first_step;
+  // a cached entry older than `max_age_steps` (< 0 = unbounded) is refused
+  // and the request falls to the persistence floor — a dead model must not
+  // keep serving an arbitrarily stale forecast forever. When the cached entry
+  // answers, `*age_out` (if non-null) is set to its age in steps (>= 0);
+  // persistence reports -1.
+  tensor::Tensor Assemble(const tensor::Tensor& recent, int64_t output_len,
+                          int64_t now_step = 0, int64_t max_age_steps = -1,
+                          int64_t* age_out = nullptr) const;
 
   int64_t cached_sensors() const;
+  // Logical step of the cached forecast; -1 before the first Update.
+  int64_t cached_step() const;
 
  private:
   mutable std::mutex mutex_;
   tensor::Tensor last_;  // [Q, N, C]; undefined before the first Update
+  int64_t last_step_ = -1;
 };
 
 struct FallbackOptions {
   // Disabling the chain turns every model-tier fault into Unavailable (the
   // pre-resilience behavior, kept for A/B benchmarks).
   bool enabled = true;
+  // Oldest last-known-good entry (in logical slice steps, relative to the
+  // requesting window's first_step) the cache tier may serve; -1 = unbounded
+  // (the pre-staleness behavior). Beyond the horizon requests fall to the
+  // persistence floor.
+  int64_t max_cache_age_steps = -1;
   CircuitBreakerOptions primary_breaker;
   CircuitBreakerOptions var_breaker;
 };
@@ -64,12 +82,17 @@ class FallbackChain {
   // slice per request and reports which tier answered. `normalizer` may be
   // nullptr when no model snapshot could be pinned (registry fault before
   // the first install) — the VAR tier needs the serving normalization stats,
-  // so it is skipped and the cache tier answers. Fails only when the
-  // serve_fallback failpoint injects an error — the chaos tests' hook for
-  // "the fallback itself broke".
+  // so it is skipped and the cache tier answers. `first_steps` carries each
+  // request's first_step (the cache tier's logical clock for staleness;
+  // empty = treat every request as step 0). When `cache_ages` is non-null it
+  // is filled with one entry per request: the served cache entry's age in
+  // steps, or -1 when the answer did not come from the cached column. Fails
+  // only when the serve_fallback failpoint injects an error — the chaos
+  // tests' hook for "the fallback itself broke".
   core::Status Run(const data::Batch& batch, const data::Normalizer* normalizer,
-                   int64_t output_len, std::vector<tensor::Tensor>* slices,
-                   ServedBy* served_by);
+                   int64_t output_len, const std::vector<int64_t>& first_steps,
+                   std::vector<tensor::Tensor>* slices, ServedBy* served_by,
+                   std::vector<int64_t>* cache_ages = nullptr);
 
   bool enabled() const { return options_.enabled; }
   bool has_var_baseline() const { return var_ != nullptr; }

@@ -45,6 +45,12 @@ struct ForecastResponse {
   ServedBy served_by = ServedBy::kModel;
   int64_t masked_positions = 0;  // of input_len * num_nodes
   int64_t model_version = 0;
+  // Age, in logical slice steps (request first_step minus the step the cached
+  // forecast was produced at), of the last-known-good entry that answered.
+  // -1 unless served_by == kCache *and* the cached column was used — the
+  // persistence floor reports -1 because it derives from the request's own
+  // window, not from stored state.
+  int64_t cache_age_steps = -1;
 
   bool degraded() const {
     return degradation != DegradationLevel::kNone ||

@@ -76,31 +76,8 @@ SstbanModel::ForwardOutput SstbanModel::ForwardTwoBranch(
   }
 
   // -- Self-supervised branch --------------------------------------------
-  // Per-sample spacetime patch masks, concatenated to [B, P, N, C].
-  t::Tensor mask = t::Tensor::Empty(t::Shape{batch_size, p, n, c});
-  for (int64_t b = 0; b < batch_size; ++b) {
-    t::Tensor sample =
-        GenerateMask(p, n, c, config_.patch_len, config_.mask_rate,
-                     config_.mask_strategy, mask_rng_);
-    std::memcpy(mask.data() + b * p * n * c, sample.data(),
-                static_cast<size_t>(p * n * c) * sizeof(float));
-  }
-  // Position-level keep masks: a position is observed if any of its
-  // channels survived masking.
-  t::Tensor keep_pos = t::Tensor::Empty(t::Shape{batch_size, p, n});
-  t::Tensor keep_latent = t::Tensor::Empty(t::Shape{batch_size, p, n, 1});
-  {
-    const float* pm = mask.data();
-    float* pk = keep_pos.data();
-    float* pl = keep_latent.data();
-    int64_t positions = batch_size * p * n;
-    for (int64_t i = 0; i < positions; ++i) {
-      float any = 0.0f;
-      for (int64_t f = 0; f < c; ++f) any = std::max(any, pm[i * c + f]);
-      pk[i] = any;
-      pl[i] = any;
-    }
-  }
+  t::Tensor mask, keep_pos, keep_latent;
+  DrawStepMasks(batch_size, &mask, &keep_pos, &keep_latent);
 
   ag::Variable x_masked = ag::Mul(x, ag::Variable(mask));
   ag::Variable e = ste_->Forward(batch.tod_in, batch.dow_in, batch_size, p);
@@ -115,6 +92,57 @@ SstbanModel::ForwardOutput SstbanModel::ForwardTwoBranch(
   out.total_loss = ag::Add(ag::MulScalar(out.forecast_loss, 1.0f - lambda),
                            ag::MulScalar(out.alignment_loss, lambda));
   return out;
+}
+
+void SstbanModel::DrawStepMasks(int64_t batch_size, t::Tensor* mask,
+                                t::Tensor* keep_pos, t::Tensor* keep_latent) {
+  int64_t p = config_.input_len, n = config_.num_nodes, c = config_.num_features;
+  // Per-sample spacetime patch masks, concatenated to [B, P, N, C].
+  *mask = t::Tensor::Empty(t::Shape{batch_size, p, n, c});
+  for (int64_t b = 0; b < batch_size; ++b) {
+    t::Tensor sample =
+        GenerateMask(p, n, c, config_.patch_len, config_.mask_rate,
+                     config_.mask_strategy, mask_rng_);
+    std::memcpy(mask->data() + b * p * n * c, sample.data(),
+                static_cast<size_t>(p * n * c) * sizeof(float));
+  }
+  // Position-level keep masks: a position is observed if any of its
+  // channels survived masking.
+  *keep_pos = t::Tensor::Empty(t::Shape{batch_size, p, n});
+  *keep_latent = t::Tensor::Empty(t::Shape{batch_size, p, n, 1});
+  const float* pm = mask->data();
+  float* pk = keep_pos->data();
+  float* pl = keep_latent->data();
+  int64_t positions = batch_size * p * n;
+  for (int64_t i = 0; i < positions; ++i) {
+    float any = 0.0f;
+    for (int64_t f = 0; f < c; ++f) any = std::max(any, pm[i * c + f]);
+    pk[i] = any;
+    pl[i] = any;
+  }
+}
+
+ag::Variable SstbanModel::SelfSupervisedLoss(const t::Tensor& x_norm,
+                                             const data::Batch& batch) {
+  if (reconstructor_ == nullptr) return {};
+  SSTBAN_CHECK_EQ(x_norm.rank(), 4);
+  int64_t batch_size = x_norm.dim(0);
+  int64_t p = config_.input_len, n = config_.num_nodes, c = config_.num_features;
+  SSTBAN_CHECK(x_norm.shape() == (t::Shape{batch_size, p, n, c}))
+      << "input" << x_norm.shape().ToString();
+
+  ag::Variable x(x_norm);
+  ag::Variable e = ste_->Forward(batch.tod_in, batch.dow_in, batch_size, p);
+  ag::Variable h_clean = encoder_->Forward(x, e);
+  ag::Variable target =
+      config_.detach_alignment_target ? h_clean.Detach() : h_clean;
+
+  t::Tensor mask, keep_pos, keep_latent;
+  DrawStepMasks(batch_size, &mask, &keep_pos, &keep_latent);
+  ag::Variable x_masked = ag::Mul(x, ag::Variable(mask));
+  ag::Variable h_masked = encoder_->Forward(x_masked, e, &keep_pos);
+  ag::Variable h_recon = reconstructor_->Forward(h_masked, e, keep_latent);
+  return ag::MseLoss(h_recon, target);
 }
 
 void SstbanModel::set_self_supervised(bool enabled) {

@@ -32,6 +32,15 @@ class SstbanModel : public training::TrafficModel {
                                   const tensor::Tensor& y_norm,
                                   const data::Batch& batch) override;
 
+  // Masked-reconstruction branch alone: mask the window, re-encode, align the
+  // reconstruction with the clean-encoder latent. Needs no labels, which is
+  // what lets the online adapter fine-tune on live windows whose ground-truth
+  // future has not been observed yet. Draws masks from the same checkpointed
+  // mask_rng_ stream as TrainingLoss. Undefined when the model was built
+  // without the reconstructing decoder.
+  autograd::Variable SelfSupervisedLoss(const tensor::Tensor& x_norm,
+                                        const data::Batch& batch) override;
+
   std::string name() const override {
     return config_.use_bottleneck ? "SSTBAN" : "SSTBAN-w/o-STBA";
   }
@@ -90,6 +99,13 @@ class SstbanModel : public training::TrafficModel {
                                     const data::Batch& batch,
                                     autograd::Variable* h_latent,
                                     autograd::Variable* e_in);
+
+  // Draws per-sample spacetime patch masks from mask_rng_: `mask` is
+  // [B, P, N, C], `keep_pos` [B, P, N] and `keep_latent` [B, P, N, 1] mark
+  // positions where any channel survived. Shared by ForwardTwoBranch and
+  // SelfSupervisedLoss.
+  void DrawStepMasks(int64_t batch_size, tensor::Tensor* mask,
+                     tensor::Tensor* keep_pos, tensor::Tensor* keep_latent);
 
   SstbanConfig config_;
   core::Rng rng_;       // construction-time weight init stream

@@ -1,0 +1,195 @@
+#include "streaming/online_adapter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "core/check.h"
+#include "core/failpoint.h"
+#include "core/rng.h"
+#include "optim/optimizer.h"
+#include "training/checkpoint.h"
+
+namespace sstban::streaming {
+
+namespace {
+
+// An adapter checkpoint resumes only into the identical round: same
+// architecture (parameter names + shapes), same window set, same model-side
+// stochastic setup. Anything else starts fresh — resuming a previous round's
+// finished checkpoint would silently skip the new round entirely.
+bool CheckpointMatchesRound(
+    const training::TrainCheckpoint& ckpt,
+    const std::vector<std::pair<std::string, autograd::Variable>>& named,
+    const std::vector<int64_t>& indices, bool model_has_rng,
+    int64_t num_steps) {
+  if (ckpt.has_model_rng != model_has_rng) return false;
+  if (ckpt.next_epoch > num_steps) return false;
+  if (ckpt.params.size() != named.size()) return false;
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (ckpt.params[i].first != named[i].first ||
+        ckpt.params[i].second.shape() != named[i].second.shape()) {
+      return false;
+    }
+  }
+  if (ckpt.order.size() != indices.size()) return false;
+  std::vector<int64_t> a = ckpt.order;
+  std::vector<int64_t> b = indices;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace
+
+OnlineAdapter::OnlineAdapter(OnlineAdapterOptions options)
+    : options_(std::move(options)) {
+  SSTBAN_CHECK_GT(options_.num_steps, 0);
+  SSTBAN_CHECK_GT(options_.batch_size, 0);
+  SSTBAN_CHECK_GT(options_.checkpoint_every_steps, 0);
+}
+
+core::StatusOr<AdaptReport> OnlineAdapter::Adapt(
+    training::TrafficModel* model, const data::WindowDataset& windows,
+    const std::vector<int64_t>& indices,
+    const data::Normalizer& normalizer) const {
+  SSTBAN_CHECK(model != nullptr);
+  if (indices.empty()) {
+    return core::Status::InvalidArgument("no adaptation windows");
+  }
+  if (!model->IsTrainable()) {
+    return core::Status::FailedPrecondition(
+        model->name() + " is not gradient-trainable");
+  }
+
+  std::vector<autograd::Variable> params = model->Parameters();
+  auto named = model->NamedParameters();
+  optim::Adam optimizer(params, options_.learning_rate);
+  core::Rng rng(options_.seed);
+  AdaptReport report;
+
+  if (!options_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[adapt] cannot create %s: %s (continuing)\n",
+                   options_.checkpoint_dir.c_str(), ec.message().c_str());
+    }
+  }
+  if (!options_.checkpoint_dir.empty() && options_.resume) {
+    training::TrainCheckpoint ckpt;
+    std::string from;
+    core::Status status = training::LoadNewestValidTrainCheckpoint(
+        options_.checkpoint_dir, &ckpt, &from);
+    if (status.ok()) {
+      if (CheckpointMatchesRound(ckpt, named, indices,
+                                 model->TrainingRng() != nullptr,
+                                 options_.num_steps)) {
+        for (size_t i = 0; i < named.size(); ++i) {
+          named[i].second.mutable_value().CopyFrom(ckpt.params[i].second);
+        }
+        optimizer.RestoreState(ckpt.adam_step, ckpt.adam_m, ckpt.adam_v);
+        rng.RestoreState(ckpt.shuffle_rng);
+        if (ckpt.has_model_rng) {
+          model->TrainingRng()->RestoreState(ckpt.model_rng);
+        }
+        report.step_loss = std::move(ckpt.epoch_train_loss);
+        report.start_step = ckpt.next_epoch;
+        report.resumed_from = from;
+      } else {
+        std::fprintf(stderr,
+                     "[adapt] %s is incompatible with this round "
+                     "(architecture or window set changed); starting fresh\n",
+                     from.c_str());
+      }
+    } else if (status.code() != core::StatusCode::kNotFound) {
+      std::fprintf(stderr, "[adapt] resume scan failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+  auto write_checkpoint = [&](int64_t next_step) {
+    // The adapt_ckpt_write failpoint models "the checkpoint layer itself is
+    // down": an error action skips the write (warn-only, the round goes on);
+    // a crash action kills the process here, which is exactly the window the
+    // kill-and-resume matrix exercises.
+    core::Status gate = core::FailPointStatus("adapt_ckpt_write");
+    if (!gate.ok()) {
+      std::fprintf(stderr, "[adapt] checkpoint write skipped: %s\n",
+                   gate.ToString().c_str());
+      return;
+    }
+    training::TrainCheckpoint ckpt;
+    ckpt.next_epoch = static_cast<int32_t>(next_step);
+    ckpt.global_step = optimizer.step_count();
+    ckpt.shuffle_rng = rng.SaveState();
+    if (core::Rng* model_rng = model->TrainingRng()) {
+      ckpt.has_model_rng = true;
+      ckpt.model_rng = model_rng->SaveState();
+    }
+    ckpt.epoch_train_loss = report.step_loss;
+    ckpt.order = indices;
+    ckpt.params.reserve(named.size());
+    for (const auto& [name, param] : named) {
+      ckpt.params.emplace_back(name, param.value());  // shares storage
+    }
+    ckpt.adam_step = optimizer.step_count();
+    ckpt.adam_m = optimizer.first_moments();
+    ckpt.adam_v = optimizer.second_moments();
+    // The adapter keeps no best-epoch snapshot (promotion gating happens in
+    // the shadow evaluator); the record format wants a mirror, share weights.
+    ckpt.best_params.reserve(named.size());
+    for (const auto& [name, param] : named) {
+      (void)name;
+      ckpt.best_params.push_back(param.value());
+    }
+    std::string path = options_.checkpoint_dir + "/" +
+                       training::TrainCheckpointFileName(
+                           static_cast<int>(next_step));
+    core::Status status = training::SaveTrainCheckpoint(path, ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "[adapt] checkpoint write failed (continuing): %s\n",
+                   status.ToString().c_str());
+    }
+  };
+
+  const int64_t pool = static_cast<int64_t>(indices.size());
+  const int64_t k = std::min(options_.batch_size, pool);
+  model->SetTraining(true);
+  for (int64_t step = report.start_step; step < options_.num_steps; ++step) {
+    SSTBAN_FAILPOINT("adapt_step");
+    std::vector<int64_t> picks = rng.SampleWithoutReplacement(pool, k);
+    std::vector<int64_t> batch_indices(picks.size());
+    for (size_t i = 0; i < picks.size(); ++i) {
+      batch_indices[i] = indices[static_cast<size_t>(picks[i])];
+    }
+    data::Batch batch = windows.MakeBatch(batch_indices);
+    tensor::Tensor x_norm = normalizer.Transform(batch.x);
+    autograd::Variable loss = model->SelfSupervisedLoss(x_norm, batch);
+    if (!loss.defined()) {
+      model->SetTraining(false);
+      return core::Status::FailedPrecondition(
+          model->name() + " exposes no label-free objective; cannot adapt "
+          "online without ground truth");
+    }
+    model->ZeroGrad();
+    loss.Backward();
+    optim::ClipGradNorm(params, options_.grad_clip);
+    optimizer.Step();
+    report.step_loss.push_back(loss.item());
+    ++report.steps_run;
+    if (!options_.checkpoint_dir.empty() &&
+        ((step + 1) % options_.checkpoint_every_steps == 0 ||
+         step + 1 == options_.num_steps)) {
+      // Cadence in *absolute* steps, so a resumed round writes the same
+      // checkpoint files an uninterrupted one would — byte-comparable.
+      write_checkpoint(step + 1);
+    }
+  }
+  model->SetTraining(false);
+  return report;
+}
+
+}  // namespace sstban::streaming

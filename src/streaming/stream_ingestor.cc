@@ -1,0 +1,188 @@
+#include "streaming/stream_ingestor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/failpoint.h"
+
+namespace sstban::streaming {
+
+namespace t = ::sstban::tensor;
+
+StreamIngestor::StreamIngestor(StreamIngestorOptions options)
+    : options_(std::move(options)), sanitizer_(options_.sanitizer) {
+  SSTBAN_CHECK_GT(options_.num_nodes, 0);
+  SSTBAN_CHECK_GT(options_.num_features, 0);
+  SSTBAN_CHECK_GT(options_.input_len, 0);
+  SSTBAN_CHECK_GT(options_.output_len, 0);
+  SSTBAN_CHECK_GT(options_.steps_per_day, 0);
+  if (options_.capacity <= 0) {
+    options_.capacity =
+        std::max<int64_t>(8 * (options_.input_len + options_.output_len),
+                          2 * options_.steps_per_day);
+  }
+  SSTBAN_CHECK_GE(options_.capacity,
+                  options_.input_len + options_.output_len);
+  ring_ = t::Tensor::Zeros(
+      t::Shape{options_.capacity, options_.num_nodes, options_.num_features});
+  staging_ =
+      t::Tensor::Zeros(t::Shape{1, options_.num_nodes, options_.num_features});
+  const double halflife = std::max(options_.stats_halflife_slices, 1.0);
+  // Per-reading decay: the half-life is expressed in slices, and every slice
+  // contributes up to N readings per feature.
+  stats_alpha_ =
+      1.0 - std::exp(std::log(0.5) /
+                     (halflife * static_cast<double>(options_.num_nodes)));
+  ew_mean_.assign(static_cast<size_t>(options_.num_features), 0.0);
+  ew_var_.assign(static_cast<size_t>(options_.num_features), 0.0);
+  slice_sum_.assign(static_cast<size_t>(options_.num_features), 0.0);
+  slice_count_.assign(static_cast<size_t>(options_.num_features), 0);
+}
+
+core::Status StreamIngestor::Append(const t::Tensor& slice, int64_t step) {
+  SSTBAN_FAILPOINT("ingest_append");
+  const int64_t n = options_.num_nodes, c = options_.num_features;
+
+  if (!slice.defined() || slice.rank() != 2 || slice.dim(0) != n ||
+      slice.dim(1) != c) {
+    ++rejected_geometry_;
+    return core::Status::InvalidArgument(
+        "slice geometry does not match the ingest stream (expected [" +
+        std::to_string(n) + ", " + std::to_string(c) + "])");
+  }
+  // Timestamp discipline: the logical clock is pinned by the first accepted
+  // slice and must advance by exactly one thereafter. A regressed, repeated,
+  // or gapped step means the feed glitched; accepting it would corrupt the
+  // calendar features of every window cut from the ring.
+  if (step < 0 || (started_ && step != next_step_)) {
+    ++rejected_timestamps_;
+    return core::Status::OutOfRange(
+        "out-of-range timestamp " + std::to_string(step) + " (expected " +
+        std::to_string(started_ ? next_step_ : 0) + " or later start)");
+  }
+
+  // Sanitize a staged copy so a rejected slice never touches the ring.
+  std::memcpy(staging_.data(), slice.data(),
+              static_cast<size_t>(n * c) * sizeof(float));
+  core::StatusOr<serving::SanitizeResult> sanitized =
+      sanitizer_.Sanitize(&staging_);
+  if (!sanitized.ok()) {
+    ++rejected_values_;
+    // The reading is bad but the timestamp is legitimate: consume it so the
+    // feed keeps flowing, and punch a hole in window continuity — retained
+    // history must stay temporally contiguous, so the ring restarts. The
+    // running stats are untouched (zero-poison guarantee).
+    if (started_) {
+      next_step_ = step + 1;
+      count_ = 0;
+    }
+    return sanitized.status();
+  }
+  const serving::SanitizeResult& verdict = sanitized.value();
+  scrubbed_positions_ += verdict.masked_positions;
+
+  // Exponentially-weighted running moments over surviving readings only:
+  // scrubbed positions are exactly the readings that must not poison the
+  // normalizer statistics.
+  const float* pv = staging_.data();
+  const float* keep =
+      verdict.keep_pos.defined() ? verdict.keep_pos.data() : nullptr;
+  const double a = stats_alpha_;
+  for (int64_t node = 0; node < n; ++node) {
+    if (keep != nullptr && keep[node] == 0.0f) continue;
+    for (int64_t f = 0; f < c; ++f) {
+      const double v = pv[node * c + f];
+      const size_t fi = static_cast<size_t>(f);
+      const double delta = v - ew_mean_[fi];
+      ew_mean_[fi] += a * delta;
+      ew_var_[fi] = (1.0 - a) * (ew_var_[fi] + a * delta * delta);
+    }
+  }
+
+  // Commit to the ring.
+  const int64_t row = accepted_ % options_.capacity;
+  std::memcpy(ring_.data() + row * n * c, staging_.data(),
+              static_cast<size_t>(n * c) * sizeof(float));
+  started_ = true;
+  next_step_ = step + 1;
+  ++accepted_;
+  count_ = std::min(count_ + 1, options_.capacity);
+  return core::Status::Ok();
+}
+
+core::StatusOr<data::Normalizer> StreamIngestor::RunningNormalizer() const {
+  if (accepted_ < options_.input_len) {
+    return core::Status::FailedPrecondition(
+        "running stats need at least input_len accepted slices (" +
+        std::to_string(accepted_) + "/" + std::to_string(options_.input_len) +
+        ")");
+  }
+  std::vector<float> mean(ew_mean_.begin(), ew_mean_.end());
+  std::vector<float> stddev(ew_var_.size());
+  for (size_t f = 0; f < ew_var_.size(); ++f) {
+    stddev[f] = static_cast<float>(std::sqrt(std::max(ew_var_[f], 0.0)));
+  }
+  return data::Normalizer::FromMoments(std::move(mean), std::move(stddev));
+}
+
+double StreamIngestor::running_mean(int64_t feature) const {
+  return ew_mean_.at(static_cast<size_t>(feature));
+}
+
+double StreamIngestor::running_stddev(int64_t feature) const {
+  return std::sqrt(std::max(ew_var_.at(static_cast<size_t>(feature)), 0.0));
+}
+
+core::StatusOr<t::Tensor> StreamIngestor::LatestWindow(
+    int64_t* first_step) const {
+  const int64_t p = options_.input_len;
+  if (count_ < p) {
+    return core::Status::NotFound("only " + std::to_string(count_) +
+                                  " slices retained, window needs " +
+                                  std::to_string(p));
+  }
+  const int64_t n = options_.num_nodes, c = options_.num_features;
+  t::Tensor out = t::Tensor::Empty(t::Shape{p, n, c});
+  for (int64_t i = 0; i < p; ++i) {
+    const int64_t logical = accepted_ - p + i;
+    const int64_t row = logical % options_.capacity;
+    std::memcpy(out.data() + i * n * c, ring_.data() + row * n * c,
+                static_cast<size_t>(n * c) * sizeof(float));
+  }
+  if (first_step != nullptr) *first_step = next_step_ - p;
+  return out;
+}
+
+core::StatusOr<data::TrafficDataset> StreamIngestor::Snapshot(
+    int64_t slices) const {
+  const int64_t need = options_.input_len + options_.output_len;
+  int64_t take = slices <= 0 ? count_ : std::min(slices, count_);
+  if (take < need) {
+    return core::Status::NotFound(
+        "snapshot needs at least input_len + output_len slices (" +
+        std::to_string(take) + "/" + std::to_string(need) + ")");
+  }
+  const int64_t n = options_.num_nodes, c = options_.num_features;
+  data::TrafficDataset dataset;
+  dataset.name = options_.name;
+  dataset.graph = options_.graph;
+  dataset.steps_per_day = options_.steps_per_day;
+  dataset.signals = t::Tensor::Empty(t::Shape{take, n, c});
+  dataset.time_of_day.resize(static_cast<size_t>(take));
+  dataset.day_of_week.resize(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    const int64_t logical = accepted_ - take + i;
+    const int64_t row = logical % options_.capacity;
+    std::memcpy(dataset.signals.data() + i * n * c, ring_.data() + row * n * c,
+                static_cast<size_t>(n * c) * sizeof(float));
+    const int64_t step = next_step_ - take + i;
+    dataset.time_of_day[static_cast<size_t>(i)] = step % options_.steps_per_day;
+    dataset.day_of_week[static_cast<size_t>(i)] =
+        (step / options_.steps_per_day) % 7;
+  }
+  return dataset;
+}
+
+}  // namespace sstban::streaming

@@ -72,6 +72,13 @@ autograd::Variable TrafficModel::TrainingLoss(const tensor::Tensor& x_norm,
   return autograd::MaeLoss(pred, target);
 }
 
+autograd::Variable TrafficModel::SelfSupervisedLoss(
+    const tensor::Tensor& x_norm, const data::Batch& batch) {
+  (void)x_norm;
+  (void)batch;
+  return {};
+}
+
 void TrafficModel::Fit(const data::WindowDataset& windows,
                        const std::vector<int64_t>& train_indices,
                        const data::Normalizer& normalizer) {

@@ -53,6 +53,16 @@ class TrafficModel : public nn::Module {
                                           const tensor::Tensor& y_norm,
                                           const data::Batch& batch);
 
+  // Label-free training objective over the input window alone — no targets.
+  // SSTBAN overrides this with its masked-reconstruction branch (mask the
+  // window, re-encode, reconstruct the clean latent), which is what the
+  // online adapter fine-tunes on when live drift is confirmed: future ground
+  // truth is not yet observable, but the reconstruction objective is. The
+  // default returns an undefined Variable, meaning the model has no
+  // label-free objective and cannot be adapted online.
+  virtual autograd::Variable SelfSupervisedLoss(const tensor::Tensor& x_norm,
+                                                const data::Batch& batch);
+
   // False for closed-form models (HA, VAR) that skip the SGD loop.
   virtual bool IsTrainable() const { return true; }
 

@@ -359,6 +359,61 @@ TEST(LastGoodCacheTest, ServesCachedForecastWhenGeometryMatches) {
                            sizeof(float) * kSteps * kNodes * kFeatures));
 }
 
+TEST(LastGoodCacheTest, RefusesEntriesOlderThanMaxAge) {
+  LastGoodCache cache;
+  t::Tensor forecast = t::Tensor::Full(t::Shape{kSteps, kNodes, kFeatures}, 3.5f);
+  cache.Update(forecast, /*logical_step=*/100);
+  EXPECT_EQ(cache.cached_step(), 100);
+  t::Tensor recent = t::Tensor::Ones(t::Shape{kSteps, kNodes, kFeatures});
+
+  // Fresh enough: the cached column answers and reports its age.
+  int64_t age = -2;
+  t::Tensor out = cache.Assemble(recent, kSteps, /*now_step=*/104,
+                                 /*max_age_steps=*/8, &age);
+  EXPECT_EQ(age, 4);
+  EXPECT_FLOAT_EQ(out.data()[0], 3.5f);
+
+  // Beyond the horizon: refused; persistence (the all-ones window) answers
+  // and the age annotation stays -1.
+  out = cache.Assemble(recent, kSteps, /*now_step=*/200, /*max_age_steps=*/8,
+                       &age);
+  EXPECT_EQ(age, -1);
+  EXPECT_FLOAT_EQ(out.data()[0], 1.0f);
+
+  // Unbounded horizon (the default) keeps the pre-staleness behavior.
+  out = cache.Assemble(recent, kSteps, /*now_step=*/200, /*max_age_steps=*/-1,
+                       &age);
+  EXPECT_EQ(age, 100);
+  EXPECT_FLOAT_EQ(out.data()[0], 3.5f);
+}
+
+TEST(FallbackChainTest, CacheTierReportsAgeAndHonorsStalenessBound) {
+  auto dataset = TinyWorld();
+  FallbackOptions options;
+  options.max_cache_age_steps = 8;
+  FallbackChain chain(options);  // no VAR baseline -> cache tier answers
+  t::Tensor forecast = t::Tensor::Full(t::Shape{kSteps, kNodes, kFeatures}, 2.0f);
+  chain.cache().Update(forecast, /*logical_step=*/50);
+
+  data::Batch batch;
+  batch.x = t::Tensor::Ones(t::Shape{2, kSteps, kNodes, kFeatures});
+  batch.y = t::Tensor::Zeros(t::Shape{2, kSteps, kNodes, kFeatures});
+  std::vector<t::Tensor> slices;
+  std::vector<int64_t> ages;
+  ServedBy served_by = ServedBy::kModel;
+  // First request is 3 steps after the cached forecast, second is 30: the
+  // first gets the cached column (age 3), the second falls to persistence.
+  ASSERT_TRUE(chain.Run(batch, nullptr, kSteps, {53, 80}, &slices, &served_by,
+                        &ages)
+                  .ok());
+  EXPECT_EQ(served_by, ServedBy::kCache);
+  ASSERT_EQ(ages.size(), 2u);
+  EXPECT_EQ(ages[0], 3);
+  EXPECT_EQ(ages[1], -1);
+  EXPECT_FLOAT_EQ(slices[0].data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(slices[1].data()[0], 1.0f);
+}
+
 TEST(FallbackChainTest, VarTierAnswersWhenFitted) {
   auto dataset = TinyWorld();
   data::Normalizer norm = data::Normalizer::Fit(dataset->signals);
@@ -373,7 +428,7 @@ TEST(FallbackChainTest, VarTierAnswersWhenFitted) {
 
   std::vector<t::Tensor> slices;
   ServedBy served_by = ServedBy::kModel;
-  ASSERT_TRUE(chain.Run(batch, &norm, kSteps, &slices, &served_by).ok());
+  ASSERT_TRUE(chain.Run(batch, &norm, kSteps, {}, &slices, &served_by).ok());
   EXPECT_EQ(served_by, ServedBy::kVarBaseline);
   ASSERT_EQ(slices.size(), 1u);
   EXPECT_FALSE(t::HasNonFinite(slices[0]));
@@ -388,7 +443,7 @@ TEST(FallbackChainTest, CacheTierAnswersWithoutVarOrNormalizer) {
   batch.y = t::Tensor::Zeros(t::Shape{1, kSteps, kNodes, kFeatures});
   std::vector<t::Tensor> slices;
   ServedBy served_by = ServedBy::kModel;
-  ASSERT_TRUE(chain.Run(batch, nullptr, kSteps, &slices, &served_by).ok());
+  ASSERT_TRUE(chain.Run(batch, nullptr, kSteps, {}, &slices, &served_by).ok());
   EXPECT_EQ(served_by, ServedBy::kCache);
   ASSERT_EQ(slices.size(), 1u);
   EXPECT_FALSE(t::HasNonFinite(slices[0]));
@@ -401,7 +456,8 @@ TEST(FallbackChainTest, InjectedFallbackFaultPropagates) {
   batch.x = t::Tensor::Ones(t::Shape{1, kSteps, kNodes, kFeatures});
   std::vector<t::Tensor> slices;
   ServedBy served_by = ServedBy::kModel;
-  core::Status status = chain.Run(batch, nullptr, kSteps, &slices, &served_by);
+  core::Status status =
+      chain.Run(batch, nullptr, kSteps, {}, &slices, &served_by);
   EXPECT_EQ(status.code(), core::StatusCode::kUnavailable);
 }
 

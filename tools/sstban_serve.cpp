@@ -10,6 +10,8 @@
 //                [--swap 1] [--json 0] [--degrade-pct 0] [--fallback 1]
 //                [--var-lag 3] [--stall-ms 2000] [--executor auto]
 //                [--shards 0] [--replicas 1] [--halo-hops 0] [--rate-rps 50]
+//                [--cache-age -1] [--ingest 0] [--drift recalibrate]
+//                [--adapt-steps 24]
 //
 // Trains a checkpoint if --ckpt does not exist yet (plus a second version
 // for the hot-swap), then serves it. `--requests` is per client; a deadline
@@ -27,6 +29,19 @@
 // primary model pass: the shape-specialized static executor (src/exec), the
 // autograd tape, or deference to the SSTBAN_EXECUTOR environment variable
 // (the default).
+//
+// `--cache-age N` bounds last-known-good cache staleness to N slices
+// (-1 = unbounded, the pre-staleness behavior); stale hits fall through to
+// the persistence tier and served responses carry their cache age.
+//
+// `--ingest N` switches to the drift-aware streaming demo instead of the
+// load generator: N live slices are fed through the online-adaptation
+// controller (ingest -> shadow eval -> CUSUM -> label-free fine-tune ->
+// shadow-gated promotion) against the loaded checkpoint. `--drift` injects a
+// regime change at the stream midpoint: `recalibrate` (sudden affine sensor
+// recalibration), `seasonal` (ramped demand shift), `grow` (new sensors
+// attached — adaptation must refuse the geometry change), or `none`.
+// `--adapt-steps` is the fine-tuning budget per adaptation round.
 //
 // `--shards K` (K >= 1) serves the checkpoint as a horizontally sharded
 // fleet instead: the sensor graph is partitioned corridor-aware into K
@@ -63,6 +78,7 @@
 #include "sharding/shard_model.h"
 #include "sstban/config.h"
 #include "sstban/model.h"
+#include "streaming/adaptation_controller.h"
 #include "tensor/ops.h"
 #include "training/trainer.h"
 
@@ -218,6 +234,10 @@ int main(int argc, char** argv) {
   int64_t replicas = flags.GetInt("replicas", 1);
   int64_t halo_hops = flags.GetInt("halo-hops", 0);
   int64_t rate_rps = flags.GetInt("rate-rps", 50);
+  int64_t cache_age = flags.GetInt("cache-age", -1);
+  int64_t ingest_slices = flags.GetInt("ingest", 0);
+  std::string drift = flags.GetString("drift", "recalibrate");
+  int64_t adapt_steps = flags.GetInt("adapt-steps", 24);
 
   auto dataset = std::make_shared<data::TrafficDataset>(
       data::GenerateSyntheticWorld(WorldFor(preset, flags)));
@@ -245,6 +265,103 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (ingest_slices > 0) {
+    namespace streaming = ::sstban::streaming;
+    const int64_t total =
+        std::min<int64_t>(ingest_slices, dataset->num_steps());
+    const int64_t cutover = total / 2;
+    // The drifted recording starts diverging from the training world at the
+    // stream midpoint; before it, both are identical.
+    data::TrafficDataset drifted;
+    if (drift == "recalibrate") {
+      drifted = data::ApplySensorRecalibration(*dataset, cutover,
+                                               /*node_fraction=*/0.5,
+                                               /*gain=*/1.6, /*offset=*/3.0,
+                                               /*seed=*/77);
+    } else if (drift == "seasonal") {
+      drifted = data::ApplySeasonalShift(*dataset, cutover, /*amplitude=*/1.2,
+                                         dataset->steps_per_day);
+    } else if (drift == "grow") {
+      drifted = data::AttachNewSensors(*dataset, /*extra=*/2, /*seed=*/77);
+    } else if (drift == "none") {
+      drifted = *dataset;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --drift '%s' (use recalibrate|seasonal|grow|none)\n",
+                   drift.c_str());
+      return 2;
+    }
+
+    streaming::AdaptationControllerOptions ctl;
+    ctl.ingest.num_nodes = dataset->num_nodes();
+    ctl.ingest.num_features = dataset->num_features();
+    ctl.ingest.input_len = steps;
+    ctl.ingest.output_len = steps;
+    ctl.ingest.steps_per_day = dataset->steps_per_day;
+    ctl.adapter.num_steps = adapt_steps;
+    ctl.factory = [config] {
+      return std::make_unique<model_ns::SstbanModel>(config);
+    };
+    streaming::AdaptationController controller(ctl, &registry);
+    std::printf(
+        "streaming %lld slices (drift '%s' at slice %lld), eval stride "
+        "%lld, %lld fine-tune steps per round\n",
+        static_cast<long long>(total), drift.c_str(),
+        static_cast<long long>(drift == "none" ? -1 : cutover),
+        static_cast<long long>(steps), static_cast<long long>(adapt_steps));
+
+    int64_t event_counts[7] = {0};
+    int64_t append_errors = 0;
+    for (int64_t t = 0; t < total; ++t) {
+      const data::TrafficDataset& src = t < cutover ? *dataset : drifted;
+      const int64_t n = src.num_nodes();
+      const int64_t c = src.num_features();
+      tensor::Tensor slice = tensor::Slice(src.signals, 0, t, 1)
+                                 .Reshape(tensor::Shape{n, c});
+      auto event = controller.OnSlice(slice, t);
+      if (!event.ok()) {
+        ++append_errors;
+        continue;
+      }
+      ++event_counts[static_cast<int>(event.value())];
+      if (event.value() != streaming::StreamEvent::kIngested) {
+        std::printf("  slice %lld: %s (serving v%lld, live err %.4f)\n",
+                    static_cast<long long>(t),
+                    streaming::StreamEventName(event.value()),
+                    static_cast<long long>(registry.current_version()),
+                    controller.last_live_error());
+      }
+    }
+    std::printf(
+        "\nstream summary: evals=%lld rounds=%lld promoted=%lld refused=%lld "
+        "rolled_back=%lld geometry_refusals=%lld append_errors=%lld\n"
+        "serving v%lld (%s), last live error %.4f\n",
+        static_cast<long long>(controller.evals()),
+        static_cast<long long>(controller.adaptation_rounds()),
+        static_cast<long long>(controller.gate().promotions()),
+        static_cast<long long>(controller.gate().refusals()),
+        static_cast<long long>(controller.gate().rollbacks()),
+        static_cast<long long>(controller.geometry_changes()),
+        static_cast<long long>(append_errors),
+        static_cast<long long>(registry.current_version()),
+        registry.current()->source.c_str(), controller.last_live_error());
+    if (emit_json) {
+      std::printf(
+          "{\"stream\": {\"slices\": %lld, \"evals\": %lld, \"rounds\": "
+          "%lld, \"promoted\": %lld, \"refused\": %lld, \"rolled_back\": "
+          "%lld, \"geometry_refusals\": %lld, \"version\": %lld}}\n",
+          static_cast<long long>(total),
+          static_cast<long long>(controller.evals()),
+          static_cast<long long>(controller.adaptation_rounds()),
+          static_cast<long long>(controller.gate().promotions()),
+          static_cast<long long>(controller.gate().refusals()),
+          static_cast<long long>(controller.gate().rollbacks()),
+          static_cast<long long>(controller.geometry_changes()),
+          static_cast<long long>(registry.current_version()));
+    }
+    return 0;
+  }
+
   serving::ServerOptions options;
   options.input_len = steps;
   options.output_len = steps;
@@ -258,6 +375,7 @@ int main(int argc, char** argv) {
     options.sanitizer.degradable_channels = {0};
   }
   options.fallback.enabled = fallback_enabled;
+  options.fallback.max_cache_age_steps = cache_age;
   options.stall_budget = std::chrono::milliseconds(stall_ms);
   if (executor == "static") {
     options.executor_mode = training::ExecutorMode::kStatic;
