@@ -12,31 +12,42 @@
 
 namespace sstban::serving {
 
-namespace {
-
 // Completes an expired request without spending any model compute on it.
-void RejectExpired(PendingRequest* req, ServerStats* stats) {
+void Batcher::RejectExpired(PendingRequest* req) {
   req->promise.set_value(core::Status::DeadlineExceeded(
       "deadline passed while the request waited in the queue"));
-  stats->RecordRejectedDeadline();
+  stats_->RecordRejectedDeadline();
+  overload_->admission().OnTerminal();
 }
 
-}  // namespace
+bool Batcher::PredictedLate(const PendingRequest& req,
+                            Clock::time_point now) const {
+  const DeadlineOptions& dl = overload_->options().deadline;
+  if (!dl.enabled || !req.request.deadline.has_value()) return false;
+  const double p50 = overload_->service_estimator().P50();
+  if (p50 <= 0.0) return false;
+  const double remaining =
+      std::chrono::duration<double>(*req.request.deadline - now).count();
+  return remaining < dl.safety_factor * p50;
+}
 
 Batcher::Batcher(BatcherOptions options, RequestQueue* queue,
                  ModelRegistry* registry, ServerStats* stats,
-                 FallbackChain* fallback, BatcherWatchdog* watchdog)
+                 FallbackChain* fallback, BatcherWatchdog* watchdog,
+                 OverloadControl* overload)
     : options_(options),
       queue_(queue),
       registry_(registry),
       stats_(stats),
       fallback_(fallback),
-      watchdog_(watchdog) {
+      watchdog_(watchdog),
+      overload_(overload) {
   SSTBAN_CHECK(queue != nullptr);
   SSTBAN_CHECK(registry != nullptr);
   SSTBAN_CHECK(stats != nullptr);
   SSTBAN_CHECK(fallback != nullptr);
   SSTBAN_CHECK(watchdog != nullptr);
+  SSTBAN_CHECK(overload != nullptr);
   SSTBAN_CHECK_GT(options.max_batch, 0);
 }
 
@@ -59,10 +70,10 @@ void Batcher::Join() {
 
 void Batcher::SweepExpired(Clock::time_point now) {
   int64_t swept = queue_->SweepExpired(
-      now, [this](PendingRequest&& req) { RejectExpired(&req, stats_); });
+      now, [this](PendingRequest&& req) { RejectExpired(&req); });
   for (auto it = holdover_.begin(); it != holdover_.end();) {
     if (it->Expired(now)) {
-      RejectExpired(&*it, stats_);
+      RejectExpired(&*it);
       it = holdover_.erase(it);
       ++swept;
     } else {
@@ -75,6 +86,9 @@ void Batcher::SweepExpired(Clock::time_point now) {
 void Batcher::WorkerLoop() {
   for (;;) {
     watchdog_->MarkLoopTick();
+    // Re-probe the brownout ladder every tick so a server with no incoming
+    // traffic still steps back down once memory pressure clears.
+    overload_->brownout().Update();
     // Expired requests never coalesce: anything whose deadline passed while
     // a previous (possibly slow) batch held the worker is terminated with
     // DeadlineExceeded before batch assembly even starts.
@@ -96,20 +110,30 @@ void Batcher::WorkerLoop() {
     stats_->RecordQueueWait(
         std::chrono::duration<double>(seeded_at - first.enqueued_at).count());
     if (first.Expired(seeded_at)) {
-      RejectExpired(&first, stats_);
+      RejectExpired(&first);
+      continue;
+    }
+    if (PredictedLate(first, seeded_at)) {
+      stats_->RecordSweptPredictedLate();
+      RejectExpired(&first);
       continue;
     }
 
     core::Timer assembly;
+    // Batch identity is shape + routing tier: force-fallback requests (the
+    // brownout verdict) never coalesce with primary traffic, so skipping
+    // the model for them costs primary requests nothing.
     tensor::Shape key = first.request.recent.shape();
+    const bool fallback_key = first.force_fallback;
     std::vector<PendingRequest> batch;
     batch.push_back(std::move(first));
 
-    // Pull shape-compatible holdovers first — they have waited longest.
+    // Pull batch-compatible holdovers first — they have waited longest.
     for (auto it = holdover_.begin();
          it != holdover_.end() &&
          static_cast<int64_t>(batch.size()) < options_.max_batch;) {
-      if (it->request.recent.shape() == key) {
+      if (it->request.recent.shape() == key &&
+          it->force_fallback == fallback_key) {
         batch.push_back(std::move(*it));
         it = holdover_.erase(it);
       } else {
@@ -126,10 +150,16 @@ void Batcher::WorkerLoop() {
       stats_->RecordQueueWait(
           std::chrono::duration<double>(now - popped->enqueued_at).count());
       if (popped->Expired(now)) {
-        RejectExpired(&*popped, stats_);
+        RejectExpired(&*popped);
         continue;
       }
-      if (popped->request.recent.shape() == key) {
+      if (PredictedLate(*popped, now)) {
+        stats_->RecordSweptPredictedLate();
+        RejectExpired(&*popped);
+        continue;
+      }
+      if (popped->request.recent.shape() == key &&
+          popped->force_fallback == fallback_key) {
         batch.push_back(std::move(*popped));
       } else {
         holdover_.push_back(std::move(*popped));
@@ -187,6 +217,11 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
   stats_->RecordAssembly(assembly_seconds);
   const int64_t b = static_cast<int64_t>(batch.size());
   stats_->RecordBatch(b);
+  // Brownout verdict carried from Submit: the whole batch bypasses the
+  // primary model and serves from the fallback tiers (batches are
+  // tier-homogeneous by construction in WorkerLoop).
+  const bool force_fallback = batch[0].force_fallback && fallback_->enabled();
+  core::Timer execution;  // feeds the dequeue-time service estimate
 
   watchdog_->MarkBatchStart(Clock::now());
 
@@ -210,6 +245,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
     for (PendingRequest& req : batch) {
       req.promise.set_value(
           core::Status::FailedPrecondition("no model version installed"));
+      overload_->admission().OnTerminal();
     }
     watchdog_->MarkBatchEnd();
     return;
@@ -251,7 +287,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
   tensor::Tensor denorm;
   ServedBy served_by = ServedBy::kModel;
   bool primary_ok = false;
-  if (served != nullptr) {
+  if (served != nullptr && !force_fallback) {
     if (!fallback_->enabled() || fallback_->primary_breaker().Allow()) {
       primary_ok = RunPrimary(*served, model_batch, keep_pos, &denorm);
     }
@@ -289,6 +325,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
             degraded.message()));
         stats_->RecordEndToEnd(
             std::chrono::duration<double>(done - req.enqueued_at).count());
+        overload_->admission().OnTerminal();
       }
       watchdog_->MarkBatchEnd();
       return;
@@ -300,6 +337,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
           core::Status::Unavailable("model pass failed (fallback disabled)"));
       stats_->RecordEndToEnd(
           std::chrono::duration<double>(done - req.enqueued_at).count());
+      overload_->admission().OnTerminal();
     }
     watchdog_->MarkBatchEnd();
     return;
@@ -308,6 +346,7 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
   const int64_t version =
       served_by == ServedBy::kModel && served != nullptr ? served->version : 0;
   Clock::time_point done = Clock::now();
+  double e2e_sum = 0.0;
   for (int64_t i = 0; i < b; ++i) {
     PendingRequest& req = batch[static_cast<size_t>(i)];
     ForecastResponse response;
@@ -319,13 +358,22 @@ void Batcher::RunBatch(std::vector<PendingRequest> batch,
     if (!cache_ages.empty()) {
       response.cache_age_steps = cache_ages[static_cast<size_t>(i)];
     }
+    const double e2e =
+        std::chrono::duration<double>(done - req.enqueued_at).count();
     req.promise.set_value(std::move(response));
     stats_->RecordCompleted();
     stats_->RecordDegradation(req.degradation);
     stats_->RecordServedBy(served_by);
-    stats_->RecordEndToEnd(
-        std::chrono::duration<double>(done - req.enqueued_at).count());
+    stats_->RecordEndToEnd(e2e);
+    overload_->admission().OnTerminal();
+    overload_->submit_estimator().Record(e2e);
+    e2e_sum += e2e;
   }
+  // Steer the admission limit with this batch's mean end-to-end latency
+  // (queue wait included — that is the congestion signal) and refresh the
+  // dequeue-time service estimate with the pure execution time.
+  overload_->admission().OnBatchLatency(e2e_sum / static_cast<double>(b));
+  overload_->service_estimator().Record(execution.ElapsedSeconds());
   watchdog_->MarkBatchEnd();
 }
 

@@ -12,6 +12,7 @@
 #include "serving/fallback.h"
 #include "serving/health.h"
 #include "serving/model_registry.h"
+#include "serving/overload/overload.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
 #include "serving/server_stats.h"
@@ -74,7 +75,7 @@ class Batcher {
  public:
   Batcher(BatcherOptions options, RequestQueue* queue, ModelRegistry* registry,
           ServerStats* stats, FallbackChain* fallback,
-          BatcherWatchdog* watchdog);
+          BatcherWatchdog* watchdog, OverloadControl* overload);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
@@ -91,6 +92,14 @@ class Batcher {
   void WorkerLoop();
   // Rejects every expired request in the queue and the holdover deque.
   void SweepExpired(Clock::time_point now);
+  // Terminates `req` with DeadlineExceeded (expired, or predicted to miss
+  // its deadline given the current p50 service estimate) and releases its
+  // admission slot.
+  void RejectExpired(PendingRequest* req);
+  // Deadline propagation at dequeue: true when the request's remaining
+  // budget is below the p50 batch-execution estimate, so running it would
+  // burn a batch slot on a guaranteed miss.
+  bool PredictedLate(const PendingRequest& req, Clock::time_point now) const;
   // Executes one assembled batch; `assembly_seconds` is how long the batch
   // was held open.
   void RunBatch(std::vector<PendingRequest> batch, double assembly_seconds);
@@ -108,6 +117,7 @@ class Batcher {
   ServerStats* stats_;
   FallbackChain* fallback_;
   BatcherWatchdog* watchdog_;
+  OverloadControl* overload_;
   std::thread worker_;
   bool started_ = false;
   // Last served model version, to notice hot-swaps for the stats and to

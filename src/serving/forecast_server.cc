@@ -28,9 +28,10 @@ ForecastServer::ForecastServer(ServerOptions options, ModelRegistry* registry)
       registry_(registry),
       sanitizer_(options.sanitizer),
       fallback_(options.fallback),
+      overload_(options.overload),
       queue_(options.queue_capacity),
       batcher_(MakeBatcherOptions(options), &queue_, registry, &stats_,
-               &fallback_, &watchdog_) {
+               &fallback_, &watchdog_, &overload_) {
   // Breaker and cache counters live in the fallback chain; hand the stats
   // sink a closure so /stats snapshots can fold them in.
   stats_.SetResilienceProvider([this] {
@@ -50,6 +51,27 @@ ForecastServer::ForecastServer(ServerOptions options, ModelRegistry* registry)
     summary.var_probes = vs.probes;
     summary.var_rejected = vs.rejected;
     summary.cached_sensors = fallback_.cache().cached_sensors();
+    return summary;
+  });
+  stats_.SetOverloadProvider([this] {
+    ServerStats::OverloadSummary summary;
+    AdmissionController::Snapshot a = overload_.admission().TakeSnapshot();
+    summary.admission_enabled = a.enabled;
+    summary.admission_limit = a.limit;
+    summary.in_flight = a.in_flight;
+    summary.min_batch_latency_ms = a.min_latency * 1e3;
+    summary.shed_interactive = a.shed_interactive;
+    summary.shed_batch = a.shed_batch;
+    summary.shed_whatif = a.shed_whatif;
+    summary.admission_backoffs = a.backoffs;
+    BrownoutController::Snapshot b = overload_.brownout().TakeSnapshot();
+    summary.brownout_enabled = b.enabled;
+    summary.brownout_level = BrownoutLevelName(b.level);
+    summary.brownout_probe_bytes = b.probe_bytes;
+    summary.brownout_steps_up = b.steps_up;
+    summary.brownout_steps_down = b.steps_down;
+    summary.submit_p50_ms = overload_.submit_estimator().P50() * 1e3;
+    summary.service_p50_ms = overload_.service_estimator().P50() * 1e3;
     return summary;
   });
 }
@@ -76,7 +98,16 @@ void ForecastServer::SetVarBaseline(std::unique_ptr<baselines::VarModel> var) {
 
 core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
   if (!running_.load()) {
+    stats_.RecordRejectedShutdown();
     return core::Status::Unavailable("server is not running");
+  }
+  // Eagerly reject a deadline that has already passed: letting the sweep
+  // find it later would burn a queue slot on work nobody wants.
+  const Clock::time_point submit_now = Clock::now();
+  if (request.deadline.has_value() && submit_now > *request.deadline) {
+    stats_.RecordRejectedDeadline();
+    return core::Status::DeadlineExceeded(
+        "deadline already expired at submit time");
   }
   // Fail fast rather than queue behind a worker that will never drain: a
   // wedged batcher turns every accepted request into a client-side timeout.
@@ -109,8 +140,60 @@ core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
     return core::Status::InvalidArgument("first_step must be >= 0");
   }
 
+  // -- Overload control, cheapest verdicts first -----------------------------
+  const Criticality criticality = request.criticality;
+  // Brownout ladder: under memory pressure low-criticality traffic first
+  // moves to the fallback tiers, then sheds outright. Interactive traffic is
+  // untouched below kShedLow, and even there it keeps full service — memory
+  // relief comes from the classes that can wait.
+  bool force_fallback = false;
+  const BrownoutLevel brownout = overload_.brownout().Update();
+  if (criticality != Criticality::kInteractive &&
+      brownout >= BrownoutLevel::kFallbackLow) {
+    const bool can_fallback =
+        fallback_.enabled() && brownout < BrownoutLevel::kShedLow;
+    if (can_fallback) {
+      force_fallback = true;
+      stats_.RecordForcedFallback();
+    } else {
+      stats_.RecordShedBrownout();
+      return core::Status::Unavailable(core::StrFormat(
+          "brownout (%s): shedding %s traffic under memory pressure",
+          BrownoutLevelName(brownout), CriticalityName(criticality)));
+    }
+  }
+  // Deadline propagation: if the request cannot plausibly finish before its
+  // deadline (remaining budget below the observed p50 end-to-end), reject
+  // now instead of letting it ride the queue to a guaranteed sweep.
+  const DeadlineOptions& dl = overload_.options().deadline;
+  if (dl.enabled && request.deadline.has_value()) {
+    const double p50 = overload_.submit_estimator().P50();
+    const double remaining =
+        std::chrono::duration<double>(*request.deadline - submit_now).count();
+    if (p50 > 0.0 && remaining < dl.safety_factor * p50) {
+      stats_.RecordRejectedPredictedLate();
+      return core::Status::DeadlineExceeded(core::StrFormat(
+          "cannot finish before deadline: %.1fms remaining < p50 estimate "
+          "%.1fms",
+          remaining * 1e3, p50 * 1e3));
+    }
+  }
+  core::Status admit_injected = core::FailPointStatus("overload_admit");
+  const bool admitted = admit_injected.ok() && overload_.admission().Admit(criticality);
+  if (!admitted) {
+    stats_.RecordShedAdmission();
+    if (!admit_injected.ok()) return admit_injected;
+    return core::Status::Unavailable(core::StrFormat(
+        "admission limit reached (%.1f in flight, limit %.1f): %s load shed",
+        static_cast<double>(overload_.admission().in_flight()),
+        overload_.admission().limit(), CriticalityName(criticality)));
+  }
+  // Every path below must balance the admission slot with exactly one
+  // OnTerminal — on rejection here, or in the batcher at the terminal.
+
   PendingRequest pending;
   pending.request = std::move(request);
+  pending.force_fallback = force_fallback;
 
   // Input boundary: NaN/Inf/sentinel readings either reject the request
   // (strict channel) or become a keep mask + scrubbed window copy for
@@ -118,6 +201,7 @@ core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
   core::StatusOr<SanitizeResult> sanitized =
       sanitizer_.Sanitize(&pending.request.recent);
   if (!sanitized.ok()) {
+    overload_.admission().OnTerminal();
     stats_.RecordRejectedNonFinite();
     return sanitized.status();
   }
@@ -134,18 +218,28 @@ core::StatusOr<ForecastFuture> ForecastServer::Submit(ForecastRequest request) {
 
   core::Status injected = core::FailPointStatus("serve_enqueue");
   if (!injected.ok()) {
+    overload_.admission().OnTerminal();
     stats_.RecordRejectedFull();
     return injected;
   }
 
   pending.enqueued_at = Clock::now();
   ForecastFuture future = pending.promise.get_future();
-  core::Status pushed = queue_.Push(&pending);
+  PushReject cause = PushReject::kNone;
+  core::Status pushed = queue_.Push(&pending, &cause);
   if (!pushed.ok()) {
-    if (pushed.code() == core::StatusCode::kDeadlineExceeded) {
-      stats_.RecordRejectedDeadline();
-    } else {
-      stats_.RecordRejectedFull();
+    overload_.admission().OnTerminal();
+    switch (cause) {
+      case PushReject::kExpired:
+        stats_.RecordRejectedDeadline();
+        break;
+      case PushReject::kClosed:
+        stats_.RecordRejectedShutdown();
+        break;
+      case PushReject::kFull:
+      case PushReject::kNone:
+        stats_.RecordRejectedFull();
+        break;
     }
     return pushed;
   }

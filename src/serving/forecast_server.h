@@ -12,6 +12,7 @@
 #include "serving/fallback.h"
 #include "serving/health.h"
 #include "serving/model_registry.h"
+#include "serving/overload/overload.h"
 #include "serving/request.h"
 #include "serving/request_queue.h"
 #include "serving/sanitizer.h"
@@ -46,6 +47,10 @@ struct ServerOptions {
   // Numeric mode for the executor fast path (defaults to SSTBAN_PRECISION);
   // see BatcherOptions::precision.
   exec::PrecisionMode precision = exec::ResolvePrecisionMode();
+  // Overload control: adaptive admission, deadline propagation, and the
+  // memory-pressure brownout ladder (defaults read SSTBAN_ADMISSION /
+  // SSTBAN_BROWNOUT_WATERMARKS once).
+  OverloadOptions overload = ResolveOverloadOptions();
 };
 
 // The multi-client inference facade: Submit validates, sanitizes, and
@@ -95,6 +100,8 @@ class ForecastServer {
   const FallbackChain& fallback() const { return fallback_; }
   FallbackChain& fallback() { return fallback_; }
   const BatcherWatchdog& watchdog() const { return watchdog_; }
+  const OverloadControl& overload() const { return overload_; }
+  OverloadControl& overload() { return overload_; }
 
  private:
   ServerOptions options_;
@@ -103,6 +110,7 @@ class ForecastServer {
   InputSanitizer sanitizer_;
   FallbackChain fallback_;
   BatcherWatchdog watchdog_;
+  OverloadControl overload_;
   RequestQueue queue_;
   Batcher batcher_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,96 @@
+#include "serving/overload/admission.h"
+
+#include <algorithm>
+
+namespace sstban::serving {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), limit_(options.initial_limit) {}
+
+bool AdmissionController::Admit(Criticality criticality) {
+  if (!options_.enabled) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  double fraction = 1.0;
+  switch (criticality) {
+    case Criticality::kInteractive:
+      fraction = 1.0;
+      break;
+    case Criticality::kBatch:
+      fraction = options_.batch_fraction;
+      break;
+    case Criticality::kWhatIf:
+      fraction = options_.whatif_fraction;
+      break;
+  }
+  const double ceiling = limit_.load(std::memory_order_relaxed) * fraction;
+  // CAS loop so two racing Submits cannot both squeeze through one slot.
+  int64_t current = in_flight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (static_cast<double>(current) >= ceiling) {
+      switch (criticality) {
+        case Criticality::kInteractive:
+          shed_interactive_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Criticality::kBatch:
+          shed_batch_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Criticality::kWhatIf:
+          shed_whatif_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      return false;
+    }
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void AdmissionController::OnTerminal() {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void AdmissionController::OnBatchLatency(double seconds) {
+  if (!options_.enabled || seconds <= 0.0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (window_count_ == 0 || seconds < window_min_) window_min_ = seconds;
+  ++window_count_;
+  if (current_min_ == 0.0) current_min_ = window_min_;
+  if (window_count_ >= options_.min_window) {
+    // Roll the window: the new baseline is what the *last* window observed,
+    // so a regime change stops reading as congestion within one window.
+    current_min_ = window_min_;
+    window_count_ = 0;
+  }
+
+  double limit = limit_.load(std::memory_order_relaxed);
+  if (seconds > options_.tolerance * current_min_) {
+    limit *= options_.decrease;
+    backoffs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    limit += options_.increase / std::max(limit, 1.0);
+  }
+  limit = std::clamp(limit, options_.min_limit, options_.max_limit);
+  limit_.store(limit, std::memory_order_relaxed);
+}
+
+AdmissionController::Snapshot AdmissionController::TakeSnapshot() const {
+  Snapshot snap;
+  snap.enabled = options_.enabled;
+  snap.limit = limit_.load(std::memory_order_relaxed);
+  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    snap.min_latency = current_min_;
+  }
+  snap.shed_interactive = shed_interactive_.load(std::memory_order_relaxed);
+  snap.shed_batch = shed_batch_.load(std::memory_order_relaxed);
+  snap.shed_whatif = shed_whatif_.load(std::memory_order_relaxed);
+  snap.backoffs = backoffs_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace sstban::serving

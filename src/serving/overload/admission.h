@@ -1,0 +1,91 @@
+#ifndef SSTBAN_SERVING_OVERLOAD_ADMISSION_H_
+#define SSTBAN_SERVING_OVERLOAD_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "serving/request.h"
+
+namespace sstban::serving {
+
+struct AdmissionOptions {
+  bool enabled = true;
+  // Starting concurrency limit (requests in flight: queued + batching).
+  double initial_limit = 64.0;
+  // The limit never shrinks below this, so a burst of slow batches cannot
+  // starve the server into rejecting everything forever.
+  double min_limit = 8.0;
+  double max_limit = 4096.0;
+  // Congestion threshold: a batch whose end-to-end latency exceeds
+  // `tolerance` x the moving-minimum latency signals queue buildup.
+  double tolerance = 2.0;
+  // Additive probe on a good batch: limit += increase / limit (concave climb,
+  // AIMD-style), and the floor added on every gradient update.
+  double increase = 1.0;
+  // Multiplicative decrease factor applied on congestion.
+  double decrease = 0.9;
+  // Samples per moving-minimum window; the minimum resets every window so a
+  // permanent latency shift (bigger model, slower host) re-baselines instead
+  // of reading as permanent congestion.
+  int64_t min_window = 128;
+  // Fraction of the limit each criticality class may fill. Interactive gets
+  // the whole limit; lower classes hit their ceiling first and shed first.
+  double batch_fraction = 0.9;
+  double whatif_fraction = 0.75;
+};
+
+// Adaptive concurrency limiter in front of the request queue. The limit is
+// steered by per-batch latency (submit -> promise fulfilled, averaged over
+// the batch) against a windowed moving minimum: latency near the minimum
+// means the queue is empty-ish and the limit climbs additively; latency
+// beyond tolerance x minimum means requests are queueing and the limit
+// decreases multiplicatively. Criticality classes share one in-flight
+// counter but cap at different fractions of the limit, so under pressure
+// what-if traffic sheds before batch, batch before interactive.
+//
+// Thread-safety: Admit/OnTerminal are lock-free on the hot path;
+// OnBatchLatency takes a short mutex (called once per batch).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  // True = admitted (in-flight incremented; the caller must balance with
+  // exactly one OnTerminal). False = shed (counter recorded per class).
+  bool Admit(Criticality criticality);
+
+  // One admitted request reached its terminal (any status).
+  void OnTerminal();
+
+  // Feed one completed batch's mean end-to-end latency (seconds).
+  void OnBatchLatency(double seconds);
+
+  struct Snapshot {
+    bool enabled = false;
+    double limit = 0.0;
+    int64_t in_flight = 0;
+    double min_latency = 0.0;  // current moving-minimum (seconds)
+    int64_t shed_interactive = 0, shed_batch = 0, shed_whatif = 0;
+    int64_t backoffs = 0;  // multiplicative-decrease events
+  };
+  Snapshot TakeSnapshot() const;
+
+  int64_t in_flight() const { return in_flight_.load(); }
+  double limit() const { return limit_.load(); }
+
+ private:
+  const AdmissionOptions options_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<double> limit_;
+  std::atomic<int64_t> shed_interactive_{0}, shed_batch_{0}, shed_whatif_{0};
+  std::atomic<int64_t> backoffs_{0};
+
+  mutable std::mutex mutex_;  // guards the moving-minimum window
+  double window_min_ = 0.0;
+  int64_t window_count_ = 0;
+  double current_min_ = 0.0;  // minimum carried from the last full window
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_OVERLOAD_ADMISSION_H_

@@ -1,0 +1,37 @@
+#include "serving/overload/budget.h"
+
+#include <algorithm>
+
+namespace sstban::serving {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options), tokens_(options.burst) {}
+
+void RetryBudget::OnPrimary() {
+  if (!options_.enabled) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  tokens_ = std::min(tokens_ + options_.ratio, options_.burst);
+}
+
+bool RetryBudget::TryAcquire() {
+  if (!options_.enabled) return true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++acquired_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+RetryBudget::Snapshot RetryBudget::TakeSnapshot() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.tokens = tokens_;
+  snap.acquired = acquired_;
+  snap.denied = denied_;
+  return snap;
+}
+
+}  // namespace sstban::serving

@@ -1,0 +1,48 @@
+#ifndef SSTBAN_SERVING_OVERLOAD_BUDGET_H_
+#define SSTBAN_SERVING_OVERLOAD_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace sstban::serving {
+
+struct RetryBudgetOptions {
+  bool enabled = true;
+  // Tokens earned per primary dispatch: retries + hedges stay bounded to
+  // this fraction of real traffic, so a sick fleet cannot amplify its own
+  // load via hedging (the "retry storm" failure mode).
+  double ratio = 0.2;
+  // Bucket capacity; also the initial fill, so cold-start hedging (the very
+  // first request landing on a dead replica) still works.
+  double burst = 8.0;
+};
+
+// Token bucket gating hedges and failovers toward one (shard, replica).
+// OnPrimary() deposits `ratio` tokens when the replica is used as a rotation
+// pick; TryAcquire() spends one token to dispatch a hedge/failover at it.
+// Disabled => TryAcquire always succeeds (PR-6 behavior).
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options);
+
+  void OnPrimary();
+  bool TryAcquire();
+
+  struct Snapshot {
+    double tokens = 0.0;
+    int64_t acquired = 0;
+    int64_t denied = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  const RetryBudgetOptions options_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  int64_t acquired_ = 0;
+  int64_t denied_ = 0;
+};
+
+}  // namespace sstban::serving
+
+#endif  // SSTBAN_SERVING_OVERLOAD_BUDGET_H_

@@ -1,0 +1,98 @@
+#include "serving/overload/overload.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace sstban::serving {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+// "off" | "on" | comma list of key=value overrides. Unknown keys and
+// malformed values are ignored — a typo'd knob must never take the server
+// down, it just keeps the default.
+void ApplyAdmissionEnv(const char* env, AdmissionOptions* admission) {
+  std::string spec(env);
+  if (spec == "off" || spec == "0" || spec == "false") {
+    admission->enabled = false;
+    return;
+  }
+  if (spec == "on" || spec == "1" || spec == "true" || spec.empty()) return;
+  for (const std::string& part : SplitCommas(spec)) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = part.substr(0, eq);
+    double value = 0.0;
+    if (!ParseDouble(part.substr(eq + 1), &value)) continue;
+    if (key == "limit") {
+      admission->initial_limit = value;
+    } else if (key == "min") {
+      admission->min_limit = value;
+    } else if (key == "max") {
+      admission->max_limit = value;
+    } else if (key == "tolerance") {
+      admission->tolerance = value;
+    } else if (key == "increase") {
+      admission->increase = value;
+    } else if (key == "decrease") {
+      admission->decrease = value;
+    }
+  }
+}
+
+// "off" | "<mb1>,<mb2>,<mb3>" — enter watermarks in MB for levels 1..3.
+// Fewer than three values extend the last one (a single number browns the
+// whole ladder out at once).
+void ApplyBrownoutEnv(const char* env, BrownoutOptions* brownout) {
+  std::string spec(env);
+  if (spec == "off" || spec == "0" || spec == "false") {
+    brownout->enabled = false;
+    return;
+  }
+  std::vector<int64_t> mbs;
+  for (const std::string& part : SplitCommas(spec)) {
+    double value = 0.0;
+    if (ParseDouble(part, &value) && value > 0.0) {
+      mbs.push_back(static_cast<int64_t>(value * 1e6));
+    }
+  }
+  if (mbs.empty()) return;
+  for (size_t l = 0; l < 3; ++l) {
+    brownout->enter_bytes[l] = mbs[l < mbs.size() ? l : mbs.size() - 1];
+  }
+}
+
+}  // namespace
+
+OverloadOptions ResolveOverloadOptions() {
+  OverloadOptions options;
+  if (const char* env = std::getenv("SSTBAN_ADMISSION")) {
+    ApplyAdmissionEnv(env, &options.admission);
+  }
+  if (const char* env = std::getenv("SSTBAN_BROWNOUT_WATERMARKS")) {
+    ApplyBrownoutEnv(env, &options.brownout);
+  }
+  return options;
+}
+
+}  // namespace sstban::serving

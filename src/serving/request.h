@@ -13,13 +13,23 @@ namespace sstban::serving {
 
 using Clock = std::chrono::steady_clock;
 
+// How much the client cares, for overload shedding: when the server is past
+// its concurrency limit or browning out under memory pressure, what-if
+// traffic sheds first, then batch, and interactive last. The default is the
+// most protected class so existing callers keep today's behavior.
+enum class Criticality { kInteractive = 0, kBatch = 1, kWhatIf = 2 };
+
+const char* CriticalityName(Criticality criticality);
+
 // What a client hands to ForecastServer::Submit: one raw [P, N, C] recent
 // window, the absolute slice index of its first row (for calendar features),
-// and an optional deadline after which the client no longer wants the answer.
+// an optional deadline after which the client no longer wants the answer,
+// and the criticality class overload control sheds by.
 struct ForecastRequest {
   tensor::Tensor recent;  // [P, N, C] raw (denormalized) signals
   int64_t first_step = 0;
   std::optional<Clock::time_point> deadline;
+  Criticality criticality = Criticality::kInteractive;
 };
 
 // How much of the request's input survived sanitization. Partial means some
@@ -76,6 +86,10 @@ struct PendingRequest {
   tensor::Tensor keep_pos;  // [P, N] 1=observed; undefined when clean
   DegradationLevel degradation = DegradationLevel::kNone;
   int64_t masked_positions = 0;
+  // Brownout verdict made at Submit time: skip the primary model and serve
+  // this request from the fallback tiers (batched separately from primary
+  // traffic so the two never coalesce).
+  bool force_fallback = false;
 
   bool Expired(Clock::time_point now) const {
     return request.deadline.has_value() && now > *request.deadline;

@@ -1,6 +1,7 @@
 #include "serving/request_queue.h"
 
 #include "core/check.h"
+#include "core/string_util.h"
 
 namespace sstban::serving {
 
@@ -8,20 +9,32 @@ RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {
   SSTBAN_CHECK_GT(capacity, 0);
 }
 
-core::Status RequestQueue::Push(PendingRequest* req) {
+core::Status RequestQueue::Push(PendingRequest* req, PushReject* cause) {
   SSTBAN_CHECK(req != nullptr);
+  PushReject why = PushReject::kNone;
+  if (cause != nullptr) *cause = why;
   if (req->Expired(Clock::now())) {
+    if (cause != nullptr) *cause = PushReject::kExpired;
     return core::Status::DeadlineExceeded("deadline passed before enqueue");
   }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (closed_) {
-      return core::Status::Unavailable("request queue is shut down");
+      why = PushReject::kClosed;
+    } else if (static_cast<int64_t>(items_.size()) >= capacity_) {
+      why = PushReject::kFull;
+    } else {
+      items_.push_back(std::move(*req));
     }
-    if (static_cast<int64_t>(items_.size()) >= capacity_) {
-      return core::Status::Unavailable("request queue is full");
-    }
-    items_.push_back(std::move(*req));
+  }
+  if (why != PushReject::kNone) {
+    if (cause != nullptr) *cause = why;
+    return why == PushReject::kClosed
+               ? core::Status::Unavailable(
+                     "request queue is shut down (server stopping)")
+               : core::Status::Unavailable(core::StrFormat(
+                     "request queue is full (capacity %lld): load shed",
+                     static_cast<long long>(capacity_)));
   }
   not_empty_.notify_one();
   return core::Status::Ok();

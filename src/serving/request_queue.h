@@ -14,6 +14,12 @@
 
 namespace sstban::serving {
 
+// Why a Push was refused. Distinguishes load shedding (kFull — transient,
+// retry later) from shutdown (kClosed — permanent for this process) so the
+// server can count and report them separately instead of folding both into
+// one undifferentiated Unavailable.
+enum class PushReject { kNone = 0, kFull = 1, kClosed = 2, kExpired = 3 };
+
 // Bounded MPMC queue of forecast requests with backpressure: when the queue
 // is full, Push returns Unavailable immediately instead of buffering without
 // bound — the client sheds load rather than the server. Producers never
@@ -23,10 +29,12 @@ class RequestQueue {
   explicit RequestQueue(int64_t capacity);
 
   // Enqueues `req`, or returns Unavailable when the queue is at capacity or
-  // has been closed. Expired requests are rejected with DeadlineExceeded
-  // before they occupy a slot. The promise inside `req` is untouched on
-  // failure so the caller can complete it with the returned status.
-  core::Status Push(PendingRequest* req);
+  // has been closed — each with a distinct message and, when `cause` is
+  // given, a distinct PushReject. Expired requests are rejected with
+  // DeadlineExceeded before they occupy a slot. The promise inside `req` is
+  // untouched on failure so the caller can complete it with the returned
+  // status.
+  core::Status Push(PendingRequest* req, PushReject* cause = nullptr);
 
   // Blocks until an item is available or the queue is closed and drained;
   // nullopt means closed-and-empty (the consumer should exit).

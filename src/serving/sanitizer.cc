@@ -21,6 +21,18 @@ const char* DegradationLevelName(DegradationLevel level) {
   return "unknown";
 }
 
+const char* CriticalityName(Criticality criticality) {
+  switch (criticality) {
+    case Criticality::kInteractive:
+      return "interactive";
+    case Criticality::kBatch:
+      return "batch";
+    case Criticality::kWhatIf:
+      return "what-if";
+  }
+  return "unknown";
+}
+
 const char* ServedByName(ServedBy tier) {
   switch (tier) {
     case ServedBy::kModel:

@@ -91,6 +91,10 @@ void ServerStats::SetResilienceProvider(ResilienceProvider provider) {
   resilience_provider_ = std::move(provider);
 }
 
+void ServerStats::SetOverloadProvider(OverloadProvider provider) {
+  overload_provider_ = std::move(provider);
+}
+
 void ServerStats::RecordBatch(int64_t batch_size) {
   batches_.fetch_add(1);
   std::unique_lock<std::mutex> lock(mutex_);
@@ -133,7 +137,14 @@ ServerStats::Snapshot ServerStats::TakeSnapshot() const {
   snap.rejected_nonfinite = rejected_nonfinite_.load();
   snap.rejected_wedged = rejected_wedged_.load();
   snap.swept_expired = swept_expired_.load();
+  snap.rejected_shutdown = rejected_shutdown_.load();
+  snap.shed_admission = shed_admission_.load();
+  snap.shed_brownout = shed_brownout_.load();
+  snap.forced_fallback = forced_fallback_.load();
+  snap.rejected_predicted_late = rejected_predicted_late_.load();
+  snap.swept_predicted_late = swept_predicted_late_.load();
   if (resilience_provider_) snap.resilience = resilience_provider_();
+  if (overload_provider_) snap.overload = overload_provider_();
   snap.elapsed_seconds = uptime_.ElapsedSeconds();
   snap.requests_per_second =
       snap.elapsed_seconds > 0.0
@@ -162,11 +173,12 @@ std::string ServerStats::ReportTable() const {
   out += core::StrFormat(
       "serving stats (%.2fs uptime)\n"
       "  requests: accepted=%lld completed=%lld  throughput=%.1f req/s\n"
-      "  rejected: full=%lld deadline=%lld invalid=%lld\n"
+      "  rejected: shed-full=%lld shutdown=%lld deadline=%lld invalid=%lld\n"
       "  queue:    depth=%lld peak=%lld   batches=%lld   hot-swaps=%lld\n",
       s.elapsed_seconds, static_cast<long long>(s.accepted),
       static_cast<long long>(s.completed), s.requests_per_second,
       static_cast<long long>(s.rejected_full),
+      static_cast<long long>(s.rejected_shutdown),
       static_cast<long long>(s.rejected_deadline),
       static_cast<long long>(s.rejected_invalid),
       static_cast<long long>(s.queue_depth),
@@ -219,6 +231,30 @@ std::string ServerStats::ReportTable() const {
       static_cast<long long>(m.pool_misses), m.pool_hit_rate * 100.0,
       m.pool_recycled_bytes / 1e6, m.pool_resident_bytes / 1e6,
       m.pool_peak_resident_bytes / 1e6);
+  const OverloadSummary& o = s.overload;
+  out += core::StrFormat(
+      "  overload: admission=%s limit=%.1f in_flight=%lld min_batch=%.3fms "
+      "backoffs=%lld\n"
+      "            shed: admission=%lld (int=%lld batch=%lld whatif=%lld) "
+      "brownout=%lld forced_fallback=%lld\n"
+      "            predicted_late: submit=%lld dequeue=%lld  "
+      "p50 est: e2e=%.3fms service=%.3fms\n"
+      "  brownout: %s level=%s probe=%.1fMB steps_up=%lld steps_down=%lld\n",
+      o.admission_enabled ? "on" : "off", o.admission_limit,
+      static_cast<long long>(o.in_flight), o.min_batch_latency_ms,
+      static_cast<long long>(o.admission_backoffs),
+      static_cast<long long>(s.shed_admission),
+      static_cast<long long>(o.shed_interactive),
+      static_cast<long long>(o.shed_batch),
+      static_cast<long long>(o.shed_whatif),
+      static_cast<long long>(s.shed_brownout),
+      static_cast<long long>(s.forced_fallback),
+      static_cast<long long>(s.rejected_predicted_late),
+      static_cast<long long>(s.swept_predicted_late), o.submit_p50_ms,
+      o.service_p50_ms, o.brownout_enabled ? "on" : "off",
+      o.brownout_level.c_str(), o.brownout_probe_bytes / 1e6,
+      static_cast<long long>(o.brownout_steps_up),
+      static_cast<long long>(o.brownout_steps_down));
   return out;
 }
 
@@ -231,6 +267,7 @@ std::string ServerStats::ReportJson() const {
       "  \"completed\": %lld,\n"
       "  \"requests_per_second\": %.3f,\n"
       "  \"rejected_full\": %lld,\n"
+      "  \"rejected_shutdown\": %lld,\n"
       "  \"rejected_deadline\": %lld,\n"
       "  \"rejected_invalid\": %lld,\n"
       "  \"queue_depth\": %lld,\n"
@@ -240,6 +277,7 @@ std::string ServerStats::ReportJson() const {
       s.elapsed_seconds, static_cast<long long>(s.accepted),
       static_cast<long long>(s.completed), s.requests_per_second,
       static_cast<long long>(s.rejected_full),
+      static_cast<long long>(s.rejected_shutdown),
       static_cast<long long>(s.rejected_deadline),
       static_cast<long long>(s.rejected_invalid),
       static_cast<long long>(s.queue_depth),
@@ -288,6 +326,33 @@ std::string ServerStats::ReportJson() const {
       core::JsonQuote(r.var_breaker_state).c_str(),
       static_cast<long long>(r.var_trips), static_cast<long long>(r.var_probes),
       static_cast<long long>(r.var_rejected));
+  const OverloadSummary& o = s.overload;
+  out += core::StrFormat(
+      "  \"overload\": {\"admission_enabled\": %s, \"admission_limit\": %.3f, "
+      "\"in_flight\": %lld, \"min_batch_latency_ms\": %.6f, "
+      "\"admission_backoffs\": %lld, \"shed_admission\": %lld, "
+      "\"shed_by_class\": {\"interactive\": %lld, \"batch\": %lld, "
+      "\"whatif\": %lld}, \"shed_brownout\": %lld, \"forced_fallback\": %lld, "
+      "\"rejected_predicted_late\": %lld, \"swept_predicted_late\": %lld, "
+      "\"submit_p50_ms\": %.6f, \"service_p50_ms\": %.6f, "
+      "\"brownout\": {\"enabled\": %s, \"level\": %s, \"probe_bytes\": %lld, "
+      "\"steps_up\": %lld, \"steps_down\": %lld}},\n",
+      o.admission_enabled ? "true" : "false", o.admission_limit,
+      static_cast<long long>(o.in_flight), o.min_batch_latency_ms,
+      static_cast<long long>(o.admission_backoffs),
+      static_cast<long long>(s.shed_admission),
+      static_cast<long long>(o.shed_interactive),
+      static_cast<long long>(o.shed_batch),
+      static_cast<long long>(o.shed_whatif),
+      static_cast<long long>(s.shed_brownout),
+      static_cast<long long>(s.forced_fallback),
+      static_cast<long long>(s.rejected_predicted_late),
+      static_cast<long long>(s.swept_predicted_late), o.submit_p50_ms,
+      o.service_p50_ms, o.brownout_enabled ? "true" : "false",
+      core::JsonQuote(o.brownout_level).c_str(),
+      static_cast<long long>(o.brownout_probe_bytes),
+      static_cast<long long>(o.brownout_steps_up),
+      static_cast<long long>(o.brownout_steps_down));
   const MemorySummary& m = s.memory;
   out += core::StrFormat(
       "  \"memory\": {\"live_bytes\": %lld, \"peak_bytes\": %lld, "

@@ -49,6 +49,21 @@ class ServerStats {
   void RecordRejectedWedged() { rejected_wedged_.fetch_add(1); }
   // Expired requests removed by the pre-batch queue sweep.
   void RecordSweptExpired(int64_t n) { swept_expired_.fetch_add(n); }
+
+  // -- Overload-control counters ---------------------------------------------
+  // Push refused because the queue was closed (shutdown, not load shed —
+  // kept apart from rejected_full so the two failure modes are tellable).
+  void RecordRejectedShutdown() { rejected_shutdown_.fetch_add(1); }
+  // Shed by the adaptive admission controller (concurrency limit).
+  void RecordShedAdmission() { shed_admission_.fetch_add(1); }
+  // Shed (or soon-to-miss-deadline rejected) by the brownout ladder.
+  void RecordShedBrownout() { shed_brownout_.fetch_add(1); }
+  // Low-criticality request routed to the fallback tiers by brownout.
+  void RecordForcedFallback() { forced_fallback_.fetch_add(1); }
+  // Deadline propagation: rejected at Submit (remaining < p50 end-to-end).
+  void RecordRejectedPredictedLate() { rejected_predicted_late_.fetch_add(1); }
+  // Deadline propagation: rejected at dequeue (remaining < p50 service).
+  void RecordSweptPredictedLate() { swept_predicted_late_.fetch_add(1); }
   // One completed request, bucketed by input degradation level.
   void RecordDegradation(DegradationLevel level);
   // One completed request, bucketed by the tier that answered.
@@ -91,6 +106,26 @@ class ServerStats {
   using ResilienceProvider = std::function<ResilienceSummary()>;
   void SetResilienceProvider(ResilienceProvider provider);
 
+  // Overload-control picture (admission limit, brownout level, deadline
+  // estimators), filled in at snapshot time by the provider ForecastServer
+  // registers — the controllers live in OverloadControl, not here.
+  struct OverloadSummary {
+    bool admission_enabled = false;
+    double admission_limit = 0.0;
+    int64_t in_flight = 0;
+    double min_batch_latency_ms = 0.0;
+    int64_t shed_interactive = 0, shed_batch = 0, shed_whatif = 0;
+    int64_t admission_backoffs = 0;
+    bool brownout_enabled = false;
+    std::string brownout_level = "normal";
+    int64_t brownout_probe_bytes = 0;
+    int64_t brownout_steps_up = 0, brownout_steps_down = 0;
+    double submit_p50_ms = 0.0;   // end-to-end estimate behind Submit's gate
+    double service_p50_ms = 0.0;  // batch-execution estimate at dequeue
+  };
+  using OverloadProvider = std::function<OverloadSummary()>;
+  void SetOverloadProvider(OverloadProvider provider);
+
   struct Snapshot {
     StageSummary queue_wait, assembly, forward, end_to_end;
     int64_t accepted = 0, completed = 0, batches = 0;
@@ -105,7 +140,11 @@ class ServerStats {
     int64_t degraded_none = 0, degraded_partial = 0, degraded_heavy = 0;
     int64_t served_model = 0, served_var = 0, served_cache = 0;
     int64_t rejected_nonfinite = 0, rejected_wedged = 0, swept_expired = 0;
+    int64_t rejected_shutdown = 0;
+    int64_t shed_admission = 0, shed_brownout = 0, forced_fallback = 0;
+    int64_t rejected_predicted_late = 0, swept_predicted_late = 0;
     ResilienceSummary resilience;
+    OverloadSummary overload;
     MemorySummary memory;
   };
   Snapshot TakeSnapshot() const;
@@ -133,7 +172,12 @@ class ServerStats {
   std::atomic<int64_t> served_model_{0}, served_var_{0}, served_cache_{0};
   std::atomic<int64_t> rejected_nonfinite_{0}, rejected_wedged_{0},
       swept_expired_{0};
+  std::atomic<int64_t> rejected_shutdown_{0};
+  std::atomic<int64_t> shed_admission_{0}, shed_brownout_{0},
+      forced_fallback_{0};
+  std::atomic<int64_t> rejected_predicted_late_{0}, swept_predicted_late_{0};
   ResilienceProvider resilience_provider_;  // set before Start, then read-only
+  OverloadProvider overload_provider_;      // same lifecycle
 };
 
 }  // namespace sstban::serving

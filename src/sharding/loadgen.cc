@@ -136,6 +136,7 @@ LoadGenReport RunOpenLoopLoad(ShardRouter* router,
     request.recent = window;
     request.sensors = subsets[i];
     request.first_step = first_step;
+    request.criticality = options.criticality;
     if (options.deadline.count() > 0) {
       request.deadline = scheduled + options.deadline;
     }

@@ -28,6 +28,9 @@ struct LoadGenOptions {
   std::chrono::milliseconds deadline{0};
   // Threads draining completions; waits overlap, so a handful suffices.
   int64_t completion_threads = 8;
+  // Criticality stamped on every generated request; mixes are modeled by
+  // running one generator per class.
+  serving::Criticality criticality = serving::Criticality::kInteractive;
 };
 
 struct LoadGenReport {

@@ -26,11 +26,23 @@ bool ShardedResponse::degraded() const {
 ShardRouter::ShardRouter(const ShardPlan* plan,
                          std::vector<std::vector<ShardWorker*>> workers,
                          RouterOptions options)
-    : plan_(plan), workers_(std::move(workers)), options_(options) {
+    : plan_(plan),
+      workers_(std::move(workers)),
+      options_(options),
+      brownout_(options.brownout),
+      gather_estimator_(options.deadline.window, options.deadline.min_samples) {
   SSTBAN_CHECK(plan_ != nullptr);
   SSTBAN_CHECK_EQ(static_cast<int64_t>(workers_.size()), plan_->num_shards);
   for (const auto& replicas : workers_) {
     SSTBAN_CHECK(!replicas.empty()) << "every shard needs >= 1 replica";
+  }
+  budgets_.resize(workers_.size());
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    budgets_[s].reserve(workers_[s].size());
+    for (size_t r = 0; r < workers_[s].size(); ++r) {
+      budgets_[s].push_back(
+          std::make_unique<serving::RetryBudget>(options_.retry_budget));
+    }
   }
   const serving::ServerOptions& geom = workers_[0][0]->server().options();
   input_len_ = geom.input_len;
@@ -108,6 +120,26 @@ core::StatusOr<ShardedFuture> ShardRouter::Submit(ShardedRequest request) {
   }
 
   const Clock::time_point now = Clock::now();
+  // Fleet-level brownout tick (hedging is gated on the result in Dispatch)
+  // and deadline propagation: a request that cannot plausibly gather before
+  // its deadline is rejected here instead of fanning out to every shard.
+  brownout_.Update();
+  if (options_.deadline.enabled && request.deadline.has_value()) {
+    const double p50 = gather_estimator_.P50();
+    const double remaining =
+        std::chrono::duration<double>(*request.deadline - now).count();
+    // Already-expired deadlines are NOT rejected here: the scatter/gather
+    // contract resolves them through the future (each shard server rejects
+    // eagerly at its own Submit), so only the predictive gate fires.
+    if (p50 > 0.0 && remaining < options_.deadline.safety_factor * p50) {
+      rejected_.fetch_add(1);
+      rejected_predicted_late_.fetch_add(1);
+      return core::Status::DeadlineExceeded(core::StrFormat(
+          "cannot gather before deadline: %.1fms remaining < p50 estimate "
+          "%.1fms",
+          remaining * 1e3, p50 * 1e3));
+    }
+  }
   Clock::time_point shard_deadline = now + options_.shard_timeout;
   if (request.deadline.has_value() && *request.deadline < shard_deadline) {
     shard_deadline = *request.deadline;
@@ -141,6 +173,7 @@ core::StatusOr<ShardedFuture> ShardRouter::Submit(ShardedRequest request) {
     sub.recent = GatherNodes(request.recent, spec.view);
     sub.first_step = request.first_step;
     sub.deadline = shard_deadline;
+    sub.criticality = request.criticality;
     Dispatch(s, std::move(sub), &pending);
     task.pending.push_back(std::move(pending));
   }
@@ -170,15 +203,28 @@ void ShardRouter::Dispatch(int64_t shard, serving::ForecastRequest request,
   const int64_t start = rotation_.fetch_add(1) % r;
   std::vector<int64_t> order(r);
   for (int64_t i = 0; i < r; ++i) order[i] = (start + i) % r;
-  if (options_.hedge_on_unhealthy && r > 1) {
+  // Every sub-request earns each replica bucket a fraction of a token:
+  // hedges + failovers toward a replica stay capped at
+  // burst + ratio * primary traffic no matter how sick the fleet gets.
+  for (int64_t i = 0; i < r; ++i) budgets_[shard][i]->OnPrimary();
+  // Brownout level >= kNoHedge turns retries off outright — when memory is
+  // the bottleneck, every hedge is pure amplification.
+  const bool retries_allowed =
+      brownout_.level() < serving::BrownoutLevel::kNoHedge;
+  if (options_.hedge_on_unhealthy && retries_allowed && r > 1) {
     // Route around a replica whose probe says not-ready or whose primary
-    // breaker is open: move the first healthy replica to the front.
+    // breaker is open: move the first healthy replica to the front — if the
+    // healthy target still has hedge budget.
     for (int64_t i = 0; i < r; ++i) {
       if (ReplicaHealthy(replicas[order[i]]->CheckHealth())) {
         if (i > 0) {
-          std::rotate(order.begin(), order.begin() + i, order.end());
-          out->outcome.hedged = true;
-          hedges_.fetch_add(1);
+          if (budgets_[shard][order[i]]->TryAcquire()) {
+            std::rotate(order.begin(), order.begin() + i, order.end());
+            out->outcome.hedged = true;
+            hedges_.fetch_add(1);
+          } else {
+            hedges_denied_.fetch_add(1);
+          }
         }
         break;
       }
@@ -188,6 +234,19 @@ void ShardRouter::Dispatch(int64_t shard, serving::ForecastRequest request,
   for (int64_t i = 0; i < r; ++i) {
     ShardWorker* worker = replicas[order[i]];
     if (i > 0) {
+      if (!retries_allowed) {
+        last = core::Status::Unavailable(core::StrFormat(
+            "failover suppressed (brownout %s): %s",
+            serving::BrownoutLevelName(brownout_.level()),
+            last.message().c_str()));
+        break;
+      }
+      if (!budgets_[shard][order[i]]->TryAcquire()) {
+        failovers_denied_.fetch_add(1);
+        last = core::Status::Unavailable(
+            "failover budget exhausted: " + last.message());
+        break;
+      }
       out->outcome.failed_over = true;
       failovers_.fetch_add(1);
     }
@@ -304,6 +363,7 @@ void ShardRouter::Finish(GatherTask task) {
     std::unique_lock<std::mutex> lock(latency_mutex_);
     latency_.Record(latency);
   }
+  gather_estimator_.Record(latency);
 
   const bool all_ok = response.failed_sensors.empty();
   if (num_ok > 0 && (all_ok || options_.partial_results)) {
@@ -331,10 +391,14 @@ RouterStatsSnapshot ShardRouter::StatsSnapshot() const {
   snap.partial = partial_.load();
   snap.failed = failed_.load();
   snap.rejected = rejected_.load();
+  snap.rejected_predicted_late = rejected_predicted_late_.load();
   snap.hedges = hedges_.load();
   snap.failovers = failovers_.load();
+  snap.hedges_denied = hedges_denied_.load();
+  snap.failovers_denied = failovers_denied_.load();
   snap.shard_dispatches = shard_dispatches_.load();
   snap.shard_failures = shard_failures_.load();
+  snap.brownout_level = serving::BrownoutLevelName(brownout_.level());
   {
     std::unique_lock<std::mutex> lock(latency_mutex_);
     snap.latency_p50 = latency_.Quantile(0.50);
@@ -351,13 +415,17 @@ std::string ShardRouter::FleetTable() const {
   std::string out = core::StrFormat(
       "fleet: %lld shards, %s\n"
       "router: submitted=%lld completed=%lld partial=%lld failed=%lld "
-      "rejected=%lld hedges=%lld failovers=%lld\n"
+      "rejected=%lld (predicted-late=%lld) hedges=%lld failovers=%lld\n"
+      "router overload: brownout=%s hedges-denied=%lld failovers-denied=%lld\n"
       "router latency (ms): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
       static_cast<long long>(plan_->num_shards), plan_->Summary().c_str(),
       static_cast<long long>(r.submitted), static_cast<long long>(r.completed),
       static_cast<long long>(r.partial), static_cast<long long>(r.failed),
-      static_cast<long long>(r.rejected), static_cast<long long>(r.hedges),
-      static_cast<long long>(r.failovers), r.latency_mean * 1e3,
+      static_cast<long long>(r.rejected),
+      static_cast<long long>(r.rejected_predicted_late),
+      static_cast<long long>(r.hedges), static_cast<long long>(r.failovers),
+      r.brownout_level.c_str(), static_cast<long long>(r.hedges_denied),
+      static_cast<long long>(r.failovers_denied), r.latency_mean * 1e3,
       r.latency_p50 * 1e3, r.latency_p90 * 1e3, r.latency_p99 * 1e3,
       r.latency_max * 1e3);
   out += core::StrFormat("  %5s %7s %6s %7s %9s %9s %9s %10s %s\n", "shard",
@@ -396,13 +464,20 @@ std::string ShardRouter::FleetJson() const {
   out += core::StrFormat(
       "  \"router\": {\"submitted\": %lld, \"completed\": %lld, "
       "\"partial\": %lld, \"failed\": %lld, \"rejected\": %lld, "
-      "\"hedges\": %lld, \"failovers\": %lld, \"shard_dispatches\": %lld, "
+      "\"rejected_predicted_late\": %lld, "
+      "\"hedges\": %lld, \"failovers\": %lld, \"hedges_denied\": %lld, "
+      "\"failovers_denied\": %lld, \"brownout_level\": %s, "
+      "\"shard_dispatches\": %lld, "
       "\"shard_failures\": %lld, \"latency_ms\": {\"mean\": %.6f, "
       "\"p50\": %.6f, \"p90\": %.6f, \"p99\": %.6f, \"max\": %.6f}},\n",
       static_cast<long long>(r.submitted), static_cast<long long>(r.completed),
       static_cast<long long>(r.partial), static_cast<long long>(r.failed),
-      static_cast<long long>(r.rejected), static_cast<long long>(r.hedges),
-      static_cast<long long>(r.failovers),
+      static_cast<long long>(r.rejected),
+      static_cast<long long>(r.rejected_predicted_late),
+      static_cast<long long>(r.hedges), static_cast<long long>(r.failovers),
+      static_cast<long long>(r.hedges_denied),
+      static_cast<long long>(r.failovers_denied),
+      core::JsonQuote(r.brownout_level).c_str(),
       static_cast<long long>(r.shard_dispatches),
       static_cast<long long>(r.shard_failures), r.latency_mean * 1e3,
       r.latency_p50 * 1e3, r.latency_p90 * 1e3, r.latency_p99 * 1e3,

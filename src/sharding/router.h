@@ -16,6 +16,7 @@
 
 #include "core/histogram.h"
 #include "core/status.h"
+#include "serving/overload/overload.h"
 #include "serving/request.h"
 #include "sharding/partitioner.h"
 #include "sharding/shard_worker.h"
@@ -33,6 +34,10 @@ struct ShardedRequest {
   std::vector<int64_t> sensors;  // requested global sensor ids; empty = all
   int64_t first_step = 0;
   std::optional<Clock::time_point> deadline;
+  // Propagated to every shard sub-request, so fleet-level shedding follows
+  // the same interactive > batch > what-if order as each replica's own
+  // admission control.
+  serving::Criticality criticality = serving::Criticality::kInteractive;
 };
 
 // What happened on one shard for one request.
@@ -83,6 +88,16 @@ struct RouterOptions {
   int64_t gather_threads = 2;
   // Backpressure bound on requests parked waiting for their shard futures.
   int64_t queue_capacity = 256;
+  // Token bucket per (shard, replica) capping hedges + failovers to a
+  // fraction of primary traffic, so a slow fleet is never asked to also
+  // absorb a hedging storm.
+  serving::RetryBudgetOptions retry_budget;
+  // Fleet-level memory brownout: at kNoHedge and above the router stops
+  // hedging/failing over entirely (probe/watermarks as in BrownoutOptions).
+  serving::BrownoutOptions brownout;
+  // Reject at the router any request whose remaining deadline is below the
+  // observed p50 gathered latency (same estimator shape as the server's).
+  serving::DeadlineOptions deadline;
 };
 
 // Aggregate router counters plus the end-to-end latency distribution
@@ -93,10 +108,14 @@ struct RouterStatsSnapshot {
   int64_t partial = 0;         // ok terminals with failed sensors
   int64_t failed = 0;          // error terminals
   int64_t rejected = 0;        // Submit refused (bad request / overload)
+  int64_t rejected_predicted_late = 0;  // deadline below p50 gather estimate
   int64_t hedges = 0;
   int64_t failovers = 0;
+  int64_t hedges_denied = 0;     // wanted to hedge, budget empty
+  int64_t failovers_denied = 0;  // wanted to fail over, budget empty
   int64_t shard_dispatches = 0;
   int64_t shard_failures = 0;
+  std::string brownout_level = "normal";
   double latency_p50 = 0.0, latency_p90 = 0.0, latency_p99 = 0.0;
   double latency_mean = 0.0, latency_max = 0.0;
 };
@@ -187,9 +206,17 @@ class ShardRouter {
   std::deque<GatherTask> queue_;
   std::vector<std::thread> gatherers_;
 
+  // Overload control: hedge/failover token buckets per (shard, replica),
+  // the fleet brownout ladder, and the gathered-latency estimate behind the
+  // router's deadline-propagation gate.
+  std::vector<std::vector<std::unique_ptr<serving::RetryBudget>>> budgets_;
+  serving::BrownoutController brownout_;
+  serving::ServiceTimeEstimator gather_estimator_;
+
   // Stats.
   std::atomic<int64_t> submitted_{0}, completed_{0}, partial_{0}, failed_{0},
-      rejected_{0}, hedges_{0}, failovers_{0}, shard_dispatches_{0},
+      rejected_{0}, rejected_predicted_late_{0}, hedges_{0}, failovers_{0},
+      hedges_denied_{0}, failovers_denied_{0}, shard_dispatches_{0},
       shard_failures_{0};
   mutable std::mutex latency_mutex_;
   core::Histogram latency_;

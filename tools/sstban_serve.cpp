@@ -11,7 +11,7 @@
 //                [--var-lag 3] [--stall-ms 2000] [--executor auto]
 //                [--shards 0] [--replicas 1] [--halo-hops 0] [--rate-rps 50]
 //                [--cache-age -1] [--ingest 0] [--drift recalibrate]
-//                [--adapt-steps 24]
+//                [--adapt-steps 24] [--admission ""] [--brownout-mb ""]
 //
 // Trains a checkpoint if --ckpt does not exist yet (plus a second version
 // for the hot-swap), then serves it. `--requests` is per client; a deadline
@@ -24,6 +24,14 @@
 // health probe line is printed after the run. SSTBAN_FAILPOINTS (see
 // src/core/failpoint.h) injects serving faults: serve_enqueue,
 // serve_batch_run, serve_fallback, registry_get.
+//
+// Overload knobs: `--admission <spec>` sets the adaptive admission
+// controller (same grammar as SSTBAN_ADMISSION: `off`, `on`, or a
+// key=value list such as `limit=32,tolerance=1.5`); `--brownout-mb <list>`
+// sets the memory-pressure brownout enter watermarks in MB (same grammar
+// as SSTBAN_BROWNOUT_WATERMARKS: `off` or e.g. `512,768,1024`). Both
+// default to the environment / built-in defaults when omitted. See
+// DESIGN.md section 16 for the full overload-control story.
 //
 // `--executor static|tape|auto` picks the forward implementation for the
 // primary model pass: the shape-specialized static executor (src/exec), the
@@ -238,6 +246,15 @@ int main(int argc, char** argv) {
   int64_t ingest_slices = flags.GetInt("ingest", 0);
   std::string drift = flags.GetString("drift", "recalibrate");
   int64_t adapt_steps = flags.GetInt("adapt-steps", 24);
+  std::string admission = flags.GetString("admission", "");
+  std::string brownout_mb = flags.GetString("brownout-mb", "");
+
+  // The overload flags reuse the documented env-knob grammar by feeding the
+  // environment before ServerOptions resolves its defaults.
+  if (!admission.empty()) setenv("SSTBAN_ADMISSION", admission.c_str(), 1);
+  if (!brownout_mb.empty()) {
+    setenv("SSTBAN_BROWNOUT_WATERMARKS", brownout_mb.c_str(), 1);
+  }
 
   auto dataset = std::make_shared<data::TrafficDataset>(
       data::GenerateSyntheticWorld(WorldFor(preset, flags)));
